@@ -1,0 +1,41 @@
+// Ablation: partial-product recoding.  The paper uses plain two's complement
+// binary with one shared-subexpression reuse; canonical signed digit (CSD)
+// recoding needs fewer adders.  Measures area/fmax/power of design-2 and
+// design-3 style datapaths under each recoding.
+#include <cstdio>
+
+#include "explore/explorer.hpp"
+#include "hw/designs.hpp"
+
+int main() {
+  dwt::explore::Explorer explorer;
+  std::printf("Ablation: shift-add recoding (binary vs reuse vs CSD).\n\n");
+  std::printf("%-10s %-18s %8s %12s %14s\n", "Design", "recoding", "LEs",
+              "fmax (MHz)", "P@15MHz (mW)");
+  struct Mode {
+    const char* label;
+    dwt::rtl::Recoding recoding;
+  };
+  const Mode modes[] = {
+      {"binary", dwt::rtl::Recoding::kBinary},
+      {"binary+reuse", dwt::rtl::Recoding::kBinaryWithReuse},
+      {"CSD", dwt::rtl::Recoding::kCsd},
+  };
+  for (const auto id : {dwt::hw::DesignId::kDesign2, dwt::hw::DesignId::kDesign3}) {
+    for (const Mode& m : modes) {
+      dwt::hw::DesignSpec spec = dwt::hw::design_spec(id);
+      spec.config.recoding = m.recoding;
+      spec.name = dwt::hw::design_spec(id).name;
+      const auto eval = explorer.evaluate(spec);
+      std::printf("%-10s %-18s %8zu %12.1f %14.1f\n", spec.name.c_str(),
+                  m.label, eval.report.logic_elements, eval.report.fmax_mhz,
+                  eval.report.power_mw);
+    }
+  }
+  std::printf(
+      "\nCSD reduces partial products (e.g. beta: 7 -> 2 terms), shrinking\n"
+      "the non-pipelined design and shortening the pipelined schedule --\n"
+      "an optimization the paper's plain-binary approach leaves on the\n"
+      "table.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation: partial-product summation order.  The paper's figures 7/8 chain
+// the adders sequentially; a balanced tree halves the pipelined latency at
+// similar area.  Compares both schedules for designs 2-5.
+#include <cstdio>
+
+#include "explore/explorer.hpp"
+#include "hw/designs.hpp"
+
+int main() {
+  dwt::explore::Explorer explorer;
+  std::printf("Ablation: sequential (paper) vs balanced-tree summation.\n\n");
+  std::printf("%-10s %-12s %8s %12s %14s %9s\n", "Design", "structure", "LEs",
+              "fmax (MHz)", "P@15MHz (mW)", "latency");
+  for (const auto id :
+       {dwt::hw::DesignId::kDesign2, dwt::hw::DesignId::kDesign3,
+        dwt::hw::DesignId::kDesign4, dwt::hw::DesignId::kDesign5}) {
+    for (const auto structure :
+         {dwt::rtl::SumStructure::kSequential, dwt::rtl::SumStructure::kTree}) {
+      dwt::hw::DesignSpec spec = dwt::hw::design_spec(id);
+      spec.config.sum_structure = structure;
+      const auto eval = explorer.evaluate(spec);
+      std::printf("%-10s %-12s %8zu %12.1f %14.1f %9d\n", spec.name.c_str(),
+                  structure == dwt::rtl::SumStructure::kSequential
+                      ? "sequential"
+                      : "tree",
+                  eval.report.logic_elements, eval.report.fmax_mhz,
+                  eval.report.power_mw, eval.info.latency);
+    }
+  }
+  std::printf(
+      "\nTrees shorten the pipelined designs' latency (fewer stages, fewer\n"
+      "shim registers) while the one-add-per-stage fmax stays similar: a\n"
+      "cheap improvement over the paper's figure-8 schedule.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Section 4's literature comparison: the filter-bank IP of [5] (Masud &
+// McCanny: 785 LEs @ 85.5 MHz) against our designs 2 and 3.  The paper's
+// trade-off reading: design 2 is ~half the area at ~half the frequency;
+// design 3 matches the area and doubles the frequency.
+#include <cstdio>
+
+#include "explore/explorer.hpp"
+#include "explore/pareto.hpp"
+#include "fpga/tech_mapper.hpp"
+#include "fpga/timing.hpp"
+#include "hw/filterbank_core.hpp"
+#include "rtl/simplify.hpp"
+
+int main() {
+  dwt::explore::Explorer explorer;
+  const auto evals = explorer.evaluate_all();
+  const auto baseline = dwt::hw::paper_baseline();
+
+  std::printf("Comparison with the filter-bank architecture of [5].\n\n");
+  std::printf("%-34s %8s %12s\n", "Architecture", "LEs", "fmax (MHz)");
+  std::printf("%-34s %8d %12.1f   (published)\n",
+              "[5] Masud & McCanny filter bank", baseline.area_les,
+              baseline.fmax_mhz);
+
+  // Our own elaboration of a filter-bank core, as a sanity point.
+  const auto fb = dwt::hw::build_filterbank_core({});
+  const auto fb_opt = dwt::rtl::simplify(fb.netlist);
+  const auto fb_mapped = dwt::fpga::map_to_apex(fb_opt);
+  dwt::fpga::TimingAnalyzer sta(fb_mapped,
+                                dwt::fpga::ApexDeviceParams::apex20ke());
+  std::printf("%-34s %8zu %12.1f   (our elaboration)\n",
+              "filter-bank core (figure 2)", fb_mapped.le_count(),
+              sta.analyze().fmax_mhz);
+
+  for (const std::size_t i : {1u, 2u}) {
+    std::printf("%-34s %8zu %12.1f\n", evals[i].spec.name.c_str(),
+                evals[i].report.logic_elements, evals[i].report.fmax_mhz);
+  }
+
+  const double area_ratio_d2 =
+      static_cast<double>(evals[1].report.logic_elements) / baseline.area_les;
+  const double fmax_ratio_d2 = evals[1].report.fmax_mhz / baseline.fmax_mhz;
+  const double area_ratio_d3 =
+      static_cast<double>(evals[2].report.logic_elements) / baseline.area_les;
+  const double fmax_ratio_d3 = evals[2].report.fmax_mhz / baseline.fmax_mhz;
+  std::printf(
+      "\nDesign 2 vs [5]: %.2fx area, %.2fx fmax (paper: ~0.5x area, ~0.5x "
+      "fmax).\nDesign 3 vs [5]: %.2fx area, %.2fx fmax (paper: ~1.0x area, "
+      "~2.0x fmax).\n",
+      area_ratio_d2, fmax_ratio_d2, area_ratio_d3, fmax_ratio_d3);
+  std::printf(
+      "\nThroughput note: the lifting cores consume a sample *pair* per\n"
+      "cycle, so at equal fmax they deliver twice the sample rate of the\n"
+      "one-sample-per-cycle filter bank.\n");
+
+  // Pareto view over (area, period, power) of the five designs.
+  std::vector<dwt::explore::TradeoffPoint> points;
+  for (const auto& e : evals) {
+    points.push_back({e.spec.name,
+                      static_cast<double>(e.report.logic_elements),
+                      1000.0 / e.report.fmax_mhz, e.report.power_mw});
+  }
+  std::printf("\nPareto-optimal designs in the (area, period, power) space:");
+  for (const std::size_t i : dwt::explore::pareto_front(points)) {
+    std::printf(" %s;", points[i].name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

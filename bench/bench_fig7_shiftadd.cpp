@@ -1,0 +1,39 @@
+// Figure 7 / section 3.2: multiplication by constant as shifted additions.
+// Prints each constant's decomposition and the adder counts the paper
+// reports (alpha 6, beta 8->7 with reuse, gamma 5, delta 5, -k 4, 1/k 2).
+#include <cstdio>
+
+#include "rtl/shiftadd_plan.hpp"
+
+int main() {
+  std::printf("Figure 7 / section 3.2: shift-add multiplier decompositions.\n\n");
+  const int paper_counts[6] = {6, 7, 5, 5, 4, 2};
+  const auto with_reuse =
+      dwt::rtl::paper_multiplier_adder_counts(dwt::rtl::Recoding::kBinaryWithReuse);
+  const auto plain =
+      dwt::rtl::paper_multiplier_adder_counts(dwt::rtl::Recoding::kBinary);
+  std::printf("%-8s %10s %14s %14s %8s\n", "Block", "constant",
+              "adders(plain)", "adders(reuse)", "paper");
+  for (std::size_t i = 0; i < with_reuse.size(); ++i) {
+    std::printf("%-8s %7lld/256 %14d %14d %8d\n", with_reuse[i].name.c_str(),
+                static_cast<long long>(with_reuse[i].constant),
+                plain[i].total(), with_reuse[i].total(), paper_counts[i]);
+  }
+
+  std::printf("\nDecompositions (two's complement binary recoding):\n");
+  for (const auto& m : with_reuse) {
+    const auto plan = dwt::rtl::make_shiftadd_plan(
+        m.constant, dwt::rtl::Recoding::kBinaryWithReuse);
+    std::printf("  %-6s %s\n", m.name.c_str(), plan.to_string().c_str());
+  }
+
+  std::printf("\nCanonical signed digit (ablation -- fewer terms than the "
+              "paper's plain binary):\n");
+  for (const auto& m : with_reuse) {
+    const auto plan =
+        dwt::rtl::make_shiftadd_plan(m.constant, dwt::rtl::Recoding::kCsd);
+    std::printf("  %-6s %zu terms: %s\n", m.name.c_str(), plan.terms.size(),
+                plan.to_string().c_str());
+  }
+  return 0;
+}

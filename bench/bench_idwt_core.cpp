@@ -1,0 +1,58 @@
+// Extension: the inverse (IDWT) cores next to the forward designs, after
+// the paper's reference [4] ("An Efficient Hardware Implementation of DWT
+// and IDWT").  The inverse datapath mirrors the forward structure (same
+// multiplier blocks, reversed order), so its cost tracks the forward core.
+#include <cstdio>
+
+#include "explore/explorer.hpp"
+#include "fpga/device.hpp"
+#include "fpga/tech_mapper.hpp"
+#include "fpga/timing.hpp"
+#include "hw/inverse_lifting_datapath.hpp"
+#include "rtl/simplify.hpp"
+
+int main() {
+  std::printf("Extension: inverse (IDWT) cores vs forward designs.\n\n");
+  std::printf("%-36s %8s %12s %9s\n", "Core", "LEs", "fmax (MHz)", "latency");
+
+  struct Variant {
+    const char* label;
+    dwt::hw::InverseDatapathConfig cfg;
+  };
+  Variant variants[4];
+  variants[0].label = "IDWT behavioral, flat";
+  variants[1].label = "IDWT behavioral, pipelined";
+  variants[1].cfg.pipelined_operators = true;
+  variants[2].label = "IDWT structural, flat";
+  variants[2].cfg.adder_style = dwt::rtl::AdderStyle::kRippleGates;
+  variants[3].label = "IDWT structural, pipelined";
+  variants[3].cfg.adder_style = dwt::rtl::AdderStyle::kRippleGates;
+  variants[3].cfg.pipelined_operators = true;
+
+  for (const Variant& v : variants) {
+    const auto dp = dwt::hw::build_inverse_lifting_datapath(v.cfg);
+    const auto opt = dwt::rtl::simplify(dp.netlist);
+    const auto mapped = dwt::fpga::map_to_apex(opt);
+    dwt::fpga::TimingAnalyzer sta(mapped,
+                                  dwt::fpga::ApexDeviceParams::apex20ke());
+    std::printf("%-36s %8zu %12.1f %9d\n", v.label, mapped.le_count(),
+                sta.analyze().fmax_mhz, dp.latency);
+  }
+
+  dwt::explore::Explorer explorer;
+  for (const auto id :
+       {dwt::hw::DesignId::kDesign2, dwt::hw::DesignId::kDesign3,
+        dwt::hw::DesignId::kDesign4, dwt::hw::DesignId::kDesign5}) {
+    const auto eval = explorer.evaluate(dwt::hw::design_spec(id));
+    std::printf("%-36s %8zu %12.1f %9d\n",
+                (eval.spec.name + " (forward)").c_str(),
+                eval.report.logic_elements, eval.report.fmax_mhz,
+                eval.info.latency);
+  }
+  std::printf(
+      "\nThe inverse costs roughly the forward core's area (same six\n"
+      "multiplier blocks run in reverse), so a full codec datapath is about\n"
+      "twice one direction -- consistent with reference [4]'s combined\n"
+      "DWT+IDWT implementation.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Library-performance microbenchmarks (google-benchmark): software
+// transform throughput and simulator speed.  These measure this library on
+// the host CPU -- they are not paper experiments, but they document what a
+// user pays for each API.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "dsp/dwt2d.hpp"
+#include "dsp/image_gen.hpp"
+#include "hw/designs.hpp"
+#include "hw/stream_runner.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+void BM_Lifting1dFloat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dwt::dsp::Image img = dwt::dsp::make_still_tone_image(n, 1, 3);
+  std::vector<double> x = img.data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dwt::dsp::dwt1d_forward(dwt::dsp::Method::kLiftingFloat, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Lifting1dFloat)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Lifting1dFixed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dwt::dsp::Image img = dwt::dsp::make_still_tone_image(n, 1, 3);
+  std::vector<double> x = img.data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dwt::dsp::dwt1d_forward(dwt::dsp::Method::kLiftingFixed, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Lifting1dFixed)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Fir1dFloat(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dwt::dsp::Image img = dwt::dsp::make_still_tone_image(n, 1, 3);
+  std::vector<double> x = img.data();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dwt::dsp::dwt1d_forward(dwt::dsp::Method::kFirFloat, x));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fir1dFloat)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Dwt2dMultiOctave(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dwt::dsp::Image base = dwt::dsp::make_still_tone_image(n, n, 5);
+  for (auto _ : state) {
+    dwt::dsp::Image img = base;
+    dwt::dsp::dwt2d_forward(dwt::dsp::Method::kLiftingFloat, img, 3);
+    benchmark::DoNotOptimize(img.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_Dwt2dMultiOctave)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GateLevelSimulation(benchmark::State& state) {
+  const auto dp = dwt::hw::build_design(
+      static_cast<dwt::hw::DesignId>(state.range(0)));
+  dwt::rtl::Simulator sim(dp.netlist);
+  const dwt::dsp::Image img = dwt::dsp::make_still_tone_image(128, 1, 9);
+  std::vector<std::int64_t> x;
+  for (const double v : img.data()) {
+    x.push_back(static_cast<std::int64_t>(std::llround(v)) - 128);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dwt::hw::run_stream(dp, sim, x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.size()));
+}
+BENCHMARK(BM_GateLevelSimulation)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Regenerates paper Table 1: the lifting coefficient constants as floating
+// point values, integer-rounded n/256 ratios, and two's complement binary.
+#include <cstdio>
+
+#include "dsp/lifting_coeffs.hpp"
+
+int main() {
+  std::printf("Table 1. Lifting coefficients constants.\n");
+  std::printf("%-8s %16s %10s %14s\n", "Coeff", "Floating point",
+              "Integer", "Binary (Q2.8)");
+  for (const dwt::dsp::Table1Row& row : dwt::dsp::table1_rows()) {
+    std::printf("%-8s %16.9f %7lld/256 %14s\n", row.name.c_str(),
+                row.floating_value, static_cast<long long>(row.integer_rounded),
+                row.binary.c_str());
+  }
+  std::printf(
+      "\nPaper values: alpha -406, beta -14, gamma 226, delta 114, 1/k 208.\n"
+      "For -k the paper's integer column prints -314 while its own binary\n"
+      "column (10.11000101) encodes -315; correct rounding of\n"
+      "-1.230174105*256 = -314.9 also gives -315, which this library uses.\n");
+  return 0;
+}

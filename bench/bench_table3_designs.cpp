@@ -1,0 +1,39 @@
+// Regenerates paper Table 3: area (LEs), maximum operating frequency, power
+// at the 15 MHz reference, and pipeline stages for the five designs, through
+// the full elaborate -> simplify -> map -> STA -> activity -> power flow.
+#include <cstdio>
+
+#include "explore/explorer.hpp"
+#include "fpga/report.hpp"
+#include "hw/designs.hpp"
+
+int main() {
+  dwt::explore::Explorer explorer;
+  const auto evals = explorer.evaluate_all();
+  const auto paper = dwt::hw::paper_table3();
+
+  std::printf("Table 3. Implementation results (measured vs paper).\n\n");
+  std::printf("%-10s | %10s %6s | %11s %6s | %12s %6s | %7s %5s\n", "Design",
+              "LEs", "paper", "fmax (MHz)", "paper", "P@15MHz (mW)", "paper",
+              "stages", "paper");
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const auto& r = evals[i].report;
+    std::printf("%-10s | %10zu %6d | %11.1f %6.1f | %12.1f %6.1f | %7d %5d\n",
+                r.name.c_str(), r.logic_elements, paper[i].area_les,
+                r.fmax_mhz, paper[i].fmax_mhz, r.power_mw,
+                paper[i].power_mw_15mhz, r.pipeline_stages,
+                paper[i].pipeline_stages);
+  }
+
+  std::printf("\nDiagnostics:\n");
+  for (const auto& e : evals) {
+    std::printf("  %s\n", e.report.to_string().c_str());
+  }
+  std::printf(
+      "\nKnown deviations (EXPERIMENTS.md): our model charges design 4's\n"
+      "extra LUT nets, so design 4 lands slightly below design 2 in fmax and\n"
+      "above it in power -- the relation the paper itself called expected;\n"
+      "the measured Quartus run showed the opposite surprise.  Pipelined\n"
+      "latency is 28 stages vs the paper's 21 (balanced-schedule detail).\n");
+  return 0;
+}

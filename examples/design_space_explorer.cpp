@@ -1,0 +1,82 @@
+// Design-space exploration: the paper's methodology as a program.  Sweeps
+// architecture choices (multiplier style x adder style x pipelining x
+// recoding), synthesizes each candidate through the APEX model, and writes
+// the area/frequency/power trade-off space as CSV for plotting.
+//
+//   ./design_space_explorer [out.csv]
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "explore/pareto.hpp"
+#include "hw/designs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dwt;
+  const std::string csv_path = argc > 1 ? argv[1] : "design_space.csv";
+  explore::Explorer explorer;
+
+  // Enumerate the architecture space (the paper's five designs live inside
+  // this grid).
+  std::vector<hw::DesignSpec> specs;
+  int idx = 0;
+  for (const auto mult :
+       {hw::MultiplierStyle::kGenericArray, hw::MultiplierStyle::kShiftAdd}) {
+    for (const auto style :
+         {rtl::AdderStyle::kCarryChain, rtl::AdderStyle::kRippleGates}) {
+      for (const bool pipelined : {false, true}) {
+        for (const auto recoding :
+             {rtl::Recoding::kBinaryWithReuse, rtl::Recoding::kCsd}) {
+          if (mult == hw::MultiplierStyle::kGenericArray &&
+              recoding == rtl::Recoding::kCsd) {
+            continue;  // recoding only affects shift-add multipliers
+          }
+          hw::DesignSpec spec;
+          spec.id = hw::DesignId::kDesign2;  // tag unused for custom points
+          spec.name = "pt" + std::to_string(idx++);
+          spec.description =
+              std::string(mult == hw::MultiplierStyle::kGenericArray
+                              ? "generic-mult"
+                              : "shift-add") +
+              (style == rtl::AdderStyle::kCarryChain ? ",behavioral"
+                                                     : ",structural") +
+              (pipelined ? ",pipelined" : ",flat") +
+              (recoding == rtl::Recoding::kCsd ? ",csd" : ",binary");
+          spec.config.multiplier = mult;
+          spec.config.adder_style = style;
+          spec.config.pipelined_operators = pipelined;
+          spec.config.recoding = recoding;
+          specs.push_back(std::move(spec));
+        }
+      }
+    }
+  }
+
+  std::printf("Exploring %zu architecture points...\n\n", specs.size());
+  std::printf("%-6s %-42s %7s %11s %13s\n", "point", "configuration", "LEs",
+              "fmax (MHz)", "P@15MHz (mW)");
+  std::vector<explore::TradeoffPoint> points;
+  std::ofstream csv(csv_path);
+  csv << "name,config,les,fmax_mhz,power_mw_15mhz,stages\n";
+  for (const hw::DesignSpec& spec : specs) {
+    const auto eval = explorer.evaluate(spec);
+    std::printf("%-6s %-42s %7zu %11.1f %13.1f\n", spec.name.c_str(),
+                spec.description.c_str(), eval.report.logic_elements,
+                eval.report.fmax_mhz, eval.report.power_mw);
+    points.push_back({spec.description,
+                      static_cast<double>(eval.report.logic_elements),
+                      1000.0 / eval.report.fmax_mhz, eval.report.power_mw});
+    csv << spec.name << ",\"" << spec.description << "\","
+        << eval.report.logic_elements << ',' << eval.report.fmax_mhz << ','
+        << eval.report.power_mw << ',' << eval.report.pipeline_stages << '\n';
+  }
+
+  std::printf("\nPareto-optimal points (area / period / power):\n");
+  for (const std::size_t i : explore::pareto_front(points)) {
+    std::printf("  %s\n", points[i].name.c_str());
+  }
+  std::printf("\nWrote %s\n", csv_path.c_str());
+  return 0;
+}

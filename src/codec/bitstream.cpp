@@ -1,0 +1,50 @@
+#include "codec/bitstream.hpp"
+
+#include <stdexcept>
+
+namespace dwt::codec {
+
+void BitWriter::write_bit(bool bit) {
+  current_ = static_cast<std::uint8_t>((current_ << 1) | (bit ? 1 : 0));
+  if (++filled_ == 8) {
+    bytes_.push_back(current_);
+    current_ = 0;
+    filled_ = 0;
+  }
+  ++bit_count_;
+}
+
+void BitWriter::write_bits(std::uint64_t value, int count) {
+  if (count < 0 || count > 64) {
+    throw std::invalid_argument("BitWriter::write_bits: bad count");
+  }
+  for (int i = count - 1; i >= 0; --i) {
+    write_bit(((value >> i) & 1) != 0);
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  while (filled_ != 0) write_bit(false);
+  return std::move(bytes_);
+}
+
+bool BitReader::read_bit() {
+  if (exhausted()) throw std::out_of_range("BitReader: past end of stream");
+  const std::size_t byte = pos_ / 8;
+  const int bit = 7 - static_cast<int>(pos_ % 8);
+  ++pos_;
+  return ((bytes_[byte] >> bit) & 1) != 0;
+}
+
+std::uint64_t BitReader::read_bits(int count) {
+  if (count < 0 || count > 64) {
+    throw std::invalid_argument("BitReader::read_bits: bad count");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    v = (v << 1) | (read_bit() ? 1 : 0);
+  }
+  return v;
+}
+
+}  // namespace dwt::codec

@@ -1,0 +1,45 @@
+// Bit-granular serialization for the entropy coder.  MSB-first within each
+// byte, append-only writer and sequential reader.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dwt::codec {
+
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `value`, most significant first.
+  void write_bits(std::uint64_t value, int count);
+  void write_bit(bool bit);
+
+  /// Pads with zero bits to a byte boundary and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint8_t current_ = 0;
+  int filled_ = 0;  // bits in current_
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::vector<std::uint8_t> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] bool read_bit();
+  [[nodiscard]] std::uint64_t read_bits(int count);
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ >= bytes_.size() * 8; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dwt::codec

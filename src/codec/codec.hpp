@@ -1,0 +1,43 @@
+// A compact wavelet image codec on top of the library: 9/7 (lossy, with
+// deadzone quantization) or 5/3 (lossless) transform, per-subband order-k
+// Exp-Golomb entropy coding.  This is the downstream pipeline the paper's
+// introduction motivates ("the quantized coefficients are entropy-coded for
+// achieving high compression ratio") -- deliberately simple, but a real
+// encoder/decoder pair with measurable rates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/image.hpp"
+
+namespace dwt::codec {
+
+enum class CodecMode : std::uint8_t {
+  kLossy97 = 0,    ///< 9/7 lifting + deadzone quantizer
+  kLossless53 = 1, ///< reversible 5/3, bit-exact reconstruction
+};
+
+struct EncodeOptions {
+  CodecMode mode = CodecMode::kLossy97;
+  int octaves = 3;
+  double base_step = 4.0;  ///< quantizer step for the lossy mode
+};
+
+struct EncodedImage {
+  std::vector<std::uint8_t> bytes;
+  [[nodiscard]] double bits_per_pixel(std::size_t width,
+                                      std::size_t height) const {
+    return static_cast<double>(bytes.size()) * 8.0 /
+           static_cast<double>(width * height);
+  }
+};
+
+/// Encodes an 8-bit grayscale image (values 0..255).
+[[nodiscard]] EncodedImage encode_image(const dsp::Image& image,
+                                        const EncodeOptions& options = {});
+
+/// Decodes a bitstream produced by encode_image.
+[[nodiscard]] dsp::Image decode_image(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dwt::codec

@@ -1,0 +1,47 @@
+#include "codec/golomb.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dwt::codec {
+
+void write_exp_golomb(BitWriter& w, std::uint64_t value, int k) {
+  if (k < 0 || k > 32) throw std::invalid_argument("exp_golomb: bad order");
+  const std::uint64_t shifted = (value >> k) + 1;
+  const int bits = 64 - std::countl_zero(shifted);
+  // unary prefix: (bits-1) zeros, then the value itself (leading 1 implicit
+  // in its width), then k literal low bits.
+  for (int i = 0; i < bits - 1; ++i) w.write_bit(false);
+  w.write_bits(shifted, bits);
+  w.write_bits(value & ((std::uint64_t{1} << k) - 1), k);
+}
+
+std::uint64_t read_exp_golomb(BitReader& r, int k) {
+  if (k < 0 || k > 32) throw std::invalid_argument("exp_golomb: bad order");
+  int zeros = 0;
+  while (!r.read_bit()) {
+    if (++zeros > 63) throw std::out_of_range("exp_golomb: malformed prefix");
+  }
+  std::uint64_t shifted = 1;
+  for (int i = 0; i < zeros; ++i) {
+    shifted = (shifted << 1) | (r.read_bit() ? 1 : 0);
+  }
+  const std::uint64_t low = k > 0 ? r.read_bits(k) : 0;
+  return ((shifted - 1) << k) | low;
+}
+
+void write_signed_exp_golomb(BitWriter& w, std::int64_t value, int k) {
+  write_exp_golomb(w, zigzag_encode(value), k);
+}
+
+std::int64_t read_signed_exp_golomb(BitReader& r, int k) {
+  return zigzag_decode(read_exp_golomb(r, k));
+}
+
+int exp_golomb_length(std::uint64_t value, int k) {
+  const std::uint64_t shifted = (value >> k) + 1;
+  const int bits = 64 - std::countl_zero(shifted);
+  return (bits - 1) + bits + k;
+}
+
+}  // namespace dwt::codec

@@ -1,0 +1,33 @@
+// Exp-Golomb coding of quantizer indices.  Order-k Exp-Golomb fits the
+// Laplacian magnitude distribution of wavelet detail coefficients; signed
+// values use the standard zig-zag mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/bitstream.hpp"
+
+namespace dwt::codec {
+
+/// Maps signed to unsigned: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t u) {
+  return static_cast<std::int64_t>(u >> 1) ^
+         -static_cast<std::int64_t>(u & 1);
+}
+
+/// Order-k Exp-Golomb: value v is split as (v >> k) encoded unary-prefixed
+/// and k literal low bits.
+void write_exp_golomb(BitWriter& w, std::uint64_t value, int k);
+[[nodiscard]] std::uint64_t read_exp_golomb(BitReader& r, int k);
+
+void write_signed_exp_golomb(BitWriter& w, std::int64_t value, int k);
+[[nodiscard]] std::int64_t read_signed_exp_golomb(BitReader& r, int k);
+
+/// Bits order-k Exp-Golomb would use for `value` (for choosing k).
+[[nodiscard]] int exp_golomb_length(std::uint64_t value, int k);
+
+}  // namespace dwt::codec

@@ -1,0 +1,44 @@
+#include "common/interval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/fixed_point.hpp"
+
+namespace dwt::common {
+
+Interval Interval::signed_bits(int bits) {
+  if (bits < 1 || bits > 62) {
+    throw std::invalid_argument("Interval::signed_bits: bits out of range");
+  }
+  return {-(std::int64_t{1} << (bits - 1)), (std::int64_t{1} << (bits - 1)) - 1};
+}
+
+int Interval::min_signed_bits() const {
+  return signed_bits_for_range(lo, hi);
+}
+
+Interval operator+(Interval a, Interval b) { return {a.lo + b.lo, a.hi + b.hi}; }
+
+Interval operator-(Interval a, Interval b) { return {a.lo - b.hi, a.hi - b.lo}; }
+
+Interval operator*(Interval a, std::int64_t k) {
+  if (k >= 0) return {a.lo * k, a.hi * k};
+  return {a.hi * k, a.lo * k};
+}
+
+Interval asr(Interval a, int shift) {
+  if (shift < 0 || shift > 62) throw std::invalid_argument("asr: bad shift");
+  return {a.lo >> shift, a.hi >> shift};
+}
+
+Interval shl(Interval a, int shift) {
+  if (shift < 0 || shift > 62) throw std::invalid_argument("shl: bad shift");
+  return {a.lo << shift, a.hi << shift};
+}
+
+Interval hull(Interval a, Interval b) {
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+}  // namespace dwt::common

@@ -1,0 +1,43 @@
+// Integer interval arithmetic used for static bit-width (range) analysis of
+// the lifting datapath registers -- reproducing the hand analysis of paper
+// section 3.1, which derives the width of every internal register from the
+// 8-bit signed input range.
+#pragma once
+
+#include <cstdint>
+
+namespace dwt::common {
+
+/// A closed integer interval [lo, hi].
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] static Interval point(std::int64_t v) { return {v, v}; }
+  [[nodiscard]] static Interval signed_bits(int bits);
+
+  [[nodiscard]] bool contains(std::int64_t v) const { return v >= lo && v <= hi; }
+  [[nodiscard]] std::int64_t width() const { return hi - lo; }
+
+  /// Minimum two's-complement bits covering the interval.
+  [[nodiscard]] int min_signed_bits() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+[[nodiscard]] Interval operator+(Interval a, Interval b);
+[[nodiscard]] Interval operator-(Interval a, Interval b);
+[[nodiscard]] Interval operator*(Interval a, std::int64_t k);
+
+/// Arithmetic right shift of every element (truncation toward -inf), as done
+/// by the >>8 adjustment stages of the paper's datapath.
+[[nodiscard]] Interval asr(Interval a, int shift);
+
+/// Left shift (exact multiply by power of two), as produced by the shifted
+/// partial products of the shift-add multipliers.
+[[nodiscard]] Interval shl(Interval a, int shift);
+
+/// Union (hull) of two intervals.
+[[nodiscard]] Interval hull(Interval a, Interval b);
+
+}  // namespace dwt::common

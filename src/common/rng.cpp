@@ -1,0 +1,24 @@
+#include "common/rng.hpp"
+
+#include <stdexcept>
+
+namespace dwt::common {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace dwt::common

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random number generation used by tests, workload
+// generators and the power-estimation stimuli.  SplitMix64 is small, fast and
+// reproducible across platforms, which keeps every benchmark row repeatable.
+#pragma once
+
+#include <cstdint>
+
+namespace dwt::common {
+
+/// SplitMix64 generator (public-domain algorithm by Sebastiano Vigna).
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dwt::common

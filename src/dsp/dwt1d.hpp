@@ -1,0 +1,60 @@
+// Unified one-octave 1-D DWT front-end over the four computation methods of
+// paper Table 2: FIR filter bank or lifting scheme, each with floating-point
+// or integer-rounded coefficients.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dwt::dsp {
+
+enum class Method {
+  kFirFloat,       ///< 9/7 FIR filter bank, floating-point coefficients
+  kFirFixed,       ///< 9/7 FIR filter bank, integer-rounded coefficients
+  kLiftingFloat,   ///< lifting scheme, floating-point factorized coefficients
+  kLiftingFixed,   ///< lifting scheme, integer-rounded factorized coefficients
+  // Hardware-style variants: integer registers at every stage but ideal
+  // (full-precision) multiplier constants -- the "floating point" rows of
+  // paper Table 2, whose datapath still stores integers.
+  kFirHwFloat,
+  kLiftingHwFloat,
+  /// JPEG2000 reversible 5/3 (Le Gall) lifting transform: integer to
+  /// integer, lossless (extension beyond the paper's 9/7 scope; its
+  /// reference [6] combines both wavelets in one architecture).
+  kReversible53,
+};
+
+[[nodiscard]] std::string to_string(Method m);
+
+/// True for the methods whose outputs are integers.
+[[nodiscard]] constexpr bool is_fixed(Method m) {
+  return m == Method::kFirFixed || m == Method::kLiftingFixed ||
+         m == Method::kFirHwFloat || m == Method::kLiftingHwFloat ||
+         m == Method::kReversible53;
+}
+
+/// Subbands in double precision regardless of method; fixed-point methods
+/// produce exact integers stored in doubles (all values < 2^40, exactly
+/// representable).
+struct Subbands1d {
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+/// Fractional bits used by the fixed methods (the paper's 8).
+inline constexpr int kDefaultFracBits = 8;
+
+[[nodiscard]] Subbands1d dwt1d_forward(Method m, std::span<const double> x,
+                                       int frac_bits = kDefaultFracBits);
+
+/// Inverse of dwt1d_forward for the same method.  For fixed methods the
+/// subbands are rounded to integers first (they already are integers when
+/// produced by dwt1d_forward).
+[[nodiscard]] std::vector<double> dwt1d_inverse(Method m,
+                                                std::span<const double> low,
+                                                std::span<const double> high,
+                                                int frac_bits = kDefaultFracBits);
+
+}  // namespace dwt::dsp

@@ -1,0 +1,113 @@
+#include "dsp/dwt2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::dsp {
+namespace {
+
+void require_even(std::size_t w, std::size_t h, const char* who) {
+  if (w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": region must have even non-zero sides");
+  }
+}
+
+// Packs subbands (low first, then high) into a single line.
+std::vector<double> pack(const Subbands1d& s) {
+  std::vector<double> out;
+  out.reserve(s.low.size() + s.high.size());
+  out.insert(out.end(), s.low.begin(), s.low.end());
+  out.insert(out.end(), s.high.begin(), s.high.end());
+  return out;
+}
+
+}  // namespace
+
+SubbandRect subband_rect(std::size_t w, std::size_t h, int octave, Band band) {
+  if (octave < 1) throw std::invalid_argument("subband_rect: octave < 1");
+  std::size_t cw = w, ch = h;
+  for (int i = 0; i < octave; ++i) {
+    if (cw % 2 != 0 || ch % 2 != 0 || cw == 0 || ch == 0) {
+      throw std::invalid_argument("subband_rect: dimensions not divisible");
+    }
+    cw /= 2;
+    ch /= 2;
+  }
+  switch (band) {
+    case Band::kLL: return {0, 0, cw, ch};
+    case Band::kHL: return {cw, 0, cw, ch};
+    case Band::kLH: return {0, ch, cw, ch};
+    case Band::kHH: return {cw, ch, cw, ch};
+  }
+  throw std::invalid_argument("subband_rect: unknown band");
+}
+
+void dwt2d_forward_octave(Method m, Image& plane, std::size_t w, std::size_t h,
+                          int frac_bits) {
+  require_even(w, h, "dwt2d_forward_octave");
+  for (std::size_t y = 0; y < h; ++y) {
+    plane.set_row(y, pack(dwt1d_forward(m, plane.row(y, w), frac_bits)));
+  }
+  for (std::size_t x = 0; x < w; ++x) {
+    plane.set_col(x, pack(dwt1d_forward(m, plane.col(x, h), frac_bits)));
+  }
+}
+
+void dwt2d_inverse_octave(Method m, Image& plane, std::size_t w, std::size_t h,
+                          int frac_bits) {
+  require_even(w, h, "dwt2d_inverse_octave");
+  for (std::size_t x = 0; x < w; ++x) {
+    const std::vector<double> c = plane.col(x, h);
+    const std::vector<double> low(c.begin(), c.begin() + h / 2);
+    const std::vector<double> high(c.begin() + h / 2, c.end());
+    plane.set_col(x, dwt1d_inverse(m, low, high, frac_bits));
+  }
+  for (std::size_t y = 0; y < h; ++y) {
+    const std::vector<double> r = plane.row(y, w);
+    const std::vector<double> low(r.begin(), r.begin() + w / 2);
+    const std::vector<double> high(r.begin() + w / 2, r.end());
+    plane.set_row(y, dwt1d_inverse(m, low, high, frac_bits));
+  }
+}
+
+void dwt2d_forward(Method m, Image& plane, int octaves, int frac_bits) {
+  if (octaves < 1) throw std::invalid_argument("dwt2d_forward: octaves < 1");
+  std::size_t w = plane.width();
+  std::size_t h = plane.height();
+  for (int o = 0; o < octaves; ++o) {
+    dwt2d_forward_octave(m, plane, w, h, frac_bits);
+    w /= 2;
+    h /= 2;
+  }
+}
+
+void dwt2d_inverse(Method m, Image& plane, int octaves, int frac_bits) {
+  if (octaves < 1) throw std::invalid_argument("dwt2d_inverse: octaves < 1");
+  // Reverse order: smallest LL first.
+  std::size_t w = plane.width();
+  std::size_t h = plane.height();
+  std::vector<std::pair<std::size_t, std::size_t>> sizes;
+  for (int o = 0; o < octaves; ++o) {
+    sizes.emplace_back(w, h);
+    w /= 2;
+    h /= 2;
+  }
+  for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+    dwt2d_inverse_octave(m, plane, it->first, it->second, frac_bits);
+  }
+}
+
+void level_shift_forward(Image& img) {
+  for (double& v : img.data()) v -= 128.0;
+}
+
+void level_shift_inverse(Image& img) {
+  for (double& v : img.data()) v += 128.0;
+}
+
+void round_coefficients(Image& plane) {
+  for (double& v : plane.data()) v = std::round(v);
+}
+
+}  // namespace dwt::dsp

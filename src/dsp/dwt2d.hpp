@@ -1,0 +1,50 @@
+// Separable 2-D DWT (paper figure 1): one octave applies the 1-D transform
+// to every row then every column of the current LL region, packing low-pass
+// coefficients into the top-left quadrant (LL | HL / LH | HH).  Multi-octave
+// transforms recurse on LL.  Includes the DC level shift used for 8-bit
+// imagery (JPEG2000: subtract 128 so samples are signed 8-bit, matching the
+// paper's signed 8-bit hardware inputs).
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/dwt1d.hpp"
+#include "dsp/image.hpp"
+
+namespace dwt::dsp {
+
+/// Identifies one sub-band of a multi-octave decomposition.
+enum class Band { kLL, kHL, kLH, kHH };
+
+struct SubbandRect {
+  std::size_t x0, y0, w, h;
+};
+
+/// Geometry of sub-band `band` at 1-based `octave` for a w x h plane.
+[[nodiscard]] SubbandRect subband_rect(std::size_t w, std::size_t h,
+                                       int octave, Band band);
+
+/// In-place one-octave forward transform of the top-left region w x h of
+/// `plane` (w, h even).
+void dwt2d_forward_octave(Method m, Image& plane, std::size_t w, std::size_t h,
+                          int frac_bits = kDefaultFracBits);
+void dwt2d_inverse_octave(Method m, Image& plane, std::size_t w, std::size_t h,
+                          int frac_bits = kDefaultFracBits);
+
+/// Full multi-octave transform of the whole plane.  Requires the plane
+/// dimensions to stay even for all requested octaves.
+void dwt2d_forward(Method m, Image& plane, int octaves,
+                   int frac_bits = kDefaultFracBits);
+void dwt2d_inverse(Method m, Image& plane, int octaves,
+                   int frac_bits = kDefaultFracBits);
+
+/// DC level shift helpers (x -> x - 128 and back).
+void level_shift_forward(Image& img);
+void level_shift_inverse(Image& img);
+
+/// Rounds every coefficient to the nearest integer -- the coefficient
+/// truncation a fixed-width hardware transform output implies, and the
+/// operation that makes even the floating-point round trip of Table 2 lossy.
+void round_coefficients(Image& plane);
+
+}  // namespace dwt::dsp

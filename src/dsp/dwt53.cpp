@@ -1,0 +1,68 @@
+#include "dsp/dwt53.hpp"
+
+#include <stdexcept>
+
+namespace dwt::dsp {
+namespace {
+
+void require_even_nonempty(std::size_t n, const char* who) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": signal length must be even and non-zero");
+  }
+}
+
+std::int64_t s_at(std::span<const std::int64_t> s, std::size_t i) {
+  return i < s.size() ? s[i] : s[s.size() - 1];
+}
+std::int64_t d_before(std::span<const std::int64_t> d, std::size_t i) {
+  return i == 0 ? d[0] : d[i - 1];
+}
+
+/// Floor division by a power of two (arithmetic shift).
+std::int64_t floor_div_pow2(std::int64_t v, int k) { return v >> k; }
+
+}  // namespace
+
+LiftSubbands53 lifting53_forward(std::span<const std::int64_t> x) {
+  require_even_nonempty(x.size(), "lifting53_forward");
+  const std::size_t half = x.size() / 2;
+  std::vector<std::int64_t> s(half);
+  std::vector<std::int64_t> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] = x[2 * i];
+    d[i] = x[2 * i + 1];
+  }
+  for (std::size_t i = 0; i < half; ++i) {
+    d[i] -= floor_div_pow2(s[i] + s_at(s, i + 1), 1);
+  }
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] += floor_div_pow2(d_before(d, i) + d[i] + 2, 2);
+  }
+  return {std::move(s), std::move(d)};
+}
+
+std::vector<std::int64_t> lifting53_inverse(std::span<const std::int64_t> low,
+                                            std::span<const std::int64_t> high) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument("lifting53_inverse: subband size mismatch");
+  }
+  const std::size_t half = low.size();
+  if (half == 0) throw std::invalid_argument("lifting53_inverse: empty input");
+  std::vector<std::int64_t> s(low.begin(), low.end());
+  std::vector<std::int64_t> d(high.begin(), high.end());
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] -= floor_div_pow2(d_before(d, i) + d[i] + 2, 2);
+  }
+  for (std::size_t i = 0; i < half; ++i) {
+    d[i] += floor_div_pow2(s[i] + s_at(s, i + 1), 1);
+  }
+  std::vector<std::int64_t> x(2 * half);
+  for (std::size_t i = 0; i < half; ++i) {
+    x[2 * i] = s[i];
+    x[2 * i + 1] = d[i];
+  }
+  return x;
+}
+
+}  // namespace dwt::dsp

@@ -1,0 +1,28 @@
+// The JPEG2000 *reversible* 5/3 lifting wavelet (Le Gall).  The paper's
+// reference [6] (Dillen et al.) builds a combined line-based architecture
+// for the 5/3 and 9/7 transforms; this module provides the 5/3 companion so
+// the hardware comparison can be reproduced.  Integer-to-integer and exactly
+// invertible:
+//   d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+//   s[i] = x[2i]   + floor((d[i-1] + d[i] + 2) / 4)
+// with whole-sample symmetric boundary extension.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dwt::dsp {
+
+struct LiftSubbands53 {
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+};
+
+[[nodiscard]] LiftSubbands53 lifting53_forward(std::span<const std::int64_t> x);
+
+/// Exact inverse: reconstructs the input bit for bit (lossless).
+[[nodiscard]] std::vector<std::int64_t> lifting53_inverse(
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high);
+
+}  // namespace dwt::dsp

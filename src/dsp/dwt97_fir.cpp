@@ -1,0 +1,156 @@
+#include "dsp/dwt97_fir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::dsp {
+namespace {
+
+void require_even_nonempty(std::size_t n, const char* who) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": signal length must be even and non-zero");
+  }
+}
+
+/// Interleaved-subband sample with WSS mirroring in the upsampled domain.
+/// The low band occupies even positions, the high band odd positions; the
+/// mirror period 2N-2 is even, so mirroring preserves the phase parity.
+template <typename T>
+T interleaved_low(std::span<const T> low, std::ptrdiff_t pos, std::size_t n) {
+  const std::size_t p = mirror_index(pos, n);
+  return (p % 2 == 0) ? low[p / 2] : T{};
+}
+
+template <typename T>
+T interleaved_high(std::span<const T> high, std::ptrdiff_t pos, std::size_t n) {
+  const std::size_t p = mirror_index(pos, n);
+  return (p % 2 == 1) ? high[(p - 1) / 2] : T{};
+}
+
+}  // namespace
+
+FirSubbands fir97_forward(std::span<const double> x) {
+  require_even_nonempty(x.size(), "fir97_forward");
+  const Dwt97FirCoeffs& c = Dwt97FirCoeffs::daubechies97();
+  const std::size_t half = x.size() / 2;
+  FirSubbands out;
+  out.low.resize(half);
+  out.high.resize(half);
+  for (std::size_t n = 0; n < half; ++n) {
+    out.low[n] = fir_at(x, static_cast<std::ptrdiff_t>(2 * n), c.analysis_low);
+    out.high[n] =
+        fir_at(x, static_cast<std::ptrdiff_t>(2 * n + 1), c.analysis_high);
+  }
+  return out;
+}
+
+std::vector<double> fir97_inverse(std::span<const double> low,
+                                  std::span<const double> high) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument("fir97_inverse: subband size mismatch");
+  }
+  const Dwt97FirCoeffs& c = Dwt97FirCoeffs::daubechies97();
+  const std::size_t n = 2 * low.size();
+  require_even_nonempty(n, "fir97_inverse");
+  std::vector<double> x(n);
+  const std::ptrdiff_t cl = static_cast<std::ptrdiff_t>(c.synthesis_low.size()) / 2;
+  const std::ptrdiff_t ch = static_cast<std::ptrdiff_t>(c.synthesis_high.size()) / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < c.synthesis_low.size(); ++t) {
+      const std::ptrdiff_t pos =
+          static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(t) - cl;
+      acc += c.synthesis_low[t] * interleaved_low(low, pos, n);
+    }
+    for (std::size_t t = 0; t < c.synthesis_high.size(); ++t) {
+      const std::ptrdiff_t pos =
+          static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(t) - ch;
+      acc += c.synthesis_high[t] * interleaved_high(high, pos, n);
+    }
+    x[i] = acc;
+  }
+  return x;
+}
+
+FirSubbandsFixed fir97_forward_fixed(std::span<const std::int64_t> x,
+                                     const Dwt97FirFixedCoeffs& coeffs) {
+  require_even_nonempty(x.size(), "fir97_forward_fixed");
+  const std::size_t half = x.size() / 2;
+  FirSubbandsFixed out;
+  out.low.resize(half);
+  out.high.resize(half);
+  for (std::size_t n = 0; n < half; ++n) {
+    out.low[n] = fir_at_fixed(x, static_cast<std::ptrdiff_t>(2 * n),
+                              coeffs.analysis_low, coeffs.frac_bits);
+    out.high[n] = fir_at_fixed(x, static_cast<std::ptrdiff_t>(2 * n + 1),
+                               coeffs.analysis_high, coeffs.frac_bits);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> fir97_inverse_fixed(
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high,
+    const Dwt97FirFixedCoeffs& coeffs) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument("fir97_inverse_fixed: subband size mismatch");
+  }
+  const std::size_t n = 2 * low.size();
+  require_even_nonempty(n, "fir97_inverse_fixed");
+  std::vector<std::int64_t> x(n);
+  const std::ptrdiff_t cl =
+      static_cast<std::ptrdiff_t>(coeffs.synthesis_low.size()) / 2;
+  const std::ptrdiff_t ch =
+      static_cast<std::ptrdiff_t>(coeffs.synthesis_high.size()) / 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t t = 0; t < coeffs.synthesis_low.size(); ++t) {
+      const std::ptrdiff_t pos =
+          static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(t) - cl;
+      acc += coeffs.synthesis_low[t] * interleaved_low(low, pos, n);
+    }
+    for (std::size_t t = 0; t < coeffs.synthesis_high.size(); ++t) {
+      const std::ptrdiff_t pos =
+          static_cast<std::ptrdiff_t>(i) + static_cast<std::ptrdiff_t>(t) - ch;
+      acc += coeffs.synthesis_high[t] * interleaved_high(high, pos, n);
+    }
+    x[i] = acc >> coeffs.frac_bits;
+  }
+  return x;
+}
+
+FirSubbandsFixed fir97_forward_hw(std::span<const std::int64_t> x,
+                                  const Dwt97FirCoeffs& coeffs) {
+  require_even_nonempty(x.size(), "fir97_forward_hw");
+  std::vector<double> xd(x.begin(), x.end());
+  const std::size_t half = x.size() / 2;
+  FirSubbandsFixed out;
+  out.low.resize(half);
+  out.high.resize(half);
+  for (std::size_t n = 0; n < half; ++n) {
+    out.low[n] = static_cast<std::int64_t>(std::floor(
+        fir_at(xd, static_cast<std::ptrdiff_t>(2 * n), coeffs.analysis_low)));
+    out.high[n] = static_cast<std::int64_t>(std::floor(fir_at(
+        xd, static_cast<std::ptrdiff_t>(2 * n + 1), coeffs.analysis_high)));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> fir97_inverse_hw(std::span<const std::int64_t> low,
+                                           std::span<const std::int64_t> high,
+                                           const Dwt97FirCoeffs& coeffs) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument("fir97_inverse_hw: subband size mismatch");
+  }
+  const std::vector<double> lowd(low.begin(), low.end());
+  const std::vector<double> highd(high.begin(), high.end());
+  (void)coeffs;
+  const std::vector<double> xr = fir97_inverse(lowd, highd);
+  std::vector<std::int64_t> out(xr.size());
+  for (std::size_t i = 0; i < xr.size(); ++i) {
+    out[i] = static_cast<std::int64_t>(std::floor(xr[i]));
+  }
+  return out;
+}
+
+}  // namespace dwt::dsp

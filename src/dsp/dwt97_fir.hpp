@@ -1,0 +1,62 @@
+// One-octave 1-D DWT by direct 9/7 FIR filter bank (paper figure 2), in
+// floating point and in integer-rounded fixed point.  Even-length signals
+// with whole-sample symmetric boundary extension.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/fir_filter.hpp"
+
+namespace dwt::dsp {
+
+/// Analysis: x (length N, even) -> low (N/2, at even phase) and
+/// high (N/2, at odd phase).
+struct FirSubbands {
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+struct FirSubbandsFixed {
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+};
+
+[[nodiscard]] FirSubbands fir97_forward(std::span<const double> x);
+[[nodiscard]] std::vector<double> fir97_inverse(std::span<const double> low,
+                                                std::span<const double> high);
+
+/// Fixed-point variants: coefficients scaled by 2^frac_bits and rounded, the
+/// accumulated products truncated back with an arithmetic right shift -- the
+/// "FIR filter by integer rounded 9/7 Daubechies coefficients" method of
+/// paper Table 2.
+[[nodiscard]] FirSubbandsFixed fir97_forward_fixed(
+    std::span<const std::int64_t> x, const Dwt97FirFixedCoeffs& coeffs);
+[[nodiscard]] std::vector<std::int64_t> fir97_inverse_fixed(
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high,
+    const Dwt97FirFixedCoeffs& coeffs);
+
+/// Hardware-style FIR with *full-precision* coefficients: the accumulation
+/// is exact in the reals but each output coefficient is truncated to an
+/// integer, as a datapath with ideal multipliers but integer output
+/// registers behaves.  This is the "FIR filter by floating point 9/7
+/// Daubechies coefficients" method of paper Table 2.
+[[nodiscard]] FirSubbandsFixed fir97_forward_hw(
+    std::span<const std::int64_t> x, const Dwt97FirCoeffs& coeffs);
+[[nodiscard]] std::vector<std::int64_t> fir97_inverse_hw(
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high,
+    const Dwt97FirCoeffs& coeffs);
+
+/// Resource count of the direct-form architecture in paper figure 2
+/// (16 adders, 16 multipliers, 8 delay registers).
+struct FirArchitectureCost {
+  int adders;
+  int multipliers;
+  int delay_registers;
+};
+[[nodiscard]] constexpr FirArchitectureCost fir97_architecture_cost() {
+  return {.adders = 16, .multipliers = 16, .delay_registers = 8};
+}
+
+}  // namespace dwt::dsp

@@ -1,0 +1,89 @@
+#include "dsp/dwt97_lifting.hpp"
+
+#include <stdexcept>
+
+namespace dwt::dsp {
+namespace {
+
+void require_even_nonempty(std::size_t n, const char* who) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": signal length must be even and non-zero");
+  }
+}
+
+// Boundary access derived from whole-sample symmetric extension of the
+// original signal: x[-1] = x[1] implies d[-1] = d[0]; x[N] = x[N-2] implies
+// s[h] = s[h-1].
+double s_at(std::span<const double> s, std::size_t i) {
+  return i < s.size() ? s[i] : s[s.size() - 1];
+}
+double d_before(std::span<const double> d, std::size_t i) {
+  return i == 0 ? d[0] : d[i - 1];
+}
+
+}  // namespace
+
+LiftSubbands lifting97_forward(std::span<const double> x,
+                               const LiftingCoeffs& c) {
+  require_even_nonempty(x.size(), "lifting97_forward");
+  const std::size_t half = x.size() / 2;
+  std::vector<double> s(half);  // even phase
+  std::vector<double> d(half);  // odd phase
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] = x[2 * i];
+    d[i] = x[2 * i + 1];
+  }
+  for (std::size_t i = 0; i < half; ++i)  // predict 1
+    d[i] += c.alpha * (s[i] + s_at(s, i + 1));
+  for (std::size_t i = 0; i < half; ++i)  // update 1
+    s[i] += c.beta * (d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < half; ++i)  // predict 2
+    d[i] += c.gamma * (s[i] + s_at(s, i + 1));
+  for (std::size_t i = 0; i < half; ++i)  // update 2
+    s[i] += c.delta * (d_before(d, i) + d[i]);
+
+  LiftSubbands out;
+  out.low.resize(half);
+  out.high.resize(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    out.low[i] = s[i] / c.k;
+    out.high[i] = -c.k * d[i];
+  }
+  return out;
+}
+
+std::vector<double> lifting97_inverse(std::span<const double> low,
+                                      std::span<const double> high,
+                                      const LiftingCoeffs& c) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument("lifting97_inverse: subband size mismatch");
+  }
+  const std::size_t half = low.size();
+  if (half == 0) throw std::invalid_argument("lifting97_inverse: empty input");
+  std::vector<double> s(half);
+  std::vector<double> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] = low[i] * c.k;
+    d[i] = high[i] / -c.k;
+  }
+  // Inverse lifting steps in reverse order.  Within a step every output
+  // depends only on the *other* phase, so in-place sweeps are exact inverses.
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] -= c.delta * (d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] -= c.gamma * (s[i] + s_at(s, i + 1));
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] -= c.beta * (d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] -= c.alpha * (s[i] + s_at(s, i + 1));
+
+  std::vector<double> x(2 * half);
+  for (std::size_t i = 0; i < half; ++i) {
+    x[2 * i] = s[i];
+    x[2 * i + 1] = d[i];
+  }
+  return x;
+}
+
+}  // namespace dwt::dsp

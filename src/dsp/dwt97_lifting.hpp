@@ -1,0 +1,27 @@
+// One-octave 1-D DWT by the lifting scheme (paper figure 3), floating point.
+// The signal is split into even/odd phases, run through the four lifting
+// steps (predict alpha, update beta, predict gamma, update delta) and scaled:
+// low-pass = even / k, high-pass = -k * odd, matching the paper's datapath.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dsp/lifting_coeffs.hpp"
+
+namespace dwt::dsp {
+
+struct LiftSubbands {
+  std::vector<double> low;
+  std::vector<double> high;
+};
+
+[[nodiscard]] LiftSubbands lifting97_forward(std::span<const double> x,
+                                             const LiftingCoeffs& c =
+                                                 LiftingCoeffs::daubechies97());
+
+[[nodiscard]] std::vector<double> lifting97_inverse(
+    std::span<const double> low, std::span<const double> high,
+    const LiftingCoeffs& c = LiftingCoeffs::daubechies97());
+
+}  // namespace dwt::dsp

@@ -1,0 +1,177 @@
+#include "dsp/dwt97_lifting_fixed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::dsp {
+namespace {
+
+void require_even_nonempty(std::size_t n, const char* who) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": signal length must be even and non-zero");
+  }
+}
+
+std::int64_t s_at(std::span<const std::int64_t> s, std::size_t i) {
+  return i < s.size() ? s[i] : s[s.size() - 1];
+}
+std::int64_t d_before(std::span<const std::int64_t> d, std::size_t i) {
+  return i == 0 ? d[0] : d[i - 1];
+}
+
+}  // namespace
+
+std::int64_t lift_step(std::int64_t target, std::int64_t a, std::int64_t b,
+                       const common::Fixed& coeff) {
+  return target + common::mul_const_truncate(a + b, coeff);
+}
+
+std::int64_t scale_step(std::int64_t value, const common::Fixed& coeff) {
+  return common::mul_const_truncate(value, coeff);
+}
+
+LiftingTrace lifting97_forward_fixed_trace(std::span<const std::int64_t> x,
+                                           const LiftingFixedCoeffs& c) {
+  require_even_nonempty(x.size(), "lifting97_forward_fixed");
+  const std::size_t half = x.size() / 2;
+  LiftingTrace t;
+  t.s0.resize(half);
+  t.d0.resize(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    t.s0[i] = x[2 * i];
+    t.d0[i] = x[2 * i + 1];
+  }
+  t.d1.resize(half);
+  for (std::size_t i = 0; i < half; ++i)
+    t.d1[i] = lift_step(t.d0[i], t.s0[i], s_at(t.s0, i + 1), c.alpha);
+  t.s1.resize(half);
+  for (std::size_t i = 0; i < half; ++i)
+    t.s1[i] = lift_step(t.s0[i], d_before(t.d1, i), t.d1[i], c.beta);
+  t.d2.resize(half);
+  for (std::size_t i = 0; i < half; ++i)
+    t.d2[i] = lift_step(t.d1[i], t.s1[i], s_at(t.s1, i + 1), c.gamma);
+  t.s2.resize(half);
+  for (std::size_t i = 0; i < half; ++i)
+    t.s2[i] = lift_step(t.s1[i], d_before(t.d2, i), t.d2[i], c.delta);
+  t.low.resize(half);
+  t.high.resize(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    t.low[i] = scale_step(t.s2[i], c.inv_k);
+    t.high[i] = scale_step(t.d2[i], c.minus_k);
+  }
+  return t;
+}
+
+LiftSubbandsFixed lifting97_forward_fixed(std::span<const std::int64_t> x,
+                                          const LiftingFixedCoeffs& c) {
+  LiftingTrace t = lifting97_forward_fixed_trace(x, c);
+  return {std::move(t.low), std::move(t.high)};
+}
+
+std::vector<std::int64_t> lifting97_inverse_fixed(
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high,
+    const LiftingFixedCoeffs& c) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument(
+        "lifting97_inverse_fixed: subband size mismatch");
+  }
+  const std::size_t half = low.size();
+  if (half == 0) {
+    throw std::invalid_argument("lifting97_inverse_fixed: empty input");
+  }
+  std::vector<std::int64_t> s(half);
+  std::vector<std::int64_t> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] = scale_step(low[i], c.k);            // undo 1/k (lossy in fixed point)
+    d[i] = scale_step(high[i], c.minus_inv_k); // undo -k  (lossy in fixed point)
+  }
+  // The lifting-step subtractions recompute the identical truncated update
+  // term, so they invert the forward steps exactly; only the k scaling and
+  // the coefficient rounding introduce error.
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] -= common::mul_const_truncate(d_before(d, i) + d[i], c.delta);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] -= common::mul_const_truncate(s[i] + s_at(s, i + 1), c.gamma);
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] -= common::mul_const_truncate(d_before(d, i) + d[i], c.beta);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] -= common::mul_const_truncate(s[i] + s_at(s, i + 1), c.alpha);
+
+  std::vector<std::int64_t> x(2 * half);
+  for (std::size_t i = 0; i < half; ++i) {
+    x[2 * i] = s[i];
+    x[2 * i + 1] = d[i];
+  }
+  return x;
+}
+
+namespace {
+
+std::int64_t floor_mul(double c, std::int64_t v) {
+  return static_cast<std::int64_t>(std::floor(c * static_cast<double>(v)));
+}
+
+}  // namespace
+
+LiftSubbandsFixed lifting97_forward_hw(std::span<const std::int64_t> x,
+                                       const LiftingCoeffs& c) {
+  require_even_nonempty(x.size(), "lifting97_forward_hw");
+  const std::size_t half = x.size() / 2;
+  std::vector<std::int64_t> s(half);
+  std::vector<std::int64_t> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] = x[2 * i];
+    d[i] = x[2 * i + 1];
+  }
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] += floor_mul(c.alpha, s[i] + s_at(s, i + 1));
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] += floor_mul(c.beta, d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] += floor_mul(c.gamma, s[i] + s_at(s, i + 1));
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] += floor_mul(c.delta, d_before(d, i) + d[i]);
+  LiftSubbandsFixed out;
+  out.low.resize(half);
+  out.high.resize(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    out.low[i] = floor_mul(1.0 / c.k, s[i]);
+    out.high[i] = floor_mul(-c.k, d[i]);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> lifting97_inverse_hw(
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high,
+    const LiftingCoeffs& c) {
+  if (low.size() != high.size()) {
+    throw std::invalid_argument("lifting97_inverse_hw: subband size mismatch");
+  }
+  const std::size_t half = low.size();
+  if (half == 0) {
+    throw std::invalid_argument("lifting97_inverse_hw: empty input");
+  }
+  std::vector<std::int64_t> s(half);
+  std::vector<std::int64_t> d(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    s[i] = floor_mul(c.k, low[i]);          // undo 1/k (lossy)
+    d[i] = floor_mul(-1.0 / c.k, high[i]);  // undo -k  (lossy)
+  }
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] -= floor_mul(c.delta, d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] -= floor_mul(c.gamma, s[i] + s_at(s, i + 1));
+  for (std::size_t i = 0; i < half; ++i)
+    s[i] -= floor_mul(c.beta, d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < half; ++i)
+    d[i] -= floor_mul(c.alpha, s[i] + s_at(s, i + 1));
+  std::vector<std::int64_t> x(2 * half);
+  for (std::size_t i = 0; i < half; ++i) {
+    x[2 * i] = s[i];
+    x[2 * i + 1] = d[i];
+  }
+  return x;
+}
+
+}  // namespace dwt::dsp

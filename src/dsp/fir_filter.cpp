@@ -1,0 +1,94 @@
+#include "dsp/fir_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::dsp {
+namespace {
+
+std::int64_t round_scaled(double v, int frac_bits) {
+  const double scaled = v * static_cast<double>(std::int64_t{1} << frac_bits);
+  return static_cast<std::int64_t>(scaled >= 0 ? std::floor(scaled + 0.5)
+                                               : std::ceil(scaled - 0.5));
+}
+
+}  // namespace
+
+const Dwt97FirCoeffs& Dwt97FirCoeffs::daubechies97() {
+  static const Dwt97FirCoeffs c{
+      // 9-tap analysis low-pass h (paper fig. 2: h4..h0..h4).
+      .analysis_low = {0.026748757410810, -0.016864118442875,
+                       -0.078223266528990, 0.266864118442875,
+                       0.602949018236360, 0.266864118442875,
+                       -0.078223266528990, -0.016864118442875,
+                       0.026748757410810},
+      // 7-tap analysis high-pass g (paper fig. 2: g3..g0..g3).
+      .analysis_high = {0.091271763114250, -0.057543526228500,
+                        -0.591271763114250, 1.115087052457000,
+                        -0.591271763114250, -0.057543526228500,
+                        0.091271763114250},
+      // Synthesis filters from the biorthogonal relation
+      // gl(n) = (-1)^n * g~(n), gh(n) = (-1)^n * h~(n).
+      .synthesis_low = {-0.091271763114250, -0.057543526228500,
+                        0.591271763114250, 1.115087052457000,
+                        0.591271763114250, -0.057543526228500,
+                        -0.091271763114250},
+      .synthesis_high = {0.026748757410810, 0.016864118442875,
+                         -0.078223266528990, -0.266864118442875,
+                         0.602949018236360, -0.266864118442875,
+                         -0.078223266528990, 0.016864118442875,
+                         0.026748757410810},
+  };
+  return c;
+}
+
+Dwt97FirFixedCoeffs Dwt97FirFixedCoeffs::rounded(int frac_bits) {
+  const Dwt97FirCoeffs& c = Dwt97FirCoeffs::daubechies97();
+  Dwt97FirFixedCoeffs f{};
+  f.frac_bits = frac_bits;
+  for (std::size_t i = 0; i < c.analysis_low.size(); ++i) {
+    f.analysis_low[i] = round_scaled(c.analysis_low[i], frac_bits);
+    f.synthesis_high[i] = round_scaled(c.synthesis_high[i], frac_bits);
+  }
+  for (std::size_t i = 0; i < c.analysis_high.size(); ++i) {
+    f.analysis_high[i] = round_scaled(c.analysis_high[i], frac_bits);
+    f.synthesis_low[i] = round_scaled(c.synthesis_low[i], frac_bits);
+  }
+  return f;
+}
+
+std::size_t mirror_index(std::ptrdiff_t pos, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("mirror_index: empty signal");
+  if (n == 1) return 0;
+  const std::ptrdiff_t period = 2 * (static_cast<std::ptrdiff_t>(n) - 1);
+  std::ptrdiff_t p = pos % period;
+  if (p < 0) p += period;
+  if (p >= static_cast<std::ptrdiff_t>(n)) p = period - p;
+  return static_cast<std::size_t>(p);
+}
+
+double fir_at(std::span<const double> signal, std::ptrdiff_t pos,
+              std::span<const double> coeffs) {
+  const std::ptrdiff_t center = static_cast<std::ptrdiff_t>(coeffs.size()) / 2;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    const std::ptrdiff_t idx = pos + static_cast<std::ptrdiff_t>(i) - center;
+    acc += coeffs[i] * signal[mirror_index(idx, signal.size())];
+  }
+  return acc;
+}
+
+std::int64_t fir_at_fixed(std::span<const std::int64_t> signal,
+                          std::ptrdiff_t pos,
+                          std::span<const std::int64_t> coeffs,
+                          int frac_bits) {
+  const std::ptrdiff_t center = static_cast<std::ptrdiff_t>(coeffs.size()) / 2;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    const std::ptrdiff_t idx = pos + static_cast<std::ptrdiff_t>(i) - center;
+    acc += coeffs[i] * signal[mirror_index(idx, signal.size())];
+  }
+  return acc >> frac_bits;
+}
+
+}  // namespace dwt::dsp

@@ -1,0 +1,57 @@
+// Direct-form FIR machinery for the 9/7 Daubechies filter bank (paper
+// figure 2): analysis/synthesis coefficient sets, integer-rounded variants,
+// whole-sample symmetric boundary extension, and generic convolution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dwt::dsp {
+
+/// The four 9/7 Daubechies biorthogonal filters in JPEG2000 normalization
+/// (analysis low-pass DC gain 1, synthesis low-pass DC gain 2).
+/// All filters are centered: coefficient index i corresponds to tap offset
+/// i - center().
+struct Dwt97FirCoeffs {
+  std::array<double, 9> analysis_low;
+  std::array<double, 7> analysis_high;
+  std::array<double, 7> synthesis_low;
+  std::array<double, 9> synthesis_high;
+
+  static const Dwt97FirCoeffs& daubechies97();
+};
+
+/// Integer-rounded version of the FIR coefficients (scaled by 2^frac_bits,
+/// rounded to nearest), used by the "FIR filter by integer rounded 9/7
+/// Daubechies coefficients" row of paper Table 2.
+struct Dwt97FirFixedCoeffs {
+  std::array<std::int64_t, 9> analysis_low;
+  std::array<std::int64_t, 7> analysis_high;
+  std::array<std::int64_t, 7> synthesis_low;
+  std::array<std::int64_t, 9> synthesis_high;
+  int frac_bits;
+
+  static Dwt97FirFixedCoeffs rounded(int frac_bits);
+};
+
+/// Whole-sample symmetric (WSS / mirror-without-repeat) extension index:
+/// maps any integer position onto [0, n-1] by reflecting about samples 0 and
+/// n-1, the boundary treatment JPEG2000 prescribes for odd-length filters
+/// ("mirroring the boundaries of the samples", paper section 2).
+[[nodiscard]] std::size_t mirror_index(std::ptrdiff_t pos, std::size_t n);
+
+/// Evaluates a centered FIR filter at position `pos` of `signal` with WSS
+/// extension: sum over taps of coeff[i] * signal[mirror(pos + i - center)].
+[[nodiscard]] double fir_at(std::span<const double> signal, std::ptrdiff_t pos,
+                            std::span<const double> coeffs);
+
+/// Integer variant: products accumulated exactly, then arithmetic right
+/// shift by frac_bits (truncation), matching the paper's hardware adjust.
+[[nodiscard]] std::int64_t fir_at_fixed(std::span<const std::int64_t> signal,
+                                        std::ptrdiff_t pos,
+                                        std::span<const std::int64_t> coeffs,
+                                        int frac_bits);
+
+}  // namespace dwt::dsp

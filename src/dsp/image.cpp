@@ -1,0 +1,141 @@
+#include "dsp/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dwt::dsp {
+
+Image::Image(std::size_t width, std::size_t height, double fill)
+    : width_(width), height_(height), data_(width * height, fill) {}
+
+double& Image::at(std::size_t x, std::size_t y) {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::at");
+  return data_[y * width_ + x];
+}
+
+const double& Image::at(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) throw std::out_of_range("Image::at");
+  return data_[y * width_ + x];
+}
+
+std::vector<double> Image::row(std::size_t y, std::size_t n) const {
+  if (y >= height_ || n > width_) throw std::out_of_range("Image::row");
+  std::vector<double> out(n);
+  for (std::size_t x = 0; x < n; ++x) out[x] = data_[y * width_ + x];
+  return out;
+}
+
+std::vector<double> Image::col(std::size_t x, std::size_t n) const {
+  if (x >= width_ || n > height_) throw std::out_of_range("Image::col");
+  std::vector<double> out(n);
+  for (std::size_t y = 0; y < n; ++y) out[y] = data_[y * width_ + x];
+  return out;
+}
+
+void Image::set_row(std::size_t y, const std::vector<double>& values) {
+  if (y >= height_ || values.size() > width_) {
+    throw std::out_of_range("Image::set_row");
+  }
+  for (std::size_t x = 0; x < values.size(); ++x) {
+    data_[y * width_ + x] = values[x];
+  }
+}
+
+void Image::set_col(std::size_t x, const std::vector<double>& values) {
+  if (x >= width_ || values.size() > height_) {
+    throw std::out_of_range("Image::set_col");
+  }
+  for (std::size_t y = 0; y < values.size(); ++y) {
+    data_[y * width_ + x] = values[y];
+  }
+}
+
+Image Image::crop(std::size_t w, std::size_t h) const {
+  if (w > width_ || h > height_) throw std::out_of_range("Image::crop");
+  Image out(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) out.at(x, y) = at(x, y);
+  }
+  return out;
+}
+
+Image Image::clamped_u8() const {
+  Image out(width_, height_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double v = std::round(data_[i]);
+    out.data()[i] = std::clamp(v, 0.0, 255.0);
+  }
+  return out;
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5" && magic != "P2") {
+    throw std::runtime_error("read_pgm: unsupported PGM magic in " + path);
+  }
+  auto next_token = [&in, &path]() -> long {
+    // Skip whitespace and '#' comment lines between header tokens.
+    while (true) {
+      const int c = in.peek();
+      if (c == '#') {
+        std::string line;
+        std::getline(in, line);
+      } else if (std::isspace(c)) {
+        in.get();
+      } else {
+        break;
+      }
+    }
+    long v = -1;
+    in >> v;
+    if (!in || v < 0) throw std::runtime_error("read_pgm: bad header in " + path);
+    return v;
+  };
+  const long w = next_token();
+  const long h = next_token();
+  const long maxval = next_token();
+  if (maxval <= 0 || maxval > 255) {
+    throw std::runtime_error("read_pgm: only 8-bit PGM supported: " + path);
+  }
+  Image img(static_cast<std::size_t>(w), static_cast<std::size_t>(h));
+  if (magic == "P5") {
+    in.get();  // single whitespace after maxval
+    std::vector<unsigned char> buf(img.data().size());
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (!in) throw std::runtime_error("read_pgm: truncated data in " + path);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      img.data()[i] = static_cast<double>(buf[i]);
+    }
+  } else {
+    for (double& px : img.data()) {
+      long v = 0;
+      in >> v;
+      if (!in) throw std::runtime_error("read_pgm: truncated data in " + path);
+      px = static_cast<double>(v);
+    }
+  }
+  return img;
+}
+
+void write_pgm(const Image& img, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  std::vector<unsigned char> buf(img.data().size());
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    const double v = std::clamp(std::round(img.data()[i]), 0.0, 255.0);
+    buf[i] = static_cast<unsigned char>(v);
+  }
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+}  // namespace dwt::dsp

@@ -1,0 +1,53 @@
+// Minimal grayscale image container with PGM (P5/P2) file I/O, used by the
+// 2-D transforms, the PSNR experiments and the workload generators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dwt::dsp {
+
+/// Row-major grayscale image of doubles.  Pixel values are nominally 0..255
+/// for source images; transform planes hold arbitrary reals.
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, double fill = 0.0);
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] double& at(std::size_t x, std::size_t y);
+  [[nodiscard]] const double& at(std::size_t x, std::size_t y) const;
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// Extracts row y restricted to the first `n` columns.
+  [[nodiscard]] std::vector<double> row(std::size_t y, std::size_t n) const;
+  /// Extracts column x restricted to the first `n` rows.
+  [[nodiscard]] std::vector<double> col(std::size_t x, std::size_t n) const;
+  void set_row(std::size_t y, const std::vector<double>& values);
+  void set_col(std::size_t x, const std::vector<double>& values);
+
+  /// Copies the w x h top-left sub-image (tile extraction).
+  [[nodiscard]] Image crop(std::size_t w, std::size_t h) const;
+
+  /// Clamps all pixels to [0, 255] and rounds to integers (display range).
+  [[nodiscard]] Image clamped_u8() const;
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<double> data_;
+};
+
+/// Reads a binary (P5) or ASCII (P2) 8-bit PGM file.
+[[nodiscard]] Image read_pgm(const std::string& path);
+
+/// Writes a binary (P5) 8-bit PGM file; pixels clamped/rounded to 0..255.
+void write_pgm(const Image& img, const std::string& path);
+
+}  // namespace dwt::dsp

@@ -1,0 +1,50 @@
+#include "dsp/lifting_coeffs.hpp"
+
+namespace dwt::dsp {
+
+const LiftingCoeffs& LiftingCoeffs::daubechies97() {
+  // Full-precision values of the Daubechies/Sweldens factorization; Table 1
+  // of the paper lists the same constants rounded to 9 decimals.
+  static const LiftingCoeffs c{
+      /*alpha=*/-1.5861343420599235,
+      /*beta=*/-0.0529801185729614,
+      /*gamma=*/0.8829110755309333,
+      /*delta=*/0.4435068520439711,
+      /*k=*/1.2301741049140359,
+  };
+  return c;
+}
+
+LiftingFixedCoeffs LiftingFixedCoeffs::rounded(int frac_bits) {
+  using common::Fixed;
+  const LiftingCoeffs& c = LiftingCoeffs::daubechies97();
+  LiftingFixedCoeffs f{
+      .alpha = Fixed::from_double(c.alpha, frac_bits),
+      .beta = Fixed::from_double(c.beta, frac_bits),
+      .gamma = Fixed::from_double(c.gamma, frac_bits),
+      .delta = Fixed::from_double(c.delta, frac_bits),
+      .minus_k = Fixed::from_double(-c.k, frac_bits),
+      .inv_k = Fixed::from_double(1.0 / c.k, frac_bits),
+      .k = Fixed::from_double(c.k, frac_bits),
+      .minus_inv_k = Fixed::from_double(-1.0 / c.k, frac_bits),
+  };
+  return f;
+}
+
+std::array<Table1Row, 6> table1_rows() {
+  const LiftingCoeffs& c = LiftingCoeffs::daubechies97();
+  const LiftingFixedCoeffs f = LiftingFixedCoeffs::rounded(8);
+  auto row = [](std::string name, double v, common::Fixed fx) {
+    return Table1Row{std::move(name), v, fx.raw(), fx.to_binary_string(2)};
+  };
+  return {
+      row("alpha", c.alpha, f.alpha),
+      row("beta", c.beta, f.beta),
+      row("gamma", c.gamma, f.gamma),
+      row("delta", c.delta, f.delta),
+      row("-k", -c.k, f.minus_k),
+      row("1/k", 1.0 / c.k, f.inv_k),
+  };
+}
+
+}  // namespace dwt::dsp

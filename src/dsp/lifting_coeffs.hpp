@@ -1,0 +1,66 @@
+// Lifting-scheme coefficients for the irreversible 9/7 Daubechies wavelet
+// (paper Table 1).  The floating-point values come from the
+// Daubechies/Sweldens factorization of the 9/7 polyphase matrix; the
+// fixed-point values are the integer-rounded n/256 constants the paper's
+// hardware uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/fixed_point.hpp"
+
+namespace dwt::dsp {
+
+/// Floating-point lifting constants.  Sign conventions follow the paper's
+/// figure 3: predict steps use alpha/gamma, update steps use beta/delta, the
+/// low-pass output is scaled by 1/k and the high-pass output by -k.
+struct LiftingCoeffs {
+  double alpha;
+  double beta;
+  double gamma;
+  double delta;
+  double k;
+
+  /// Canonical values of the 9/7 factorization (paper Table 1 lists them
+  /// rounded to 9 decimal places).
+  static const LiftingCoeffs& daubechies97();
+};
+
+/// Integer-rounded lifting constants with `frac_bits` fractional bits
+/// (paper: 8 fractional bits, constants are n/256).
+struct LiftingFixedCoeffs {
+  common::Fixed alpha;
+  common::Fixed beta;
+  common::Fixed gamma;
+  common::Fixed delta;
+  common::Fixed minus_k;  ///< high-pass scale, -k
+  common::Fixed inv_k;    ///< low-pass scale, 1/k
+  // Inverse-transform scale factors (not in the paper's table; required to
+  // undo the output scaling in fixed point).
+  common::Fixed k;            ///< inverse low-pass scale
+  common::Fixed minus_inv_k;  ///< inverse high-pass scale, -1/k
+
+  int frac_bits() const { return alpha.frac_bits(); }
+
+  /// Rounds the floating-point constants to `frac_bits` fractional bits.
+  /// With frac_bits = 8 this reproduces the paper's Table 1 integer column
+  /// (alpha -406, beta -14, gamma 226, delta 114, 1/k 208; for -k correct
+  /// rounding yields -315 where the paper's text column prints -314 but its
+  /// own binary column encodes -315 -- see docs/notes in DESIGN.md).
+  static LiftingFixedCoeffs rounded(int frac_bits);
+};
+
+/// One row of Table 1 for reporting.
+struct Table1Row {
+  std::string name;
+  double floating_value;
+  std::int64_t integer_rounded;  ///< numerator of n/256 (frac_bits = 8)
+  std::string binary;            ///< two's complement, 2 integer bits
+};
+
+/// Regenerates the contents of paper Table 1.
+std::array<Table1Row, 6> table1_rows();
+
+}  // namespace dwt::dsp

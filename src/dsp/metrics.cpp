@@ -1,0 +1,41 @@
+#include "dsp/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dwt::dsp {
+
+double mse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("mse: size mismatch or empty input");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double e = a[i] - b[i];
+    acc += e * e;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+double mse(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("mse: image dimension mismatch");
+  }
+  return mse(std::span<const double>(a.data()),
+             std::span<const double>(b.data()));
+}
+
+double psnr(std::span<const double> a, std::span<const double> b, double peak) {
+  const double e = mse(a, b);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / e);
+}
+
+double psnr(const Image& a, const Image& b, double peak) {
+  const double e = mse(a, b);
+  if (e == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / e);
+}
+
+}  // namespace dwt::dsp

@@ -1,0 +1,52 @@
+#include "dsp/quantizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::dsp {
+
+std::int64_t DeadzoneQuantizer::quantize(double v) const {
+  if (step <= 0) throw std::invalid_argument("DeadzoneQuantizer: step <= 0");
+  const double a = std::floor(std::abs(v) / step);
+  return v < 0 ? -static_cast<std::int64_t>(a) : static_cast<std::int64_t>(a);
+}
+
+double DeadzoneQuantizer::dequantize(std::int64_t q) const {
+  if (q == 0) return 0.0;
+  const double a = (static_cast<double>(std::abs(q)) + 0.5) * step;
+  return q < 0 ? -a : a;
+}
+
+void quantize_plane(Image& plane, int octaves, double base_step) {
+  if (octaves < 1) throw std::invalid_argument("quantize_plane: octaves < 1");
+  const std::size_t w = plane.width();
+  const std::size_t h = plane.height();
+  auto apply = [&plane](const SubbandRect& r, double step) {
+    const DeadzoneQuantizer q{step};
+    for (std::size_t y = r.y0; y < r.y0 + r.h; ++y) {
+      for (std::size_t x = r.x0; x < r.x0 + r.w; ++x) {
+        plane.at(x, y) = q.dequantize(q.quantize(plane.at(x, y)));
+      }
+    }
+  };
+  // Detail bands: coarser octaves carry more perceptual weight, so finer
+  // octaves get a larger step (halving weight per level).
+  for (int o = 1; o <= octaves; ++o) {
+    const double step = base_step * std::pow(2.0, octaves - o);
+    apply(subband_rect(w, h, o, Band::kHL), step);
+    apply(subband_rect(w, h, o, Band::kLH), step);
+    apply(subband_rect(w, h, o, Band::kHH), step);
+  }
+  apply(subband_rect(w, h, octaves, Band::kLL), base_step * 0.5);
+}
+
+double zero_fraction(const Image& plane) {
+  if (plane.empty()) throw std::invalid_argument("zero_fraction: empty plane");
+  std::size_t zeros = 0;
+  for (const double v : plane.data()) {
+    if (v == 0.0) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(plane.data().size());
+}
+
+}  // namespace dwt::dsp

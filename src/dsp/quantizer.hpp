@@ -1,0 +1,33 @@
+// JPEG2000-style scalar deadzone quantizer (extension beyond the paper's
+// core experiments; the paper motivates the DWT by the quantize+code stages
+// that follow it).  Used by the image-compression example to demonstrate the
+// end-to-end lossy pipeline the DWT feeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/dwt2d.hpp"
+#include "dsp/image.hpp"
+
+namespace dwt::dsp {
+
+/// Uniform deadzone quantizer: q = sign(v) * floor(|v| / step).
+struct DeadzoneQuantizer {
+  double step = 1.0;
+
+  [[nodiscard]] std::int64_t quantize(double v) const;
+  /// Midpoint reconstruction: v = sign(q) * (|q| + 0.5) * step, 0 for q = 0.
+  [[nodiscard]] double dequantize(std::int64_t q) const;
+};
+
+/// Per-octave quantization of a transformed plane: the LL band of the final
+/// octave uses `base_step`; each finer octave's detail bands use a step that
+/// doubles per level (a standard resolution-weighted allocation).
+void quantize_plane(Image& plane, int octaves, double base_step);
+
+/// Fraction of coefficients quantized to zero -- the energy-compaction
+/// measure the paper's introduction argues motivates the DWT.
+[[nodiscard]] double zero_fraction(const Image& plane);
+
+}  // namespace dwt::dsp

@@ -1,0 +1,49 @@
+#include "dsp/streaming_lifting.hpp"
+
+namespace dwt::dsp {
+namespace {
+
+std::int64_t trunc_mul(const common::Fixed& c, std::int64_t v) {
+  return common::mul_const_truncate(v, c);
+}
+
+}  // namespace
+
+std::optional<std::pair<std::int64_t, std::int64_t>>
+StreamingLifting97Fixed::push(std::int64_t even, std::int64_t odd) {
+  // Push index t; we complete the lifting ladder for trailing indices using
+  // only already-seen samples:
+  //   d1[t-1] = d0[t-1] + T(alpha, s0[t-1] + s0[t])
+  //   s1[t-1] = s0[t-1] + T(beta,  d1[t-2] + d1[t-1])
+  //   d2[t-2] = d1[t-2] + T(gamma, s1[t-2] + s1[t-1])
+  //   s2[t-2] = s1[t-2] + T(delta, d2[t-3] + d2[t-2])
+  // and emit (low, high)[t-2].  The first two indices of a cold stream are
+  // computed from zero-initialized state; callers prepend mirrored guard
+  // pairs (as the hardware harness does), so payload outputs are exact.
+  const int t = pushed_++;
+  std::optional<std::pair<std::int64_t, std::int64_t>> out;
+
+  if (t >= 1) {
+    const std::int64_t d1 = d0_prev_ + trunc_mul(c_.alpha, s0_prev_ + even);
+    const std::int64_t s1 = s0_prev_ + trunc_mul(c_.beta, d1_prev_ + d1);
+    if (t >= 2) {
+      const std::int64_t d2 = d1_prev_ + trunc_mul(c_.gamma, s1_prev_ + s1);
+      const std::int64_t s2 = s1_prev_ + trunc_mul(c_.delta, d2_prev_ + d2);
+      out = std::make_pair(trunc_mul(c_.inv_k, s2), trunc_mul(c_.minus_k, d2));
+      d2_prev_ = d2;
+    }
+    d1_prev_ = d1;
+    s1_prev_ = s1;
+  }
+  s0_prev_ = even;
+  d0_prev_ = odd;
+  return out;
+}
+
+void StreamingLifting97Fixed::reset() {
+  pushed_ = 0;
+  s0_prev_ = d0_prev_ = 0;
+  d1_prev_ = s1_prev_ = d2_prev_ = 0;
+}
+
+}  // namespace dwt::dsp

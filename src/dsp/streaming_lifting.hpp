@@ -1,0 +1,47 @@
+// Sample-streaming 9/7 lifting state machine: consumes one (even, odd)
+// sample pair per push and emits one (low, high) coefficient pair with a
+// fixed two-pair delay -- the software analog of the hardware cores'
+// streaming semantics, and the per-column engine of the line-based 2-D
+// architecture (paper reference [6]).  Boundary extension is the caller's
+// job (feed mirrored pairs before and after the payload), exactly as the
+// memory controller does for the gate-level cores.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "dsp/lifting_coeffs.hpp"
+
+namespace dwt::dsp {
+
+class StreamingLifting97Fixed {
+ public:
+  explicit StreamingLifting97Fixed(
+      const LiftingFixedCoeffs& coeffs = LiftingFixedCoeffs::rounded(8))
+      : c_(coeffs) {}
+
+  /// Latency in pairs: the (low, high) pair for input pair i is returned by
+  /// the push of pair i + kDelayPairs.
+  static constexpr int kDelayPairs = 2;
+
+  /// Feeds one sample pair; returns the coefficient pair for the input pair
+  /// pushed kDelayPairs earlier (nullopt during warm-up).
+  std::optional<std::pair<std::int64_t, std::int64_t>> push(std::int64_t even,
+                                                            std::int64_t odd);
+
+  /// Forgets all state (start of a new line/column).
+  void reset();
+
+ private:
+  LiftingFixedCoeffs c_;
+  int pushed_ = 0;
+  // Previous input pair (index t-1 relative to the current push t).
+  std::int64_t s0_prev_ = 0, d0_prev_ = 0;
+  // Trailing lifting intermediates (valid after enough pushes):
+  std::int64_t d1_prev_ = 0;  // d1[t-2]
+  std::int64_t s1_prev_ = 0;  // s1[t-2]
+  std::int64_t d2_prev_ = 0;  // d2[t-3]
+};
+
+}  // namespace dwt::dsp

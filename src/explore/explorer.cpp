@@ -1,0 +1,116 @@
+#include "explore/explorer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "dsp/image_gen.hpp"
+#include "hw/stream_runner.hpp"
+#include "rtl/simplify.hpp"
+
+namespace dwt::explore {
+
+Explorer::Explorer(ExplorerOptions options) : options_(std::move(options)) {
+  if (options_.reference_mhz <= 0 || options_.workload_samples < 64 ||
+      options_.workload_samples % 2 != 0) {
+    throw std::invalid_argument("Explorer: bad options");
+  }
+}
+
+std::vector<std::int64_t> Explorer::workload_stream() const {
+  std::vector<std::int64_t> samples;
+  samples.reserve(options_.workload_samples);
+  if (options_.workload == Workload::kStillToneImage) {
+    // Row-major scan of a synthetic still-tone image, DC level shifted to
+    // the signed 8-bit domain the cores consume.
+    const std::size_t width = 128;
+    const std::size_t rows =
+        (options_.workload_samples + width - 1) / width;
+    const dsp::Image img = dsp::make_still_tone_image(width, rows, options_.seed);
+    for (std::size_t y = 0; y < rows; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        if (samples.size() == options_.workload_samples) break;
+        samples.push_back(
+            static_cast<std::int64_t>(std::llround(img.at(x, y))) - 128);
+      }
+    }
+  } else {
+    common::Rng rng(options_.seed);
+    for (std::size_t i = 0; i < options_.workload_samples; ++i) {
+      samples.push_back(rng.uniform(-128, 127));
+    }
+  }
+  return samples;
+}
+
+DesignEvaluation Explorer::evaluate(const hw::DesignSpec& spec) const {
+  DesignEvaluation eval;
+  eval.spec = spec;
+
+  hw::BuiltDatapath built = hw::build_lifting_datapath(spec.config);
+  eval.info = built.info;
+
+  auto simplified =
+      std::make_shared<rtl::Netlist>(rtl::simplify(built.netlist));
+  eval.netlist = simplified;
+
+  // Re-bind the streaming ports on the simplified netlist.
+  hw::BuiltDatapath dp;
+  dp.netlist = rtl::Netlist(*simplified);  // simulation copy (cheap, POD-ish)
+  dp.in_even = dp.netlist.find_input_bus("in_even");
+  dp.in_odd = dp.netlist.find_input_bus("in_odd");
+  dp.out_low = dp.netlist.output("low");
+  dp.out_high = dp.netlist.output("high");
+  dp.info = built.info;
+  dp.config = built.config;
+
+  eval.netlist_stats = rtl::compute_stats(*simplified);
+  eval.mapped = fpga::map_to_apex(*simplified);
+
+  fpga::TimingAnalyzer sta(eval.mapped, options_.device);
+  eval.timing = sta.analyze();
+
+  // Switching activity: stream the workload through the mapped-netlist
+  // unit-delay model (LUT outputs filter cone-internal glitches the way a
+  // real LE does).
+  {
+    fpga::MappedActivitySim sim(eval.mapped);
+    const std::vector<std::int64_t> samples = workload_stream();
+    (void)hw::run_stream_mapped(dp, sim, samples);
+    eval.activity = sim.stats();
+  }
+
+  const fpga::PowerBreakdown pb = fpga::estimate_power(
+      eval.mapped, eval.activity, options_.device, options_.reference_mhz);
+
+  fpga::SynthesisReport& r = eval.report;
+  r.name = spec.name;
+  r.logic_elements = eval.mapped.le_count();
+  r.fmax_mhz = eval.timing.fmax_mhz;
+  r.power_mw = pb.total_mw();
+  r.reference_mhz = options_.reference_mhz;
+  // The paper counts pipeline stages as the input-to-output latency.
+  r.pipeline_stages = eval.info.latency;
+  r.chain_les = eval.mapped.chain_le_count();
+  r.lut_les = eval.mapped.lut_le_count();
+  r.ff_count = eval.mapped.ff_count();
+  r.critical_path_ns = eval.timing.critical_path_ns;
+  r.mean_activity = fpga::mean_activity(eval.mapped, eval.activity);
+  r.power_breakdown = pb;
+  return eval;
+}
+
+std::vector<DesignEvaluation> Explorer::evaluate_all() const {
+  std::vector<DesignEvaluation> out;
+  for (const hw::DesignSpec& spec : hw::all_designs()) {
+    out.push_back(evaluate(spec));
+  }
+  return out;
+}
+
+fpga::PowerBreakdown DesignEvaluation::power_at(
+    double f_mhz, const fpga::ApexDeviceParams& device) const {
+  return fpga::estimate_power(mapped, activity, device, f_mhz);
+}
+
+}  // namespace dwt::explore

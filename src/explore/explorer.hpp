@@ -1,0 +1,67 @@
+// Design-space exploration driver -- the paper's methodology as an API.
+// For each architecture it elaborates the netlist, runs synthesis-style
+// cleanup, maps to APEX logic elements, analyzes timing, streams an
+// image-like workload through the unit-delay simulator to measure switching
+// activity, and estimates power at the Table-3 reference frequency.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fpga/power.hpp"
+#include "fpga/report.hpp"
+#include "fpga/tech_mapper.hpp"
+#include "fpga/timing.hpp"
+#include "hw/designs.hpp"
+#include "rtl/stats.hpp"
+
+namespace dwt::explore {
+
+enum class Workload {
+  kStillToneImage,  ///< rows of the synthetic photograph (paper: Lena tile)
+  kRandomNoise,     ///< uncorrelated samples (pessimistic activity)
+};
+
+struct ExplorerOptions {
+  double reference_mhz = 15.0;        ///< Table 3 power reference frequency
+  std::size_t workload_samples = 2048;///< stream length for activity capture
+  Workload workload = Workload::kStillToneImage;
+  std::uint64_t seed = 2005;
+  fpga::ApexDeviceParams device = fpga::ApexDeviceParams::apex20ke();
+};
+
+struct DesignEvaluation {
+  hw::DesignSpec spec;
+  std::shared_ptr<const rtl::Netlist> netlist;  ///< simplified netlist
+  fpga::MappedNetlist mapped;                   ///< source == netlist.get()
+  rtl::ActivityStats activity;
+  rtl::NetlistStats netlist_stats;
+  fpga::TimingReport timing;
+  fpga::SynthesisReport report;
+  hw::DatapathInfo info;
+
+  /// Power projected to another operating frequency (same activity).
+  [[nodiscard]] fpga::PowerBreakdown power_at(
+      double f_mhz, const fpga::ApexDeviceParams& device) const;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExplorerOptions options = {});
+
+  /// Full evaluation of one architecture.
+  [[nodiscard]] DesignEvaluation evaluate(const hw::DesignSpec& spec) const;
+
+  /// Evaluates the paper's five designs in order.
+  [[nodiscard]] std::vector<DesignEvaluation> evaluate_all() const;
+
+  [[nodiscard]] const ExplorerOptions& options() const { return options_; }
+
+  /// The sample stream used for activity measurement.
+  [[nodiscard]] std::vector<std::int64_t> workload_stream() const;
+
+ private:
+  ExplorerOptions options_;
+};
+
+}  // namespace dwt::explore

@@ -1,0 +1,38 @@
+#include "explore/pareto.hpp"
+
+#include <stdexcept>
+
+namespace dwt::explore {
+
+bool TradeoffPoint::dominates(const TradeoffPoint& other) const {
+  const bool no_worse = area_les <= other.area_les &&
+                        period_ns <= other.period_ns &&
+                        power_mw <= other.power_mw;
+  const bool strictly_better = area_les < other.area_les ||
+                               period_ns < other.period_ns ||
+                               power_mw < other.power_mw;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<TradeoffPoint>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i != j && points[j].dominates(points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+double area_power_per_mhz(const TradeoffPoint& p) {
+  if (p.period_ns <= 0) throw std::invalid_argument("area_power_per_mhz");
+  const double fmax_mhz = 1000.0 / p.period_ns;
+  return p.area_les * p.power_mw / fmax_mhz;
+}
+
+}  // namespace dwt::explore

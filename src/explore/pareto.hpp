@@ -1,0 +1,30 @@
+// Pareto-front analysis over the (area, 1/throughput, power) objective
+// space -- the "trade-off points" language of the paper's comparison with
+// the filter-bank baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dwt::explore {
+
+/// One candidate in the trade-off space.  All three objectives minimize
+/// (throughput enters as its reciprocal via ns-per-sample or 1/fmax).
+struct TradeoffPoint {
+  std::string name;
+  double area_les = 0.0;
+  double period_ns = 0.0;  ///< 1000 / fmax_mhz
+  double power_mw = 0.0;   ///< at the common reference frequency
+
+  [[nodiscard]] bool dominates(const TradeoffPoint& other) const;
+};
+
+/// Indices of the non-dominated points (stable order).
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<TradeoffPoint>& points);
+
+/// Figure-of-merit the paper uses informally: "area-power compromise per
+/// MHz" -- lower is better.
+[[nodiscard]] double area_power_per_mhz(const TradeoffPoint& p);
+
+}  // namespace dwt::explore

@@ -1,0 +1,10 @@
+#include "fpga/device.hpp"
+
+namespace dwt::fpga {
+
+const ApexDeviceParams& ApexDeviceParams::apex20ke() {
+  static const ApexDeviceParams params{};
+  return params;
+}
+
+}  // namespace dwt::fpga

@@ -1,0 +1,53 @@
+// Device model of the Altera APEX 20KE family (paper section 4's target).
+// One logic element (LE) = 4-input LUT + DFF + dedicated fast carry chain.
+// All delays/capacitances live here; they are the *only* calibrated numbers
+// in the reproduction -- every per-design result emerges from the elaborated
+// netlists through the mapper, timing analyzer and power model.
+#pragma once
+
+namespace dwt::fpga {
+
+struct ApexDeviceParams {
+  // --- timing (ns) ---
+  double t_clk_to_q = 0.45;      ///< FF clock-to-output
+  double t_setup = 0.45;         ///< FF setup
+  double t_lut = 0.25;           ///< LUT logic delay
+  /// Interconnect hop between LEs of the same placement cluster (one
+  /// operator's bits stay in one LAB column: fast local lines).
+  double t_route_local = 0.17;
+  /// Interconnect hop between clusters / from registers and ports (MegaLAB
+  /// row/column interconnect -- the slow resource on APEX 20KE).  Charged
+  /// once per operator-to-operator crossing, this is what makes cascades of
+  /// operators between registers slow (designs 1, 2, 4) while one registered
+  /// operator per stage stays fast (designs 3, 5).
+  double t_route_general = 1.90;
+  double t_carry = 0.22;         ///< dedicated carry hop (bit to bit)
+  double t_carry_gen = 0.30;     ///< data input to carry-out inside an LE
+  double t_chain_to_lut = 0.40;  ///< carry-in to the sum LUT of the same LE
+  double t_clock_skew = 0.10;    ///< margin added to every register path
+
+  // --- power ---
+  double v_dd = 1.8;                  ///< APEX 20KE core voltage (V)
+  double c_le_output_pf = 0.05;       ///< intrinsic LE output capacitance (pF)
+  double c_route_per_fanout_pf = 2.1; ///< interconnect capacitance per load (pF)
+  /// Effective capacitance charged per carry transition.  This aggregates
+  /// the dedicated carry line *and* the LE-internal sum/carry logic the
+  /// transition re-evaluates, which is why it exceeds a bare wire's value.
+  double c_carry_pf = 15.0;
+  /// LUT-to-FF connection inside a packed LE (never leaves the cell).
+  double c_packed_internal_pf = 0.05;
+  double c_clock_per_ff_pf = 0.02;    ///< clock network capacitance per FF (pF)
+  double static_mw = 40.0;            ///< quiescent device power (mW)
+  /// Interconnect capacitance growth per ns of arrival time: nets deep in a
+  /// combinational cloud are routed through a larger placed region, so every
+  /// transition charges more metal.  One registered operator per stage keeps
+  /// arrivals (and thus wire capacitance) small -- the second mechanism,
+  /// beside glitch filtering, behind the pipelined designs' power advantage.
+  double c_arrival_slope_per_ns = 0.11;
+
+  /// Calibrated instance (see DESIGN.md: tuned once so design 2 of Table 3
+  /// lands near the published numbers; other designs are predictions).
+  static const ApexDeviceParams& apex20ke();
+};
+
+}  // namespace dwt::fpga

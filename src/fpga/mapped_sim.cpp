@@ -1,0 +1,210 @@
+#include "fpga/mapped_sim.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::fpga {
+namespace {
+
+using rtl::CellKind;
+using rtl::kNullNet;
+using rtl::NetId;
+
+constexpr double kTickNs = 0.05;
+
+std::uint16_t to_ticks(double ns) {
+  const double t = std::ceil(ns / kTickNs);
+  return static_cast<std::uint16_t>(t < 1.0 ? 1.0 : t);
+}
+
+/// Deterministic placement jitter in [0.5, 1.7): every physical route has
+/// its own length after place-and-route.  Skewed arrivals are what make
+/// glitch waves compound through operator cascades.
+double route_jitter(NetId src, std::size_t le) {
+  std::uint64_t z = (static_cast<std::uint64_t>(src) << 32) ^
+                    (static_cast<std::uint64_t>(le) * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return 0.25 + 2.5 * (static_cast<double>(z >> 11) * 0x1.0p-53);
+}
+
+}  // namespace
+
+MappedActivitySim::MappedActivitySim(const MappedNetlist& mapped,
+                                     const ApexDeviceParams& p)
+    : m_(mapped),
+      values_(mapped.source->net_count(), 0),
+      loads_(mapped.source->net_count()),
+      wheel_(kWheelSize) {
+  stats_.toggles.assign(values_.size(), 0);
+  // Pre-compute per-(net, consuming LE) reaction delays, mirroring the
+  // static timing model (local vs general routing by placement cluster).
+  auto producer_cluster = [&](NetId n) -> std::int32_t {
+    const std::int32_t sp = m_.producer[n];
+    if (sp < 0) return -2;  // primary input
+    const LogicElement& sle = m_.les[static_cast<std::size_t>(sp)];
+    if (n == sle.ff_output) return -3;  // register output: general routing
+    return sle.cluster;
+  };
+  for (std::size_t i = 0; i < m_.les.size(); ++i) {
+    const LogicElement& le = m_.les[i];
+    auto route_ns = [&](NetId src) {
+      const std::int32_t pc = producer_cluster(src);
+      const bool local = le.cluster >= 0 && pc == le.cluster;
+      return (local ? p.t_route_local : p.t_route_general) *
+             route_jitter(src, i);
+    };
+    for (const NetId in : le.lut_inputs) {
+      Load load;
+      load.le = static_cast<std::int32_t>(i);
+      load.lut_delay = to_ticks(route_ns(in) + p.t_lut);
+      load.carry_delay =
+          le.carry_out != kNullNet ? to_ticks(route_ns(in) + p.t_carry_gen) : 0;
+      loads_[in].push_back(load);
+    }
+    if (le.carry_in != kNullNet) {
+      Load load;
+      load.le = static_cast<std::int32_t>(i);
+      const bool chained = le.in_chain && le.chain_bit > 0;
+      load.lut_delay = to_ticks(chained ? p.t_chain_to_lut
+                                        : route_ns(le.carry_in) + p.t_lut);
+      load.carry_delay =
+          le.carry_out != kNullNet
+              ? to_ticks(chained ? p.t_carry
+                                 : route_ns(le.carry_in) + p.t_carry_gen)
+              : 0;
+      loads_[le.carry_in].push_back(load);
+    }
+  }
+  // Establish a consistent initial state: constants, then settle every LE
+  // (e.g. LUTs whose function of all-zero inputs is 1 must rest at 1).
+  for (const rtl::Cell& c : m_.source->cells()) {
+    if (c.kind == CellKind::kConst1) values_[c.out] = 1;
+  }
+  now_ = 0;
+  for (std::size_t i = 0; i < m_.les.size(); ++i) {
+    schedule(static_cast<std::int32_t>(i), Out::kLut, 0);
+    if (m_.les[i].carry_out != kNullNet) {
+      schedule(static_cast<std::int32_t>(i), Out::kCarry, 0);
+    }
+  }
+  cycle();  // settles and clocks once from the quiescent state
+  reset_stats();
+}
+
+void MappedActivitySim::set_input(NetId net, bool value) {
+  if (net >= values_.size() || !m_.source->net(net).is_primary_input) {
+    throw std::invalid_argument("MappedActivitySim: not a primary input");
+  }
+  pending_inputs_.emplace_back(net, value ? 1 : 0);
+}
+
+void MappedActivitySim::set_bus(const rtl::Bus& bus, std::int64_t value) {
+  const int w = bus.width();
+  if (w < 64) {
+    const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+    const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+    if (value < lo || value > hi) {
+      throw std::invalid_argument("MappedActivitySim::set_bus: does not fit");
+    }
+  }
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    set_input(bus.bits[i], ((value >> i) & 1) != 0);
+  }
+}
+
+void MappedActivitySim::schedule(std::int32_t le, Out out, std::uint64_t tick) {
+  wheel_[tick % kWheelSize].push_back(Event{le, out});
+  ++pending_events_;
+}
+
+void MappedActivitySim::bump(NetId net, bool new_value, std::uint64_t tick) {
+  const std::uint8_t nv = new_value ? 1 : 0;
+  if (values_[net] == nv) return;
+  values_[net] = nv;
+  ++stats_.toggles[net];
+  ++stats_.total_toggles;
+  for (const Load& load : loads_[net]) {
+    schedule(load.le, Out::kLut, tick + load.lut_delay);
+    if (load.carry_delay != 0) {
+      schedule(load.le, Out::kCarry, tick + load.carry_delay);
+    }
+  }
+}
+
+bool MappedActivitySim::eval_out(const LogicElement& le, Out out) const {
+  if (le.in_chain) {
+    const bool a = !le.lut_inputs.empty() && values_[le.lut_inputs[0]] != 0;
+    const bool b = le.lut_inputs.size() > 1 && values_[le.lut_inputs[1]] != 0;
+    const bool cin = le.carry_in != kNullNet && values_[le.carry_in] != 0;
+    return out == Out::kCarry ? (a && b) || (cin && (a != b))
+                              : (a != b) != cin;
+  }
+  std::uint32_t index = 0;
+  for (std::size_t i = 0; i < le.lut_inputs.size(); ++i) {
+    if (values_[le.lut_inputs[i]] != 0) index |= 1u << i;
+  }
+  return ((le.truth >> index) & 1u) != 0;
+}
+
+void MappedActivitySim::cycle() {
+  auto settle = [this] {
+    const std::uint64_t tick_limit = now_ + (1u << 20);
+    while (pending_events_ > 0) {
+      auto& bucket = wheel_[now_ % kWheelSize];
+      if (!bucket.empty()) {
+        // Evaluate each event against current values; re-toggles reschedule.
+        std::vector<Event> events;
+        events.swap(bucket);
+        pending_events_ -= events.size();
+        for (const Event& ev : events) {
+          const LogicElement& le = m_.les[static_cast<std::size_t>(ev.le)];
+          const NetId out_net =
+              ev.out == Out::kCarry ? le.carry_out : le.lut_output;
+          if (out_net == kNullNet) continue;
+          bump(out_net, eval_out(le, ev.out), now_);
+        }
+      }
+      ++now_;
+      if (now_ > tick_limit) {
+        throw std::logic_error("MappedActivitySim::cycle: failed to settle");
+      }
+    }
+  };
+  // 1. Scheduled input changes propagate first (they are upstream registers
+  //    clocked by the same edge), so FFs can capture this cycle's results --
+  //    matching Simulator::step() semantics.
+  now_ = 0;
+  for (const auto& [net, v] : pending_inputs_) bump(net, v != 0, now_);
+  pending_inputs_.clear();
+  settle();
+  // 2. FFs capture the settled D values; the state change propagates.
+  std::vector<std::pair<NetId, std::uint8_t>> updates;
+  for (const LogicElement& le : m_.les) {
+    if (le.has_ff) updates.emplace_back(le.ff_output, values_[le.ff_d]);
+  }
+  for (const auto& [net, v] : updates) bump(net, v != 0, now_);
+  settle();
+  ++stats_.cycles;
+}
+
+std::int64_t MappedActivitySim::read_bus(const rtl::Bus& bus) const {
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
+  }
+  const int w = bus.width();
+  if (w < 64 && (v & (std::int64_t{1} << (w - 1)))) {
+    v -= std::int64_t{1} << w;
+  }
+  return v;
+}
+
+void MappedActivitySim::reset_stats() {
+  stats_.cycles = 0;
+  stats_.total_toggles = 0;
+  stats_.toggles.assign(values_.size(), 0);
+}
+
+}  // namespace dwt::fpga

@@ -1,0 +1,37 @@
+#include "fpga/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dwt::fpga {
+
+std::string SynthesisReport::to_string() const {
+  std::ostringstream os;
+  os << name << ": " << logic_elements << " LEs (" << chain_les << " chain, "
+     << lut_les << " LUT, " << ff_count << " FF), fmax " << std::fixed
+     << std::setprecision(1) << fmax_mhz << " MHz (crit "
+     << std::setprecision(2) << critical_path_ns << " ns), "
+     << std::setprecision(1) << power_mw << " mW @ " << reference_mhz
+     << " MHz, " << pipeline_stages << " stages, activity "
+     << std::setprecision(3) << mean_activity;
+  return os.str();
+}
+
+std::string format_table3_header() {
+  std::ostringstream os;
+  os << std::left << std::setw(10) << "Design" << std::right << std::setw(12)
+     << "Area (LEs)" << std::setw(14) << "Fmax (MHz)" << std::setw(16)
+     << "Power@ref (mW)" << std::setw(10) << "Stages";
+  return os.str();
+}
+
+std::string format_table3_row(const SynthesisReport& r) {
+  std::ostringstream os;
+  os << std::left << std::setw(10) << r.name << std::right << std::setw(12)
+     << r.logic_elements << std::setw(14) << std::fixed << std::setprecision(1)
+     << r.fmax_mhz << std::setw(16) << std::setprecision(1) << r.power_mw
+     << std::setw(10) << r.pipeline_stages;
+  return os.str();
+}
+
+}  // namespace dwt::fpga

@@ -1,0 +1,36 @@
+// Aggregate synthesis report for one architecture: the four quantities of
+// paper Table 3 (area in LEs, maximum operating frequency, power at a
+// reference frequency, pipeline stages) plus diagnostic detail.
+#pragma once
+
+#include <string>
+
+#include "fpga/power.hpp"
+#include "fpga/tech_mapper.hpp"
+#include "fpga/timing.hpp"
+
+namespace dwt::fpga {
+
+struct SynthesisReport {
+  std::string name;
+  std::size_t logic_elements = 0;
+  double fmax_mhz = 0.0;
+  double power_mw = 0.0;          ///< at reference_mhz
+  double reference_mhz = 0.0;
+  int pipeline_stages = 0;
+  // Diagnostics:
+  std::size_t chain_les = 0;
+  std::size_t lut_les = 0;
+  std::size_t ff_count = 0;
+  double critical_path_ns = 0.0;
+  double mean_activity = 0.0;     ///< transitions per net per cycle
+  PowerBreakdown power_breakdown;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Fixed-width table formatting used by the Table-3 style benches.
+[[nodiscard]] std::string format_table3_header();
+[[nodiscard]] std::string format_table3_row(const SynthesisReport& r);
+
+}  // namespace dwt::fpga

@@ -1,0 +1,369 @@
+#include "fpga/tech_mapper.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dwt::fpga {
+namespace {
+
+using rtl::Cell;
+using rtl::CellId;
+using rtl::CellKind;
+using rtl::kNullCell;
+using rtl::kNullNet;
+using rtl::Netlist;
+using rtl::NetId;
+
+constexpr std::size_t kLutInputs = 4;
+
+bool is_const(const Netlist& nl, NetId n) {
+  const CellId d = nl.net(n).driver;
+  if (d == kNullCell) return false;
+  const CellKind k = nl.cell(d).kind;
+  return k == CellKind::kConst0 || k == CellKind::kConst1;
+}
+
+bool const_value(const Netlist& nl, NetId n) {
+  return nl.cell(nl.net(n).driver).kind == CellKind::kConst1;
+}
+
+/// True when the net is produced by plain combinational logic that a LUT
+/// cone may absorb (not a register, input, constant or chain adder bit).
+bool is_absorbable(const Netlist& nl, NetId n) {
+  if (nl.net(n).is_primary_input) return false;
+  const CellId d = nl.net(n).driver;
+  if (d == kNullCell) return false;
+  switch (nl.cell(d).kind) {
+    case CellKind::kNot:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+    case CellKind::kMux2:
+      return true;
+    case CellKind::kAddSum:
+    case CellKind::kAddCarry:
+      return nl.cell(d).chain_id < 0;  // untagged adder bits are plain LUTs
+    default:
+      return false;
+  }
+}
+
+/// Finds the best <=4-input cone rooted at `root_cell` by bounded search
+/// over reachable leaf sets (duplication allowed).  The cost of a cut is the
+/// number of absorbable fanout-1 leaves it keeps: such a leaf would become a
+/// single-use LUT root, pure duplication waste (the classic failure is
+/// splitting a full adder's carry cone into its AND/OR parts).  Ties prefer
+/// deeper absorption.
+std::vector<NetId> grow_cone(const Netlist& nl, CellId root_cell,
+                             const std::vector<std::uint32_t>& fanout) {
+  const auto inputs_of = [&nl](CellId cell) {
+    std::vector<NetId> ins;
+    const Cell& c = nl.cell(cell);
+    for (int i = 0; i < input_count(c.kind); ++i) {
+      const NetId in = c.in[static_cast<std::size_t>(i)];
+      if (!is_const(nl, in) &&
+          std::find(ins.begin(), ins.end(), in) == ins.end()) {
+        ins.push_back(in);
+      }
+    }
+    return ins;
+  };
+  const auto score = [&](const std::vector<NetId>& leaves) {
+    // Every absorbable leaf this cut keeps will have to exist physically as
+    // its own LUT root; single-load ones are pure duplication waste.
+    int absorbable = 0;
+    int single_use = 0;
+    for (const NetId n : leaves) {
+      if (is_absorbable(nl, n)) {
+        ++absorbable;
+        if (fanout[n] <= 1) ++single_use;
+      }
+    }
+    return std::tuple<int, int, int>(absorbable, single_use,
+                                     -static_cast<int>(leaves.size()));
+  };
+
+  std::vector<NetId> start = inputs_of(root_cell);
+  std::sort(start.begin(), start.end());
+  std::set<std::vector<NetId>> visited{start};
+  std::deque<std::vector<NetId>> queue{start};
+  std::vector<NetId> best = start;
+  auto best_score = score(start);
+  constexpr std::size_t kSearchCap = 512;
+
+  while (!queue.empty() && visited.size() < kSearchCap) {
+    const std::vector<NetId> leaves = queue.front();
+    queue.pop_front();
+    for (const NetId leaf : leaves) {
+      if (!is_absorbable(nl, leaf)) continue;
+      std::vector<NetId> candidate;
+      for (const NetId n : leaves) {
+        if (n != leaf) candidate.push_back(n);
+      }
+      for (const NetId in : inputs_of(nl.net(leaf).driver)) {
+        if (std::find(candidate.begin(), candidate.end(), in) ==
+            candidate.end()) {
+          candidate.push_back(in);
+        }
+      }
+      if (candidate.size() > kLutInputs) continue;
+      std::sort(candidate.begin(), candidate.end());
+      if (!visited.insert(candidate).second) continue;
+      const auto s = score(candidate);
+      if (s < best_score) {
+        best_score = s;
+        best = candidate;
+      }
+      queue.push_back(std::move(candidate));
+    }
+  }
+  if (best.size() > kLutInputs) {
+    throw std::logic_error("tech_mapper: cell with more than 4 live inputs");
+  }
+  return best;
+}
+
+/// Evaluates the cone function for one assignment of the leaves.
+bool eval_cone(const Netlist& nl, NetId net, const std::vector<NetId>& leaves,
+               std::uint32_t assignment,
+               std::unordered_map<NetId, bool>& memo) {
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    if (leaves[i] == net) return ((assignment >> i) & 1) != 0;
+  }
+  if (is_const(nl, net)) return const_value(nl, net);
+  const auto it = memo.find(net);
+  if (it != memo.end()) return it->second;
+  const Cell& c = nl.cell(nl.net(net).driver);
+  const auto in = [&](int i) {
+    return eval_cone(nl, c.in[static_cast<std::size_t>(i)], leaves, assignment,
+                     memo);
+  };
+  bool v = false;
+  switch (c.kind) {
+    case CellKind::kNot: v = !in(0); break;
+    case CellKind::kAnd2: v = in(0) && in(1); break;
+    case CellKind::kOr2: v = in(0) || in(1); break;
+    case CellKind::kXor2: v = in(0) != in(1); break;
+    case CellKind::kMux2: v = in(2) ? in(1) : in(0); break;
+    case CellKind::kAddSum: v = (in(0) != in(1)) != in(2); break;
+    case CellKind::kAddCarry:
+      v = (in(0) && in(1)) || (in(2) && (in(0) != in(1)));
+      break;
+    default:
+      throw std::logic_error("tech_mapper: non-combinational cell in cone");
+  }
+  memo.emplace(net, v);
+  return v;
+}
+
+std::uint16_t cone_truth(const Netlist& nl, NetId root,
+                         const std::vector<NetId>& leaves) {
+  std::uint16_t truth = 0;
+  const std::uint32_t combos = 1u << leaves.size();
+  for (std::uint32_t a = 0; a < combos; ++a) {
+    std::unordered_map<NetId, bool> memo;
+    if (eval_cone(nl, root, leaves, a, memo)) {
+      truth = static_cast<std::uint16_t>(truth | (1u << a));
+    }
+  }
+  return truth;
+}
+
+/// Nets transitively reachable (backwards) from the output ports: everything
+/// else is dead logic a synthesis tool sweeps away (e.g. the high-order sum
+/// bits above the paper's section-3.1 register clamps).
+std::vector<std::uint8_t> live_nets(const Netlist& nl) {
+  std::vector<std::uint8_t> live(nl.net_count(), 0);
+  std::vector<NetId> stack;
+  for (const auto& [name, bus] : nl.outputs()) {
+    (void)name;
+    for (const NetId b : bus.bits) stack.push_back(b);
+  }
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    if (live[n]) continue;
+    live[n] = 1;
+    const CellId d = nl.net(n).driver;
+    if (d == kNullCell) continue;
+    const Cell& c = nl.cell(d);
+    for (int i = 0; i < input_count(c.kind); ++i) {
+      stack.push_back(c.in[static_cast<std::size_t>(i)]);
+    }
+  }
+  return live;
+}
+
+}  // namespace
+
+std::size_t MappedNetlist::ff_count() const {
+  std::size_t n = 0;
+  for (const LogicElement& le : les) {
+    if (le.has_ff) ++n;
+  }
+  return n;
+}
+
+std::size_t MappedNetlist::chain_le_count() const {
+  std::size_t n = 0;
+  for (const LogicElement& le : les) {
+    if (le.in_chain) ++n;
+  }
+  return n;
+}
+
+std::size_t MappedNetlist::lut_le_count() const {
+  std::size_t n = 0;
+  for (const LogicElement& le : les) {
+    if (!le.in_chain && le.lut_output != kNullNet) ++n;
+  }
+  return n;
+}
+
+MappedNetlist map_to_apex(const Netlist& nl) {
+  nl.validate();
+  MappedNetlist out;
+  out.source = &nl;
+  out.producer.assign(nl.net_count(), -1);
+  const std::vector<std::uint8_t> live = live_nets(nl);
+  // Logical fanout (cell loads + output ports), used by the cone search.
+  std::vector<std::uint32_t> logical_fanout = nl.fanout_counts();
+  for (const auto& [oname, obus] : nl.outputs()) {
+    (void)oname;
+    for (const NetId bnet : obus.bits) ++logical_fanout[bnet];
+  }
+
+  auto emit = [&out](LogicElement le) -> std::int32_t {
+    out.les.push_back(std::move(le));
+    const auto idx = static_cast<std::int32_t>(out.les.size() - 1);
+    const LogicElement& e = out.les.back();
+    if (e.lut_output != kNullNet) out.producer[e.lut_output] = idx;
+    if (e.carry_out != kNullNet) out.producer[e.carry_out] = idx;
+    if (e.ff_output != kNullNet) out.producer[e.ff_output] = idx;
+    return idx;
+  };
+
+  // --- 1. carry-chain LEs: pair each live chain bit's sum/carry cells. ---
+  struct BitCells {
+    CellId sum = kNullCell;
+    CellId carry = kNullCell;
+  };
+  std::map<std::int32_t, std::map<std::int32_t, BitCells>> chains;
+  for (CellId id = 0; id < nl.cells().size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.chain_id < 0 || !live[c.out]) continue;
+    auto& slot = chains[c.chain_id][c.chain_bit];
+    if (c.kind == CellKind::kAddSum) {
+      slot.sum = id;
+    } else {
+      slot.carry = id;
+    }
+  }
+  std::vector<NetId> sink_queue;  // nets that must exist physically
+  for (auto& [chain_id, bits] : chains) {
+    (void)chain_id;
+    for (auto& [bit, pair] : bits) {
+      const CellId sum_id = pair.sum;
+      if (sum_id == kNullCell && pair.carry == kNullCell) continue;
+      // A bit may have only a sum cell (the MSB has no carry out) or only a
+      // live carry cell (sum clamped away).
+      const Cell& ref = nl.cell(sum_id != kNullCell ? sum_id : pair.carry);
+      LogicElement le;
+      le.in_chain = true;
+      le.chain_id = ref.chain_id;
+      le.chain_bit = bit;
+      le.cluster = ref.cluster_id;
+      le.lut_inputs = {ref.in[0], ref.in[1]};
+      le.carry_in = ref.in[2];
+      if (sum_id != kNullCell) le.lut_output = nl.cell(sum_id).out;
+      if (pair.carry != kNullCell) le.carry_out = nl.cell(pair.carry).out;
+      emit(std::move(le));
+      for (const NetId d : {ref.in[0], ref.in[1]}) {
+        if (!is_const(nl, d)) sink_queue.push_back(d);
+      }
+      // The chain entry carry-in is a general signal only at bit 0.
+      if (bit == 0 && !is_const(nl, ref.in[2])) {
+        sink_queue.push_back(ref.in[2]);
+      }
+    }
+  }
+
+  // --- 2. collect the other physical sinks: DFF D pins and output ports ---
+  std::vector<CellId> dff_cells;
+  for (CellId id = 0; id < nl.cells().size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kDff && live[c.out]) {
+      dff_cells.push_back(id);
+      if (!is_const(nl, c.in[0])) sink_queue.push_back(c.in[0]);
+    }
+  }
+  for (const auto& [name, bus] : nl.outputs()) {
+    (void)name;
+    for (const NetId b : bus.bits) {
+      if (!is_const(nl, b)) sink_queue.push_back(b);
+    }
+  }
+
+  // --- 3. LUT-cone covering (with duplication) from the sinks down. ---
+  std::vector<std::uint8_t> is_root(nl.net_count(), 0);
+  std::deque<NetId> work(sink_queue.begin(), sink_queue.end());
+  while (!work.empty()) {
+    const NetId n = work.front();
+    work.pop_front();
+    if (is_root[n]) continue;
+    if (!is_absorbable(nl, n)) continue;  // PI, FF output or chain output
+    is_root[n] = 1;
+    LogicElement le;
+    le.lut_output = n;
+    le.cluster = nl.cell(nl.net(n).driver).cluster_id;
+    le.lut_inputs = grow_cone(nl, nl.net(n).driver, logical_fanout);
+    le.truth = cone_truth(nl, n, le.lut_inputs);
+    for (const NetId leaf : le.lut_inputs) work.push_back(leaf);
+    emit(std::move(le));
+  }
+
+  // --- 4. FF packing: a DFF merges into the LE whose LUT feeds only it. ---
+  // Physical fanout first (loads on produced nets among LEs + outputs).
+  out.fanout.assign(nl.net_count(), 0);
+  for (const LogicElement& le : out.les) {
+    for (const NetId in : le.lut_inputs) ++out.fanout[in];
+    if (le.in_chain && le.chain_bit == 0 && le.carry_in != kNullNet &&
+        !is_const(nl, le.carry_in)) {
+      ++out.fanout[le.carry_in];
+    }
+  }
+  for (const CellId id : dff_cells) ++out.fanout[nl.cell(id).in[0]];
+  for (const auto& [name, bus] : nl.outputs()) {
+    (void)name;
+    for (const NetId b : bus.bits) ++out.fanout[b];
+  }
+
+  for (const CellId id : dff_cells) {
+    const Cell& c = nl.cell(id);
+    const NetId d = c.in[0];
+    const std::int32_t prod = is_const(nl, d) ? -1 : out.producer[d];
+    if (prod >= 0 && out.fanout[d] == 1 &&
+        !out.les[static_cast<std::size_t>(prod)].has_ff &&
+        out.les[static_cast<std::size_t>(prod)].lut_output == d) {
+      LogicElement& le = out.les[static_cast<std::size_t>(prod)];
+      le.has_ff = true;
+      le.ff_output = c.out;
+      le.ff_d = d;
+      out.producer[c.out] = prod;
+    } else {
+      LogicElement le;
+      le.has_ff = true;
+      le.ff_output = c.out;
+      le.ff_d = d;
+      le.lut_inputs = {};  // pass-through LE used as a register
+      emit(std::move(le));
+    }
+  }
+  return out;
+}
+
+}  // namespace dwt::fpga

@@ -1,0 +1,60 @@
+// Technology mapper onto APEX 20KE logic elements.
+//
+// Mapping rules (the same mechanisms the paper credits for its area results):
+//  * Behavioral carry-chain adder bits (kAddSum/kAddCarry pairs tagged with a
+//    chain id) map one bit per LE using the dedicated fast carry chain, so an
+//    8-bit adder costs 8 LEs (paper: design 2).
+//  * All other combinational logic is covered by 4-input LUT cones with
+//    duplication (a structural full adder costs 2 LEs per bit: one sum LUT,
+//    one carry LUT -- paper: design 4's 16 LEs per 8-bit adder).
+//  * A DFF packs for free into the LE whose LUT drives it when that LUT
+//    output has no other load; otherwise the DFF occupies its own LE.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::fpga {
+
+struct LogicElement {
+  /// Physical leaf nets feeding the LUT (empty for pure-FF or chain LEs).
+  std::vector<rtl::NetId> lut_inputs;
+  rtl::NetId lut_output = rtl::kNullNet;  ///< net computed by the LUT
+  /// LUT truth table over lut_inputs (bit i of the index = value of
+  /// lut_inputs[i]); unused for chain LEs, whose function is fixed.
+  std::uint16_t truth = 0;
+  bool has_ff = false;
+  rtl::NetId ff_output = rtl::kNullNet;
+  rtl::NetId ff_d = rtl::kNullNet;  ///< net the FF samples
+  // Carry-chain use:
+  bool in_chain = false;
+  rtl::NetId carry_in = rtl::kNullNet;
+  rtl::NetId carry_out = rtl::kNullNet;
+  std::int32_t chain_id = -1;
+  std::int32_t chain_bit = -1;
+  /// Placement cluster inherited from the source cells (-1 = unclustered).
+  std::int32_t cluster = -1;
+};
+
+struct MappedNetlist {
+  const rtl::Netlist* source = nullptr;
+  std::vector<LogicElement> les;
+  /// For each net: index of the LE producing it (-1 for primary inputs,
+  /// constants and logically-absorbed internal nets).
+  std::vector<std::int32_t> producer;
+  /// Physical fanout of each produced net (loads among LEs and outputs).
+  std::vector<std::uint32_t> fanout;
+
+  [[nodiscard]] std::size_t le_count() const { return les.size(); }
+  [[nodiscard]] std::size_t ff_count() const;
+  [[nodiscard]] std::size_t chain_le_count() const;
+  [[nodiscard]] std::size_t lut_le_count() const;
+};
+
+/// Maps `nl` onto logic elements.  Throws std::logic_error if the netlist
+/// fails validation.
+[[nodiscard]] MappedNetlist map_to_apex(const rtl::Netlist& nl);
+
+}  // namespace dwt::fpga

@@ -1,0 +1,173 @@
+#include "fpga/timing.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dwt::fpga {
+namespace {
+
+using rtl::Cell;
+using rtl::CellId;
+using rtl::CellKind;
+using rtl::kNullCell;
+using rtl::kNullNet;
+using rtl::NetId;
+
+bool is_const_net(const rtl::Netlist& nl, NetId n) {
+  const CellId d = nl.net(n).driver;
+  if (d == kNullCell) return false;
+  const CellKind k = nl.cell(d).kind;
+  return k == CellKind::kConst0 || k == CellKind::kConst1;
+}
+
+}  // namespace
+
+TimingAnalyzer::TimingAnalyzer(const MappedNetlist& mapped,
+                               const ApexDeviceParams& params)
+    : m_(mapped), p_(params) {
+  const std::size_t n = m_.source->net_count();
+  arrival_.assign(n, -1.0);
+  pred_.assign(n, kNullNet);
+  on_stack_.assign(n, 0);
+}
+
+double TimingAnalyzer::arrival(rtl::NetId net) { return compute_arrival(net); }
+
+double TimingAnalyzer::compute_arrival(NetId net) {
+  if (arrival_[net] >= 0.0) return arrival_[net];
+  const rtl::Netlist& nl = *m_.source;
+  if (nl.net(net).is_primary_input || is_const_net(nl, net)) {
+    return arrival_[net] = 0.0;
+  }
+  if (on_stack_[net]) {
+    throw std::logic_error("TimingAnalyzer: combinational loop at net " +
+                           std::to_string(net));
+  }
+  const std::int32_t prod = m_.producer[net];
+  if (prod < 0) {
+    throw std::logic_error("TimingAnalyzer: query on absorbed net " +
+                           std::to_string(net));
+  }
+  on_stack_[net] = 1;
+  const LogicElement& le = m_.les[static_cast<std::size_t>(prod)];
+  double best = 0.0;
+  NetId best_pred = kNullNet;
+
+  // Routing cost into this LE: local when the driving LE belongs to the
+  // same placement cluster, general interconnect otherwise (registers,
+  // ports and other operators).
+  auto route_in = [&](NetId src) {
+    const std::int32_t sp = m_.producer[src];
+    if (sp < 0) return p_.t_route_general;  // primary input
+    const LogicElement& sle = m_.les[static_cast<std::size_t>(sp)];
+    const bool same_cluster =
+        le.cluster >= 0 && sle.cluster == le.cluster && src != sle.ff_output;
+    return same_cluster ? p_.t_route_local : p_.t_route_general;
+  };
+  auto consider = [&](NetId src, double delay) {
+    if (src == kNullNet || is_const_net(nl, src)) return;
+    const double t = compute_arrival(src) + delay;
+    if (t > best) {
+      best = t;
+      best_pred = src;
+    }
+  };
+
+  if (net == le.ff_output) {
+    arrival_[net] = p_.t_clk_to_q;
+    on_stack_[net] = 0;
+    return arrival_[net];
+  }
+  const bool carry_in_is_chained =
+      le.in_chain && le.carry_in != kNullNet && le.chain_bit > 0;
+  if (net == le.lut_output) {
+    for (const NetId in : le.lut_inputs) {
+      consider(in, route_in(in) + p_.t_lut);
+    }
+    if (le.in_chain && le.carry_in != kNullNet) {
+      consider(le.carry_in, carry_in_is_chained ? p_.t_chain_to_lut
+                                                : route_in(le.carry_in) + p_.t_lut);
+    }
+  } else if (net == le.carry_out) {
+    for (const NetId in : le.lut_inputs) {
+      consider(in, route_in(in) + p_.t_carry_gen);
+    }
+    if (le.carry_in != kNullNet) {
+      consider(le.carry_in, carry_in_is_chained
+                                ? p_.t_carry
+                                : route_in(le.carry_in) + p_.t_carry_gen);
+    }
+  } else {
+    throw std::logic_error("TimingAnalyzer: net not produced by its LE");
+  }
+  on_stack_[net] = 0;
+  pred_[net] = best_pred;
+  return arrival_[net] = best;
+}
+
+TimingReport TimingAnalyzer::analyze() {
+  const rtl::Netlist& nl = *m_.source;
+  TimingReport report;
+  double worst = 0.0;
+  NetId worst_net = kNullNet;
+
+  // Endpoints: every FF D pin (the LE's lut_output when packed, or the raw
+  // D net for standalone FFs) plus every output port (with routing out).
+  for (const LogicElement& le : m_.les) {
+    if (!le.has_ff) continue;
+    // Find the D net: packed FF samples the LE's own LUT; a standalone FF
+    // samples whatever drives it in the source netlist.
+    NetId d = kNullNet;
+    double extra_route = 0.0;
+    if (le.lut_output != kNullNet) {
+      d = le.lut_output;
+    } else {
+      d = le.ff_d;
+      extra_route = p_.t_route_general;
+    }
+    if (is_const_net(nl, d)) continue;
+    const double t =
+        compute_arrival(d) + extra_route + p_.t_setup + p_.t_clock_skew;
+    if (t > worst) {
+      worst = t;
+      worst_net = d;
+    }
+  }
+  for (const auto& [name, bus] : nl.outputs()) {
+    (void)name;
+    for (const NetId b : bus.bits) {
+      if (is_const_net(nl, b)) continue;
+      const double t = compute_arrival(b) + p_.t_route_general + p_.t_setup;
+      if (t > worst) {
+        worst = t;
+        worst_net = b;
+      }
+    }
+  }
+  report.critical_path_ns = worst;
+  report.fmax_mhz = worst > 0.0 ? 1000.0 / worst : 0.0;
+  report.worst_endpoint = worst_net;
+  for (NetId n = worst_net; n != kNullNet; n = pred_[n]) {
+    report.critical_path.push_back(n);
+    if (report.critical_path.size() > m_.source->net_count()) {
+      throw std::logic_error("TimingAnalyzer: path trace loop");
+    }
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+std::string TimingReport::to_string(const rtl::Netlist& nl) const {
+  std::ostringstream os;
+  os << "critical path " << critical_path_ns << " ns  (fmax " << fmax_mhz
+     << " MHz), " << critical_path.size() << " nets";
+  if (worst_endpoint != kNullNet) {
+    os << ", endpoint " << (nl.net(worst_endpoint).name.empty()
+                                ? "n" + std::to_string(worst_endpoint)
+                                : nl.net(worst_endpoint).name);
+  }
+  return os.str();
+}
+
+}  // namespace dwt::fpga

@@ -1,0 +1,47 @@
+// Static timing analysis over a mapped netlist.  Register-to-register (and
+// port-to-register) paths accumulate LUT, routing and carry-chain delays per
+// the APEX device parameters; f_max = 1 / critical path.  The carry chain is
+// the mechanism behind the paper's behavioral-vs-structural frequency gap:
+// behavioral adders ripple at t_carry per bit on the dedicated chain, while
+// structural full adders ripple through general LUTs and routing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "fpga/tech_mapper.hpp"
+
+namespace dwt::fpga {
+
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;
+  rtl::NetId worst_endpoint = rtl::kNullNet;  ///< D net of the worst FF path
+  std::vector<rtl::NetId> critical_path;      ///< source-to-endpoint net trace
+
+  [[nodiscard]] std::string to_string(const rtl::Netlist& nl) const;
+};
+
+class TimingAnalyzer {
+ public:
+  TimingAnalyzer(const MappedNetlist& mapped, const ApexDeviceParams& params);
+
+  /// Runs the analysis (arrival-time propagation + worst endpoint search).
+  [[nodiscard]] TimingReport analyze();
+
+  /// Arrival time (ns after clock edge) of a physical net; for inspection
+  /// and the stage-level pipelining figure.
+  [[nodiscard]] double arrival(rtl::NetId net);
+
+ private:
+  double compute_arrival(rtl::NetId net);
+
+  const MappedNetlist& m_;
+  const ApexDeviceParams& p_;
+  std::vector<double> arrival_;     // -1 = not computed
+  std::vector<rtl::NetId> pred_;    // worst-case predecessor for path trace
+  std::vector<std::uint8_t> on_stack_;
+};
+
+}  // namespace dwt::fpga

@@ -1,0 +1,88 @@
+#include "hw/bitwidth_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/dwt97_lifting_fixed.hpp"
+
+namespace dwt::hw {
+namespace {
+
+using common::Interval;
+
+Interval mul_truncate(const Interval& x, const common::Fixed& k) {
+  return common::asr(x * k.raw(), k.frac_bits());
+}
+
+Interval observed_range(std::span<const std::int64_t> v) {
+  if (v.empty()) throw std::invalid_argument("observed_range: empty");
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  return {*lo, *hi};
+}
+
+}  // namespace
+
+std::vector<StageRange> interval_stage_ranges(
+    int input_bits, const dsp::LiftingFixedCoeffs& c) {
+  const Interval in = Interval::signed_bits(input_bits);
+  const Interval d1 = in + mul_truncate(in + in, c.alpha);
+  const Interval s1 = in + mul_truncate(d1 + d1, c.beta);
+  const Interval d2 = d1 + mul_truncate(s1 + s1, c.gamma);
+  const Interval s2 = s1 + mul_truncate(d2 + d2, c.delta);
+  const Interval low = mul_truncate(s2, c.inv_k);
+  const Interval high = mul_truncate(d2, c.minus_k);
+  auto entry = [](std::string name, Interval r) {
+    return StageRange{std::move(name), r, r.min_signed_bits()};
+  };
+  return {
+      entry("input", in),
+      entry("d1_after_alpha", d1),
+      entry("s1_after_beta", s1),
+      entry("d2_after_gamma", d2),
+      entry("s2_after_delta", s2),
+      entry("low_output", low),
+      entry("high_output", high),
+  };
+}
+
+std::vector<StageRange> observed_stage_ranges(
+    std::span<const std::int64_t> samples, const dsp::LiftingFixedCoeffs& c) {
+  const dsp::LiftingTrace t = dsp::lifting97_forward_fixed_trace(samples, c);
+  auto entry = [](std::string name, std::span<const std::int64_t> v) {
+    const Interval r = observed_range(v);
+    return StageRange{std::move(name), r, r.min_signed_bits()};
+  };
+  std::vector<std::int64_t> inputs(samples.begin(), samples.end());
+  return {
+      entry("input", inputs),
+      entry("d1_after_alpha", t.d1),
+      entry("s1_after_beta", t.s1),
+      entry("d2_after_gamma", t.d2),
+      entry("s2_after_delta", t.s2),
+      entry("low_output", t.low),
+      entry("high_output", t.high),
+  };
+}
+
+std::vector<StageRangeComparison> compare_stage_ranges(
+    std::span<const std::int64_t> samples) {
+  const auto c = dsp::LiftingFixedCoeffs::rounded(8);
+  const auto paper = paper_section31_ranges();
+  const auto ivl = interval_stage_ranges(8, c);
+  const auto obs = observed_stage_ranges(samples, c);
+  if (paper.size() != ivl.size() || ivl.size() != obs.size()) {
+    throw std::logic_error("compare_stage_ranges: stage list mismatch");
+  }
+  std::vector<StageRangeComparison> out;
+  out.reserve(paper.size());
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    if (paper[i].name != ivl[i].name || ivl[i].name != obs[i].name) {
+      throw std::logic_error("compare_stage_ranges: stage order mismatch");
+    }
+    out.push_back({paper[i].name, paper[i].range, ivl[i].range, obs[i].range,
+                   paper[i].bits, ivl[i].bits, obs[i].bits});
+  }
+  return out;
+}
+
+}  // namespace dwt::hw

@@ -1,0 +1,43 @@
+// Register bit-width (value range) analysis of the lifting datapath,
+// reproducing paper section 3.1 three ways:
+//  1. the paper's published measured ranges;
+//  2. static interval-arithmetic bounds (safe worst case);
+//  3. ranges actually observed when transforming data (random or image-like),
+//     measured on the bit-true software model.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/interval.hpp"
+#include "dsp/lifting_coeffs.hpp"
+#include "hw/lifting_datapath.hpp"
+
+namespace dwt::hw {
+
+struct StageRangeComparison {
+  std::string name;
+  common::Interval paper;     ///< section 3.1 published range
+  common::Interval interval;  ///< static interval-analysis bound
+  common::Interval observed;  ///< measured on the given workload
+  int paper_bits;
+  int interval_bits;
+  int observed_bits;
+};
+
+/// Static worst-case ranges of every stage for `input_bits`-bit signed
+/// samples with the given coefficients (pure interval arithmetic).
+[[nodiscard]] std::vector<StageRange> interval_stage_ranges(
+    int input_bits, const dsp::LiftingFixedCoeffs& c);
+
+/// Observed ranges when running `samples` (even/odd interleaved) through the
+/// bit-true fixed-point lifting model.
+[[nodiscard]] std::vector<StageRange> observed_stage_ranges(
+    std::span<const std::int64_t> samples, const dsp::LiftingFixedCoeffs& c);
+
+/// Full three-way comparison on a workload (paper vs interval vs observed).
+[[nodiscard]] std::vector<StageRangeComparison> compare_stage_ranges(
+    std::span<const std::int64_t> samples);
+
+}  // namespace dwt::hw

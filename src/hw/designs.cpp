@@ -1,0 +1,67 @@
+#include "hw/designs.hpp"
+
+#include <stdexcept>
+
+namespace dwt::hw {
+
+std::vector<DesignSpec> all_designs() {
+  using rtl::AdderStyle;
+  DatapathConfig base;  // 8-bit signed samples, 8 fractional bits
+  std::vector<DesignSpec> specs;
+
+  DatapathConfig c1 = base;
+  c1.multiplier = MultiplierStyle::kGenericArray;
+  c1.adder_style = AdderStyle::kCarryChain;
+  c1.pipelined_operators = false;
+  specs.push_back({DesignId::kDesign1, "Design 1",
+                   "behavioral description with integer generic multipliers",
+                   c1});
+
+  DatapathConfig c2 = base;
+  c2.multiplier = MultiplierStyle::kShiftAdd;
+  c2.adder_style = AdderStyle::kCarryChain;
+  c2.pipelined_operators = false;
+  specs.push_back({DesignId::kDesign2, "Design 2",
+                   "behavioral description with shifted integer adders", c2});
+
+  DatapathConfig c3 = c2;
+  c3.pipelined_operators = true;
+  specs.push_back(
+      {DesignId::kDesign3, "Design 3",
+       "behavioral description with pipeline of shifted integer adders", c3});
+
+  DatapathConfig c4 = c2;
+  c4.adder_style = AdderStyle::kRippleGates;
+  specs.push_back({DesignId::kDesign4, "Design 4",
+                   "structural description with shifted integer adders", c4});
+
+  DatapathConfig c5 = c4;
+  c5.pipelined_operators = true;
+  specs.push_back(
+      {DesignId::kDesign5, "Design 5",
+       "structural description with pipeline of shifted integer adders", c5});
+  return specs;
+}
+
+DesignSpec design_spec(DesignId id) {
+  for (DesignSpec& s : all_designs()) {
+    if (s.id == id) return std::move(s);
+  }
+  throw std::invalid_argument("design_spec: unknown design");
+}
+
+BuiltDatapath build_design(DesignId id) {
+  return build_lifting_datapath(design_spec(id).config);
+}
+
+std::vector<PaperTable3Row> paper_table3() {
+  return {
+      {"Design 1", 781, 16.6, 310.0, 8},
+      {"Design 2", 480, 44.0, 248.0, 8},
+      {"Design 3", 766, 157.0, 105.0, 21},
+      {"Design 4", 701, 54.4, 232.0, 8},
+      {"Design 5", 1002, 105.0, 91.4, 21},
+  };
+}
+
+}  // namespace dwt::hw

@@ -1,0 +1,44 @@
+// The five DWT architectures evaluated in paper Table 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/lifting_datapath.hpp"
+
+namespace dwt::hw {
+
+enum class DesignId {
+  kDesign1,  ///< behavioral, generic integer multipliers, 8 stages
+  kDesign2,  ///< behavioral, shifted integer adders, 8 stages
+  kDesign3,  ///< behavioral, pipelined shifted integer adders, 21 stages
+  kDesign4,  ///< structural, shifted integer adders, 8 stages
+  kDesign5,  ///< structural, pipelined shifted integer adders, 21 stages
+};
+
+struct DesignSpec {
+  DesignId id;
+  std::string name;         ///< "Design 1" ... "Design 5"
+  std::string description;  ///< paper section 3.x wording
+  DatapathConfig config;
+};
+
+/// All five specs in paper order.
+[[nodiscard]] std::vector<DesignSpec> all_designs();
+
+[[nodiscard]] DesignSpec design_spec(DesignId id);
+
+/// Elaborates the design's netlist.
+[[nodiscard]] BuiltDatapath build_design(DesignId id);
+
+/// Paper Table 3 published values, for side-by-side reporting.
+struct PaperTable3Row {
+  std::string name;
+  int area_les;
+  double fmax_mhz;
+  double power_mw_15mhz;
+  int pipeline_stages;
+};
+[[nodiscard]] std::vector<PaperTable3Row> paper_table3();
+
+}  // namespace dwt::hw

@@ -1,0 +1,94 @@
+#include "hw/dwt2d_system.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::hw {
+namespace {
+
+std::vector<std::int64_t> to_int_line(const std::vector<double>& v) {
+  std::vector<std::int64_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = static_cast<std::int64_t>(std::llround(v[i]));
+  }
+  return out;
+}
+
+std::vector<double> to_double_line(const std::vector<std::int64_t>& low,
+                                   const std::vector<std::int64_t>& high) {
+  std::vector<double> out;
+  out.reserve(low.size() + high.size());
+  out.insert(out.end(), low.begin(), low.end());
+  out.insert(out.end(), high.begin(), high.end());
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+BuiltDatapath build_core_for(DesignId design, int max_octaves) {
+  if (max_octaves < 1) {
+    throw std::invalid_argument("Dwt2dSystem: max_octaves < 1");
+  }
+  DatapathConfig cfg = design_spec(design).config;
+  if (max_octaves > 1) {
+    cfg.input_bits = 8 + 2 * (max_octaves - 1);
+    cfg.paper_widths = false;  // interval-analysis sizing for wide inputs
+  }
+  return build_lifting_datapath(cfg);
+}
+
+}  // namespace
+
+Dwt2dSystem::Dwt2dSystem(DesignId design, int max_octaves)
+    : core_(build_core_for(design, max_octaves)),
+      sim_(std::make_unique<rtl::Simulator>(core_.netlist)) {}
+
+void Dwt2dSystem::transform_line(std::vector<std::int64_t>& line,
+                                 Dwt2dRunStats& stats) {
+  const StreamResult r = run_stream(core_, *sim_, line);
+  stats.total_cycles += r.cycles;
+  ++stats.line_passes;
+  line.clear();
+  line.insert(line.end(), r.low.begin(), r.low.end());
+  line.insert(line.end(), r.high.begin(), r.high.end());
+}
+
+Dwt2dRunStats Dwt2dSystem::transform(dsp::Image& plane, int octaves) {
+  if (octaves < 1) throw std::invalid_argument("Dwt2dSystem: octaves < 1");
+  Dwt2dRunStats stats;
+  stats.octaves = octaves;
+  std::size_t w = plane.width();
+  std::size_t h = plane.height();
+  for (int o = 0; o < octaves; ++o) {
+    if (w % 2 != 0 || h % 2 != 0 || w == 0 || h == 0) {
+      throw std::invalid_argument("Dwt2dSystem: non-even octave dimensions");
+    }
+    // The memory controller addresses one row (then one column) at a time
+    // into the 1D core and writes the packed sub-bands back.
+    for (std::size_t y = 0; y < h; ++y) {
+      std::vector<std::int64_t> line = to_int_line(plane.row(y, w));
+      transform_line(line, stats);
+      std::vector<std::int64_t> low(line.begin(),
+                                    line.begin() + static_cast<std::ptrdiff_t>(w / 2));
+      std::vector<std::int64_t> high(line.begin() + static_cast<std::ptrdiff_t>(w / 2),
+                                     line.end());
+      plane.set_row(y, to_double_line(low, high));
+    }
+    for (std::size_t x = 0; x < w; ++x) {
+      std::vector<std::int64_t> line = to_int_line(plane.col(x, h));
+      transform_line(line, stats);
+      std::vector<std::int64_t> low(line.begin(),
+                                    line.begin() + static_cast<std::ptrdiff_t>(h / 2));
+      std::vector<std::int64_t> high(line.begin() + static_cast<std::ptrdiff_t>(h / 2),
+                                     line.end());
+      plane.set_col(x, to_double_line(low, high));
+    }
+    w /= 2;
+    h /= 2;
+  }
+  return stats;
+}
+
+}  // namespace dwt::hw

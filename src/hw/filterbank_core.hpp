@@ -1,0 +1,46 @@
+// Direct-form 9/7 FIR filter-bank 1D-DWT core (paper figure 2), the
+// architecture family of the literature baseline [5] (Masud & McCanny,
+// 785 LEs @ 85.5 MHz on the same device class).  A 9-deep sample window
+// feeds a 9-tap low-pass and a 7-tap high-pass with integer-rounded
+// coefficients; outputs are decimated by two outside the core.
+#pragma once
+
+#include <cstdint>
+
+#include "rtl/adders.hpp"
+#include "rtl/shiftadd_plan.hpp"
+
+namespace dwt::hw {
+
+struct FilterBankConfig {
+  rtl::AdderStyle adder_style = rtl::AdderStyle::kCarryChain;
+  bool pipelined_operators = false;
+  /// Fold the symmetric taps (x[n-k]+x[n+k] pre-adders halve the multiplier
+  /// count); figure 2 shows the unfolded 16-multiplier form.
+  bool exploit_symmetry = false;
+  int input_bits = 8;
+  int frac_bits = 8;
+  rtl::Recoding recoding = rtl::Recoding::kBinaryWithReuse;
+  rtl::SumStructure sum_structure = rtl::SumStructure::kSequential;
+};
+
+struct BuiltFilterBank {
+  rtl::Netlist netlist;
+  rtl::Bus in_sample;
+  rtl::Bus out_low;   ///< low-pass value centered on the sample 4 cycles ago
+  rtl::Bus out_high;  ///< high-pass value centered on the same position
+  int latency = 0;    ///< cycles from a sample entering to its centered output
+  int multiplier_blocks = 0;
+  FilterBankConfig config;
+};
+
+[[nodiscard]] BuiltFilterBank build_filterbank_core(const FilterBankConfig& cfg);
+
+/// Published figures of the baseline architecture [5] for comparison.
+struct PaperBaselineRow {
+  int area_les = 785;
+  double fmax_mhz = 85.5;
+};
+[[nodiscard]] constexpr PaperBaselineRow paper_baseline() { return {}; }
+
+}  // namespace dwt::hw

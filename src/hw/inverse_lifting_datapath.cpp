@@ -1,0 +1,135 @@
+#include "hw/inverse_lifting_datapath.hpp"
+
+#include <stdexcept>
+
+#include "rtl/adders.hpp"
+#include "rtl/multipliers.hpp"
+#include "rtl/registers.hpp"
+
+namespace dwt::hw {
+namespace {
+
+using common::Interval;
+using rtl::Builder;
+using rtl::Pipeliner;
+using rtl::Word;
+
+Word as_index(const Word& w, int depth) {
+  Word out = w;
+  out.depth = depth;
+  return out;
+}
+
+class InverseBuilder {
+ public:
+  explicit InverseBuilder(const InverseDatapathConfig& cfg)
+      : cfg_(cfg),
+        builder_(netlist_),
+        pipe_(builder_, cfg.pipelined_operators),
+        coeffs_(dsp::LiftingFixedCoeffs::rounded(cfg.frac_bits)) {}
+
+  BuiltInverseDatapath build() {
+    Word in_low = rtl::word_input(netlist_, "in_low", cfg_.low_bits);
+    Word in_high = rtl::word_input(netlist_, "in_high", cfg_.high_bits);
+
+    Word low = pipe_.stage(in_low, "r_low");
+    Word high = pipe_.stage(in_high, "r_high");
+
+    // Undo the output scaling: s2 = (low * k) >> f, d2 = (high * -1/k) >> f.
+    Word s2 = mult_truncate(low, coeffs_.k, "k");
+    Word d2 = mult_truncate(high, coeffs_.minus_inv_k, "minusinvk");
+    s2 = stage_after_compute(s2, "r_s2");
+    d2 = stage_after_compute(d2, "r_d2");
+    pipe_.align(s2, d2, "scale");
+
+    // Undo delta (past window): s1[i] = s2[i] - (delta*(d2[i-1]+d2[i]) >> f).
+    Word d2_prev = pipe_.stage(d2, "r_d2_d");
+    Word pre_d = rtl::word_add(pipe_, d2, as_index(d2_prev, d2.depth),
+                               cfg_.adder_style, "idelta.pre");
+    Word s1 = unlift_result(s2, pre_d, coeffs_.delta, "idelta");
+    s1 = stage_after_compute(s1, "r_s1");
+
+    // Undo gamma (future window): d1[i] = d2[i] - (gamma*(s1[i]+s1[i+1]) >> f).
+    Word s1_d = pipe_.stage(s1, "r_s1_d");  // holds s1[i]
+    Word pre_g = rtl::word_add(pipe_, s1_d, as_index(s1, s1_d.depth),
+                               cfg_.adder_style, "igamma.pre");
+    // The d2 target is shimmed to pre_g's index automatically by word_sub.
+    Word d1 = unlift_result(d2, pre_g, coeffs_.gamma, "igamma");
+    d1 = stage_after_compute(d1, "r_d1");
+
+    // Undo beta (past window): s0[i] = s1[i] - (beta*(d1[i-1]+d1[i]) >> f).
+    Word d1_prev = pipe_.stage(d1, "r_d1_d");
+    Word pre_b = rtl::word_add(pipe_, d1, as_index(d1_prev, d1.depth),
+                               cfg_.adder_style, "ibeta.pre");
+    Word s0 = unlift_result(s1_d, pre_b, coeffs_.beta, "ibeta");
+    s0 = stage_after_compute(s0, "r_s0");
+
+    // Undo alpha (future window): d0[i] = d1[i] - (alpha*(s0[i]+s0[i+1]) >> f).
+    Word s0_d = pipe_.stage(s0, "r_s0_d");  // holds s0[i]
+    Word pre_a = rtl::word_add(pipe_, s0_d, as_index(s0, s0_d.depth),
+                               cfg_.adder_style, "ialpha.pre");
+    Word d0 = unlift_result(d1, pre_a, coeffs_.alpha, "ialpha");
+    d0 = stage_after_compute(d0, "r_d0");
+
+    Word even = pipe_.align_to(s0_d, d0.depth, "even.out");
+    Word odd = d0;
+    pipe_.align(even, odd, "out");
+    netlist_.bind_output("even", even.bus);
+    netlist_.bind_output("odd", odd.bus);
+    netlist_.validate();
+
+    BuiltInverseDatapath out;
+    out.in_low = in_low.bus;
+    out.in_high = in_high.bus;
+    out.out_even = even.bus;
+    out.out_odd = odd.bus;
+    out.latency = even.depth;
+    out.config = cfg_;
+    out.netlist = std::move(netlist_);
+    return out;
+  }
+
+ private:
+  Word mult_truncate(const Word& x, const common::Fixed& k,
+                     const std::string& name) {
+    const rtl::ShiftAddPlan plan = rtl::make_shiftadd_plan(k.raw(), cfg_.recoding);
+    const Word product = rtl::shiftadd_multiply(
+        pipe_, x, plan, cfg_.adder_style, rtl::SumStructure::kSequential,
+        name + ".mul");
+    return rtl::word_asr(builder_, product, cfg_.frac_bits);
+  }
+
+  /// target - (coeff * pre >> f): one inverse lifting step.
+  Word unlift_result(const Word& target, const Word& pre,
+                     const common::Fixed& k, const std::string& name) {
+    const Word shifted = mult_truncate(pre, k, name);
+    return rtl::word_sub(pipe_, target, shifted, cfg_.adder_style,
+                         name + ".post");
+  }
+
+  Word stage_after_compute(const Word& w, const std::string& name) {
+    return cfg_.pipelined_operators ? w : pipe_.stage(w, name);
+  }
+
+  InverseDatapathConfig cfg_;
+  rtl::Netlist netlist_;
+  Builder builder_;
+  Pipeliner pipe_;
+  dsp::LiftingFixedCoeffs coeffs_;
+};
+
+}  // namespace
+
+BuiltInverseDatapath build_inverse_lifting_datapath(
+    const InverseDatapathConfig& cfg) {
+  if (cfg.low_bits < 2 || cfg.low_bits > 24 || cfg.high_bits < 2 ||
+      cfg.high_bits > 24) {
+    throw std::invalid_argument("build_inverse_lifting_datapath: bad widths");
+  }
+  if (cfg.frac_bits < 1 || cfg.frac_bits > 24) {
+    throw std::invalid_argument("build_inverse_lifting_datapath: bad frac");
+  }
+  return InverseBuilder(cfg).build();
+}
+
+}  // namespace dwt::hw

@@ -1,0 +1,40 @@
+// Gate-level *inverse* 9/7 lifting datapath (IDWT) -- the reconstruction
+// side of the transform, as implemented by the paper's reference [4]
+// ("An Efficient Hardware Implementation of DWT and IDWT").  Undoes the
+// output scaling and runs the four lifting steps in reverse with the same
+// integer truncation, so a forward core followed by this core reproduces
+// the software fixed-point round trip exactly.
+//
+// Streaming semantics: one (low, high) coefficient pair in per cycle, one
+// reconstructed (even, odd) sample pair out after `latency` cycles.
+#pragma once
+
+#include "hw/lifting_datapath.hpp"
+
+namespace dwt::hw {
+
+struct InverseDatapathConfig {
+  rtl::AdderStyle adder_style = rtl::AdderStyle::kCarryChain;
+  bool pipelined_operators = false;
+  int frac_bits = 8;
+  /// Widths of the incoming sub-band words (paper section 3.1: low 10 bits,
+  /// high 9 bits).
+  int low_bits = 10;
+  int high_bits = 9;
+  rtl::Recoding recoding = rtl::Recoding::kBinaryWithReuse;
+};
+
+struct BuiltInverseDatapath {
+  rtl::Netlist netlist;
+  rtl::Bus in_low;
+  rtl::Bus in_high;
+  rtl::Bus out_even;
+  rtl::Bus out_odd;
+  int latency = 0;
+  InverseDatapathConfig config;
+};
+
+[[nodiscard]] BuiltInverseDatapath build_inverse_lifting_datapath(
+    const InverseDatapathConfig& cfg);
+
+}  // namespace dwt::hw

@@ -1,0 +1,79 @@
+#include "hw/lifting53_datapath.hpp"
+
+#include <stdexcept>
+
+#include "rtl/adders.hpp"
+#include "rtl/registers.hpp"
+
+namespace dwt::hw {
+namespace {
+
+using common::Interval;
+using rtl::Builder;
+using rtl::Pipeliner;
+using rtl::Word;
+
+Word as_index(const Word& w, int depth) {
+  Word out = w;
+  out.depth = depth;
+  return out;
+}
+
+}  // namespace
+
+BuiltDatapath53 build_lifting53_datapath(const Datapath53Config& cfg) {
+  if (cfg.input_bits < 2 || cfg.input_bits > 24) {
+    throw std::invalid_argument("build_lifting53_datapath: bad input_bits");
+  }
+  BuiltDatapath53 out;
+  out.config = cfg;
+  rtl::Netlist& nl = out.netlist;
+  Builder b(nl);
+  Pipeliner pipe(b, cfg.pipelined_operators);
+
+  Word in_even = rtl::word_input(nl, "in_even", cfg.input_bits);
+  Word in_odd = rtl::word_input(nl, "in_odd", cfg.input_bits);
+
+  Word e1 = pipe.stage(in_even, "r_even");
+  Word o1 = pipe.stage(in_odd, "r_odd");
+  Word e2 = pipe.stage(e1, "r_even_d");
+
+  // Predict: d[i] = o[i] - ((s[i] + s[i+1]) >> 1).
+  Word pre_p = rtl::word_add(pipe, e2, as_index(e1, e2.depth),
+                             cfg.adder_style, "p53.pre");
+  Word shifted_p = rtl::word_asr(b, pre_p, 1);
+  Word d1 = rtl::word_sub(pipe, o1, shifted_p, cfg.adder_style, "p53.sub");
+  d1 = cfg.pipelined_operators ? d1 : pipe.stage(d1, "r_d1");
+
+  // Update: s[i] = s[i] + ((d[i-1] + d[i] + 2) >> 2).
+  Word d1_prev = pipe.stage(d1, "r_d1_d");
+  Word pre_u = rtl::word_add(pipe, d1, as_index(d1_prev, d1.depth),
+                             cfg.adder_style, "u53.pre");
+  Word two;
+  two.bus = b.constant(2, 3);
+  two.range = Interval::point(2);
+  two.depth = pre_u.depth;
+  Word biased = rtl::word_add(pipe, pre_u, two, cfg.adder_style, "u53.bias");
+  Word shifted_u = rtl::word_asr(b, biased, 2);
+  Word s1 = rtl::word_add(pipe, e2, shifted_u, cfg.adder_style, "u53.add");
+  s1 = cfg.pipelined_operators ? s1 : pipe.stage(s1, "r_s1");
+
+  // Outputs (no scaling step in the reversible 5/3).
+  Word low = cfg.pipelined_operators ? s1 : pipe.stage(s1, "r_low");
+  Word high = cfg.pipelined_operators
+                  ? d1
+                  : pipe.align_to(d1, low.depth, "high.pass");
+  pipe.align(low, high, "out");
+  nl.bind_output("low", low.bus);
+  nl.bind_output("high", high.bus);
+  nl.validate();
+
+  out.in_even = in_even.bus;
+  out.in_odd = in_odd.bus;
+  out.out_low = low.bus;
+  out.out_high = high.bus;
+  out.latency = low.depth;
+  return out;
+}
+
+}  // namespace dwt::hw

@@ -1,0 +1,32 @@
+// Gate-level 5/3 (Le Gall) lifting datapath -- the reversible companion of
+// the 9/7 cores, after the combined 5/3 + 9/7 architecture of the paper's
+// reference [6].  Two lifting steps, shifts and adders only (no multiplier
+// blocks), which is why the 5/3 core is a fraction of the 9/7's area.
+// Streaming semantics match the 9/7 core: one (even, odd) pair in per cycle,
+// one (low, high) pair out after `latency` cycles.
+#pragma once
+
+#include "hw/lifting_datapath.hpp"
+
+namespace dwt::hw {
+
+struct Datapath53Config {
+  rtl::AdderStyle adder_style = rtl::AdderStyle::kCarryChain;
+  bool pipelined_operators = false;
+  int input_bits = 8;
+};
+
+struct BuiltDatapath53 {
+  rtl::Netlist netlist;
+  rtl::Bus in_even;
+  rtl::Bus in_odd;
+  rtl::Bus out_low;
+  rtl::Bus out_high;
+  int latency = 0;
+  Datapath53Config config;
+};
+
+[[nodiscard]] BuiltDatapath53 build_lifting53_datapath(
+    const Datapath53Config& cfg);
+
+}  // namespace dwt::hw

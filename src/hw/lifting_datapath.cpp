@@ -1,0 +1,203 @@
+#include "hw/lifting_datapath.hpp"
+
+#include <stdexcept>
+
+#include "rtl/adders.hpp"
+#include "rtl/multipliers.hpp"
+#include "rtl/registers.hpp"
+
+namespace dwt::hw {
+namespace {
+
+using common::Interval;
+using rtl::AdderStyle;
+using rtl::Builder;
+using rtl::Pipeliner;
+using rtl::Word;
+
+/// Reinterprets a word as belonging to a different sample index at the same
+/// physical net.  Used for the lifting neighbor windows: a stream delayed by
+/// one register holds sample i while the undelayed net holds sample i+1, so
+/// both can be viewed at the same "result index" depth.
+Word as_index(const Word& w, int depth) {
+  Word out = w;
+  out.depth = depth;
+  return out;
+}
+
+class DatapathBuilder {
+ public:
+  explicit DatapathBuilder(const DatapathConfig& cfg)
+      : cfg_(cfg),
+        builder_(netlist_),
+        pipe_(builder_, cfg.pipelined_operators, cfg.pipeline_granularity),
+        coeffs_(dsp::LiftingFixedCoeffs::rounded(cfg.frac_bits)) {}
+
+  BuiltDatapath build() {
+    const bool use_paper = cfg_.paper_widths && cfg_.frac_bits == 8 &&
+                           cfg_.input_bits == 8;
+    const auto paper = paper_section31_ranges();
+    auto paper_range = [&](const std::string& name) -> const Interval* {
+      if (!use_paper) return nullptr;
+      for (const StageRange& r : paper) {
+        if (r.name == name) return &r.range;
+      }
+      return nullptr;
+    };
+
+    Word in_even = rtl::word_input(netlist_, "in_even", cfg_.input_bits);
+    Word in_odd = rtl::word_input(netlist_, "in_odd", cfg_.input_bits);
+
+    // Stage 1: input registers; stage 2: even delay (the alpha window).
+    Word e1 = pipe_.stage(in_even, "r_even");
+    Word o1 = pipe_.stage(in_odd, "r_odd");
+    Word e2 = pipe_.stage(e1, "r_even_d");
+
+    // --- alpha predict: d1[i] = o[i] + (alpha*(s[i] + s[i+1]) >> f) ---
+    Word pre_a = rtl::word_add(pipe_, e2, as_index(e1, e2.depth),
+                               cfg_.adder_style, "alpha.pre");
+    Word d1 = lift_result(o1, pre_a, coeffs_.alpha, "alpha");
+    d1 = clamp(d1, "d1_after_alpha", paper_range("d1_after_alpha"));
+    d1 = stage_after_compute(d1, "r_d1");
+
+    // --- beta update: s1[i] = s[i] + (beta*(d1[i-1] + d1[i]) >> f) ---
+    Word d1_prev = pipe_.stage(d1, "r_d1_d");  // holds d1[i-1]
+    Word pre_b = rtl::word_add(pipe_, d1, as_index(d1_prev, d1.depth),
+                               cfg_.adder_style, "beta.pre");
+    Word s1 = lift_result(e2, pre_b, coeffs_.beta, "beta");
+    s1 = clamp(s1, "s1_after_beta", paper_range("s1_after_beta"));
+    s1 = stage_after_compute(s1, "r_s1");
+
+    // --- gamma predict: d2[i] = d1[i] + (gamma*(s1[i] + s1[i+1]) >> f) ---
+    Word s1_d = pipe_.stage(s1, "r_s1_d");  // holds s1[i]
+    Word pre_g = rtl::word_add(pipe_, s1_d, as_index(s1, s1_d.depth),
+                               cfg_.adder_style, "gamma.pre");
+    Word d2 = lift_result(d1, pre_g, coeffs_.gamma, "gamma");
+    d2 = clamp(d2, "d2_after_gamma", paper_range("d2_after_gamma"));
+    d2 = stage_after_compute(d2, "r_d2");
+
+    // --- delta update: s2[i] = s1[i] + (delta*(d2[i-1] + d2[i]) >> f) ---
+    Word d2_prev = pipe_.stage(d2, "r_d2_d");  // holds d2[i-1]
+    Word pre_d = rtl::word_add(pipe_, d2, as_index(d2_prev, d2.depth),
+                               cfg_.adder_style, "delta.pre");
+    Word s2 = lift_result(s1_d, pre_d, coeffs_.delta, "delta");
+    s2 = clamp(s2, "s2_after_delta", paper_range("s2_after_delta"));
+    s2 = stage_after_compute(s2, "r_s2");
+
+    // --- output scaling: low = s2 * (1/k) >> f,  high = d2 * (-k) >> f ---
+    // d2_prev legitimately holds the d2 stream one register later, which is
+    // the alignment the high-pass scale needs alongside s2.
+    Word low = scale_result(s2, coeffs_.inv_k, "invk");
+    low = clamp(low, "low_output", paper_range("low_output"));
+    low = stage_after_compute(low, "r_low");
+    Word high = scale_result(d2_prev, coeffs_.minus_k, "minusk");
+    high = clamp(high, "high_output", paper_range("high_output"));
+    high = stage_after_compute(high, "r_high");
+
+    pipe_.align(low, high, "out");
+    netlist_.bind_output("low", low.bus);
+    netlist_.bind_output("high", high.bus);
+    netlist_.validate();
+
+    BuiltDatapath out;
+    out.in_even = in_even.bus;
+    out.in_odd = in_odd.bus;
+    out.out_low = low.bus;
+    out.out_high = high.bus;
+    out.info.latency = low.depth;
+    out.info.stage_ranges = std::move(ranges_);
+    out.config = cfg_;
+    out.netlist = std::move(netlist_);
+    return out;
+  }
+
+ private:
+  /// Multiplies by a constant and truncates (the >> frac_bits adjust).
+  Word mult_truncate(const Word& x, const common::Fixed& k,
+                     const std::string& name) {
+    Word product;
+    if (cfg_.multiplier == MultiplierStyle::kGenericArray) {
+      const int cw = std::max(2 + cfg_.frac_bits,
+                              common::signed_bits_for_range(k.raw(), k.raw()));
+      product = rtl::array_multiply_const(pipe_, x, k.raw(), cw,
+                                          cfg_.adder_style, cfg_.sum_structure,
+                                          name + ".mul");
+    } else {
+      const rtl::ShiftAddPlan plan =
+          rtl::make_shiftadd_plan(k.raw(), cfg_.recoding);
+      product = rtl::shiftadd_multiply(pipe_, x, plan, cfg_.adder_style,
+                                       cfg_.sum_structure, name + ".mul");
+    }
+    return rtl::word_asr(builder_, product, cfg_.frac_bits);
+  }
+
+  /// target + (coeff * pre >> f): one lifting step.
+  Word lift_result(const Word& target, const Word& pre, const common::Fixed& k,
+                   const std::string& name) {
+    const Word shifted = mult_truncate(pre, k, name);
+    return rtl::word_add(pipe_, target, shifted, cfg_.adder_style,
+                         name + ".post");
+  }
+
+  /// coeff * value >> f: output scaling step.
+  Word scale_result(const Word& value, const common::Fixed& k,
+                    const std::string& name) {
+    return mult_truncate(value, k, name);
+  }
+
+  /// Explicit stage register of the 8-stage skeleton.  In pipelined-operator
+  /// mode the preceding adder already registered the value, so no extra
+  /// register is inserted.
+  Word stage_after_compute(const Word& w, const std::string& name) {
+    return cfg_.pipelined_operators ? w : pipe_.stage(w, name);
+  }
+
+  /// Records the stage range and, when paper sizing is active, clamps the
+  /// register width and downstream range to the published measurement.
+  Word clamp(Word w, const std::string& name, const Interval* paper) {
+    Word out = w;
+    if (paper != nullptr) {
+      out.range = *paper;
+      out.bus = builder_.resize(w.bus, out.range.min_signed_bits());
+    }
+    ranges_.push_back({name, out.range, out.range.min_signed_bits()});
+    return out;
+  }
+
+  DatapathConfig cfg_;
+  rtl::Netlist netlist_;
+  Builder builder_;
+  Pipeliner pipe_;
+  dsp::LiftingFixedCoeffs coeffs_;
+  std::vector<StageRange> ranges_;
+};
+
+}  // namespace
+
+std::vector<StageRange> paper_section31_ranges() {
+  auto entry = [](std::string name, std::int64_t lo, std::int64_t hi) {
+    const Interval r{lo, hi};
+    return StageRange{std::move(name), r, r.min_signed_bits()};
+  };
+  return {
+      entry("input", -128, 127),
+      entry("d1_after_alpha", -530, 530),   // signed 11 bits
+      entry("s1_after_beta", -184, 184),    // signed 9 bits
+      entry("d2_after_gamma", -205, 205),   // signed 9 bits
+      entry("s2_after_delta", -366, 366),   // signed 10 bits
+      entry("low_output", -298, 298),       // signed 10 bits
+      entry("high_output", -252, 252),      // signed 9 bits
+  };
+}
+
+BuiltDatapath build_lifting_datapath(const DatapathConfig& cfg) {
+  if (cfg.input_bits < 2 || cfg.input_bits > 24) {
+    throw std::invalid_argument("build_lifting_datapath: bad input_bits");
+  }
+  if (cfg.frac_bits < 1 || cfg.frac_bits > 24) {
+    throw std::invalid_argument("build_lifting_datapath: bad frac_bits");
+  }
+  return DatapathBuilder(cfg).build();
+}
+
+}  // namespace dwt::hw

@@ -1,0 +1,115 @@
+#include "hw/stream_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/fir_filter.hpp"
+
+namespace dwt::hw {
+namespace {
+
+/// Feeds extended pairs t = -guard .. n/2-1+guard; pair t is
+/// (x_ext[2t], x_ext[2t+1]) with whole-sample symmetric extension.
+template <typename Sim>
+StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
+                      const rtl::Bus& out_low, const rtl::Bus& out_high,
+                      int latency, Sim& sim, std::span<const std::int64_t> x) {
+  if (x.empty() || x.size() % 2 != 0) {
+    throw std::invalid_argument("run_stream: even non-empty signal required");
+  }
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(x.size() / 2);
+  StreamResult out;
+  out.low.assign(x.size() / 2, 0);
+  out.high.assign(x.size() / 2, 0);
+
+  auto x_ext = [&x](std::ptrdiff_t pos) {
+    return x[dsp::mirror_index(pos, x.size())];
+  };
+
+  // Feed pairs; pair index t enters at cycle c = t + kGuardPairs, and the
+  // coefficients for index i emerge `latency` cycles after pair i entered.
+  const std::ptrdiff_t total_cycles =
+      half + 2 * kGuardPairs + latency;  // payload + guards + flush
+  for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
+    const std::ptrdiff_t t = c - kGuardPairs;
+    const std::ptrdiff_t feed =
+        t < half + kGuardPairs ? t : half + kGuardPairs - 1;
+    sim.set_bus(in_even, x_ext(2 * feed));
+    sim.set_bus(in_odd, x_ext(2 * feed + 1));
+    if constexpr (requires { sim.step(); }) {
+      sim.step();
+    } else {
+      sim.cycle();
+    }
+    const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
+    if (i >= 0 && i < half) {
+      out.low[static_cast<std::size_t>(i)] = sim.read_bus(out_low);
+      out.high[static_cast<std::size_t>(i)] = sim.read_bus(out_high);
+    }
+  }
+  out.cycles = static_cast<std::uint64_t>(total_cycles);
+  return out;
+}
+
+}  // namespace
+
+StreamResult run_stream(const BuiltDatapath& dp, rtl::Simulator& sim,
+                        std::span<const std::int64_t> x) {
+  return run_impl(dp.in_even, dp.in_odd, dp.out_low, dp.out_high,
+                  dp.info.latency, sim, x);
+}
+
+StreamResult run_stream_activity(const BuiltDatapath& dp, rtl::ActivitySim& sim,
+                                 std::span<const std::int64_t> x) {
+  return run_impl(dp.in_even, dp.in_odd, dp.out_low, dp.out_high,
+                  dp.info.latency, sim, x);
+}
+
+StreamResult run_stream_mapped(const BuiltDatapath& dp,
+                               fpga::MappedActivitySim& sim,
+                               std::span<const std::int64_t> x) {
+  return run_impl(dp.in_even, dp.in_odd, dp.out_low, dp.out_high,
+                  dp.info.latency, sim, x);
+}
+
+StreamResult run_stream53(const BuiltDatapath53& dp, rtl::Simulator& sim,
+                          std::span<const std::int64_t> x) {
+  return run_impl(dp.in_even, dp.in_odd, dp.out_low, dp.out_high, dp.latency,
+                  sim, x);
+}
+
+InverseStreamResult run_stream_inverse(const BuiltInverseDatapath& dp,
+                                       rtl::Simulator& sim,
+                                       std::span<const std::int64_t> low,
+                                       std::span<const std::int64_t> high) {
+  if (low.empty() || low.size() != high.size()) {
+    throw std::invalid_argument("run_stream_inverse: bad sub-band sizes");
+  }
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(low.size());
+  const int latency = dp.latency;
+  InverseStreamResult out;
+  out.samples.assign(low.size() * 2, 0);
+  // Edge replication matches the software inverse model's boundary handling
+  // (d_before(0) = d[0], s_at(h) = s[h-1]).
+  auto clampi = [half](std::ptrdiff_t t) {
+    return static_cast<std::size_t>(std::max<std::ptrdiff_t>(
+        0, std::min<std::ptrdiff_t>(t, half - 1)));
+  };
+  const std::ptrdiff_t total_cycles = half + 2 * kGuardPairs + latency;
+  for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
+    const std::ptrdiff_t t = c - kGuardPairs;
+    sim.set_bus(dp.in_low, low[clampi(t)]);
+    sim.set_bus(dp.in_high, high[clampi(t)]);
+    sim.step();
+    const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
+    if (i >= 0 && i < half) {
+      out.samples[static_cast<std::size_t>(2 * i)] = sim.read_bus(dp.out_even);
+      out.samples[static_cast<std::size_t>(2 * i + 1)] =
+          sim.read_bus(dp.out_odd);
+    }
+  }
+  out.cycles = static_cast<std::uint64_t>(total_cycles);
+  return out;
+}
+
+}  // namespace dwt::hw

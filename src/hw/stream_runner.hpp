@@ -1,0 +1,64 @@
+// Streaming harness for the 1D-DWT cores: feeds a whole-sample-symmetric
+// extended sample stream (the boundary treatment of paper section 2, which
+// the memory controller performs in the 2D system of figure 4) into a
+// simulated datapath and collects the valid low/high coefficient window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpga/mapped_sim.hpp"
+#include "hw/inverse_lifting_datapath.hpp"
+#include "hw/lifting53_datapath.hpp"
+#include "hw/lifting_datapath.hpp"
+#include "rtl/activity_sim.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::hw {
+
+struct StreamResult {
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+  std::uint64_t cycles = 0;  ///< clock cycles consumed, including flush
+};
+
+/// Number of mirrored guard pairs fed before and after the payload; two are
+/// mathematically required by the 9/7 support, four adds pipeline-flush
+/// margin.
+inline constexpr int kGuardPairs = 4;
+
+/// Runs an even-length signal through the datapath on the zero-delay
+/// functional simulator.
+[[nodiscard]] StreamResult run_stream(const BuiltDatapath& dp,
+                                      rtl::Simulator& sim,
+                                      std::span<const std::int64_t> x);
+
+/// Same, on the unit-delay activity simulator (used for power workloads).
+[[nodiscard]] StreamResult run_stream_activity(const BuiltDatapath& dp,
+                                               rtl::ActivitySim& sim,
+                                               std::span<const std::int64_t> x);
+
+/// Same, on the mapped-netlist unit-delay simulator (LUT-level glitches).
+[[nodiscard]] StreamResult run_stream_mapped(const BuiltDatapath& dp,
+                                             fpga::MappedActivitySim& sim,
+                                             std::span<const std::int64_t> x);
+
+/// Streaming harness for the reversible 5/3 core.
+[[nodiscard]] StreamResult run_stream53(const BuiltDatapath53& dp,
+                                        rtl::Simulator& sim,
+                                        std::span<const std::int64_t> x);
+
+struct InverseStreamResult {
+  std::vector<std::int64_t> samples;  ///< interleaved even/odd reconstruction
+  std::uint64_t cycles = 0;
+};
+
+/// Streaming harness for the inverse core: feeds (low, high) coefficient
+/// pairs with the edge-replicated extension the software inverse model
+/// assumes, and collects the reconstructed sample pairs.
+[[nodiscard]] InverseStreamResult run_stream_inverse(
+    const BuiltInverseDatapath& dp, rtl::Simulator& sim,
+    std::span<const std::int64_t> low, std::span<const std::int64_t> high);
+
+}  // namespace dwt::hw

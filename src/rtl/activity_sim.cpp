@@ -1,0 +1,146 @@
+#include "rtl/activity_sim.hpp"
+
+#include <stdexcept>
+
+namespace dwt::rtl {
+
+ActivitySim::ActivitySim(const Netlist& nl)
+    : nl_(nl),
+      values_(nl.net_count(), 0),
+      loads_(nl.net_count()),
+      in_frontier_(nl.cell_count(), 0) {
+  (void)nl.topo_order();  // reject combinational cycles up front
+  for (CellId id = 0; id < nl.cells().size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kDff) continue;  // DFFs sample, they don't react
+    for (int i = 0; i < input_count(c.kind); ++i) {
+      loads_[c.in[static_cast<std::size_t>(i)]].push_back(id);
+    }
+  }
+  stats_.toggles.assign(nl.net_count(), 0);
+  // Establish a consistent initial state: constants first, then settle the
+  // whole combinational cloud once (e.g. inverters of 0 rest at 1).
+  for (CellId id = 0; id < nl.cells().size(); ++id) {
+    const Cell& c = nl.cell(id);
+    if (c.kind == CellKind::kConst1) values_[c.out] = 1;
+  }
+  for (const CellId id : nl.topo_order()) {
+    const Cell& c = nl.cell(id);
+    values_[c.out] = eval_cell(c) ? 1 : 0;
+  }
+  reset_stats();
+}
+
+void ActivitySim::set_input(NetId net, bool value) {
+  if (net >= values_.size() || !nl_.net(net).is_primary_input) {
+    throw std::invalid_argument("ActivitySim::set_input: not a primary input");
+  }
+  pending_inputs_.emplace_back(net, value ? 1 : 0);
+}
+
+void ActivitySim::set_bus(const Bus& bus, std::int64_t value) {
+  const int w = bus.width();
+  if (w < 64) {
+    const std::int64_t lo = -(std::int64_t{1} << (w - 1));
+    const std::int64_t hi = (std::int64_t{1} << (w - 1)) - 1;
+    if (value < lo || value > hi) {
+      throw std::invalid_argument("ActivitySim::set_bus: value does not fit");
+    }
+  }
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    set_input(bus.bits[i], ((value >> i) & 1) != 0);
+  }
+}
+
+bool ActivitySim::eval_cell(const Cell& c) const {
+  const auto in = [&](int i) {
+    return values_[c.in[static_cast<std::size_t>(i)]] != 0;
+  };
+  switch (c.kind) {
+    case CellKind::kConst0: return false;
+    case CellKind::kConst1: return true;
+    case CellKind::kNot: return !in(0);
+    case CellKind::kAnd2: return in(0) && in(1);
+    case CellKind::kOr2: return in(0) || in(1);
+    case CellKind::kXor2: return in(0) != in(1);
+    case CellKind::kMux2: return in(2) ? in(1) : in(0);
+    case CellKind::kAddSum: return (in(0) != in(1)) != in(2);
+    case CellKind::kAddCarry:
+      return (in(0) && in(1)) || (in(2) && (in(0) != in(1)));
+    case CellKind::kDff:
+      throw std::logic_error("ActivitySim: DFF evaluated as combinational");
+  }
+  return false;
+}
+
+void ActivitySim::bump(NetId net, bool new_value,
+                       std::vector<CellId>& frontier) {
+  const std::uint8_t nv = new_value ? 1 : 0;
+  if (values_[net] == nv) return;
+  values_[net] = nv;
+  ++stats_.toggles[net];
+  ++stats_.total_toggles;
+  for (const CellId load : loads_[net]) {
+    if (!in_frontier_[load]) {
+      in_frontier_[load] = 1;
+      frontier.push_back(load);
+    }
+  }
+}
+
+void ActivitySim::cycle() {
+  auto settle = [this](std::vector<CellId>& frontier) {
+    std::size_t guard = 0;
+    const std::size_t guard_limit = (nl_.cell_count() + 2) * 64;
+    while (!frontier.empty()) {
+      std::vector<CellId> next;
+      for (const CellId id : frontier) in_frontier_[id] = 0;
+      for (const CellId id : frontier) {
+        const Cell& c = nl_.cell(id);
+        bump(c.out, eval_cell(c), next);
+      }
+      frontier = std::move(next);
+      if (++guard > guard_limit) {
+        throw std::logic_error("ActivitySim::cycle: failed to settle");
+      }
+    }
+  };
+  // 1. Scheduled primary-input changes take effect and propagate (they are
+  //    the upstream registers' outputs, clocked by the same edge).
+  std::vector<CellId> frontier;
+  for (const auto& [net, v] : pending_inputs_) bump(net, v != 0, frontier);
+  pending_inputs_.clear();
+  settle(frontier);
+  // 2. Every DFF captures the now-settled D value, then the state change
+  //    propagates -- matching Simulator::step() semantics exactly.
+  std::vector<std::pair<NetId, std::uint8_t>> dff_updates;
+  for (CellId id = 0; id < nl_.cells().size(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.kind == CellKind::kDff) {
+      dff_updates.emplace_back(c.out, values_[c.in[0]]);
+    }
+  }
+  for (const auto& [net, v] : dff_updates) bump(net, v != 0, frontier);
+  settle(frontier);
+  ++stats_.cycles;
+}
+
+std::int64_t ActivitySim::read_bus(const Bus& bus) const {
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
+  }
+  const int w = bus.width();
+  if (w < 64 && (v & (std::int64_t{1} << (w - 1)))) {
+    v -= std::int64_t{1} << w;
+  }
+  return v;
+}
+
+void ActivitySim::reset_stats() {
+  stats_.cycles = 0;
+  stats_.total_toggles = 0;
+  stats_.toggles.assign(nl_.net_count(), 0);
+}
+
+}  // namespace dwt::rtl

@@ -1,0 +1,82 @@
+#include "rtl/adders.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dwt::rtl {
+
+Word sum_signed(Pipeliner& p, std::vector<SignedTerm> terms,
+                SumStructure structure, AdderStyle style,
+                const std::string& name) {
+  if (terms.empty()) throw std::invalid_argument("sum_signed: no terms");
+  // Positive terms first so the running sum starts from a plain addend.
+  std::stable_partition(terms.begin(), terms.end(),
+                        [](const SignedTerm& t) { return !t.negative; });
+  if (terms.front().negative) {
+    // All terms negative (possible with CSD recodings such as -2^k):
+    // prepend a zero so the running sum starts from a plain addend.
+    Word zero;
+    zero.bus = p.builder().constant(0, 1);
+    zero.range = common::Interval::point(0);
+    zero.depth = terms.front().word.depth;
+    terms.insert(terms.begin(), SignedTerm{std::move(zero), false});
+  }
+  if (structure == SumStructure::kSequential) {
+    Word acc = terms.front().word;
+    for (std::size_t i = 1; i < terms.size(); ++i) {
+      const std::string step = name + ".acc" + std::to_string(i);
+      acc = terms[i].negative
+                ? word_sub(p, acc, terms[i].word, style, step)
+                : word_add(p, acc, terms[i].word, style, step);
+    }
+    return acc;
+  }
+  std::vector<Word> pos;
+  std::vector<Word> neg;
+  for (SignedTerm& t : terms) {
+    (t.negative ? neg : pos).push_back(std::move(t.word));
+  }
+  return sum_with_negatives(p, std::move(pos), std::move(neg), style, name);
+}
+
+Word sum_tree(Pipeliner& p, std::vector<Word> terms, AdderStyle style,
+              const std::string& name) {
+  if (terms.empty()) throw std::invalid_argument("sum_tree: no terms");
+  int level = 0;
+  while (terms.size() > 1) {
+    std::vector<Word> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(word_add(p, terms[i], terms[i + 1], style,
+                              name + ".l" + std::to_string(level) + "_" +
+                                  std::to_string(i / 2)));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+    ++level;
+  }
+  return terms.front();
+}
+
+Word sum_with_negatives(Pipeliner& p, std::vector<Word> pos,
+                        std::vector<Word> neg, AdderStyle style,
+                        const std::string& name) {
+  if (pos.empty()) throw std::invalid_argument("sum_with_negatives: no terms");
+  Word acc = sum_tree(p, std::move(pos), style, name + ".pos");
+  if (neg.empty()) return acc;
+  const Word n = sum_tree(p, std::move(neg), style, name + ".neg");
+  return word_sub(p, acc, n, style, name + ".diff");
+}
+
+Word sum_chain(Pipeliner& p, std::vector<Word> terms, AdderStyle style,
+               const std::string& name) {
+  if (terms.empty()) throw std::invalid_argument("sum_chain: no terms");
+  Word acc = terms.front();
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    acc = word_add(p, acc, terms[i], style,
+                   name + ".acc" + std::to_string(i));
+  }
+  return acc;
+}
+
+}  // namespace dwt::rtl

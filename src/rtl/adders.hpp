@@ -1,0 +1,51 @@
+// Multi-operand summation structures: balanced adder trees (used by the
+// shift-add multipliers) with optional per-adder pipeline cuts, and a
+// sequential accumulator (used by the generic array multiplier of design 1).
+#pragma once
+
+#include <vector>
+
+#include "rtl/registers.hpp"
+
+namespace dwt::rtl {
+
+/// How multi-operand sums are scheduled.  The paper's figures 7/8 accumulate
+/// partial products sequentially (one running sum); a balanced tree is the
+/// lower-latency alternative explored by the ablation bench.
+enum class SumStructure {
+  kSequential,
+  kTree,
+};
+
+/// A signed operand of a multi-term sum.
+struct SignedTerm {
+  Word word;
+  bool negative = false;
+};
+
+/// Sums signed terms with the requested structure.  At least one positive
+/// term is required (the running sum starts positive, as in the paper's
+/// two's-complement partial-product ordering).
+[[nodiscard]] Word sum_signed(Pipeliner& p, std::vector<SignedTerm> terms,
+                              SumStructure structure, AdderStyle style,
+                              const std::string& name);
+
+/// Sums the words with a balanced binary adder tree.  In pipelined mode each
+/// adder output is registered ("just one sum operation at each pipeline
+/// stage", paper section 3.3) and converging operands are shimmed to equal
+/// depth automatically.
+[[nodiscard]] Word sum_tree(Pipeliner& p, std::vector<Word> terms,
+                            AdderStyle style, const std::string& name);
+
+/// Sums positive terms and subtracts negative ones:
+/// result = sum(pos) - sum(neg).  `neg` may be empty.
+[[nodiscard]] Word sum_with_negatives(Pipeliner& p, std::vector<Word> pos,
+                                      std::vector<Word> neg, AdderStyle style,
+                                      const std::string& name);
+
+/// Sequential (linear chain) accumulation, the structure a generic
+/// multiplier megacore uses: acc = ((t0 + t1) + t2) + ...
+[[nodiscard]] Word sum_chain(Pipeliner& p, std::vector<Word> terms,
+                             AdderStyle style, const std::string& name);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,65 @@
+// Word-level construction helpers over the gate-level netlist: signed buses,
+// shifts, sign extension, adders in the paper's two implementation styles
+// (behavioral carry-chain vs structural full-adder gates), and registers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+/// How an adder is realized (paper sections 3.2 vs 3.4):
+enum class AdderStyle {
+  kCarryChain,   ///< behavioral: one LE per bit using the dedicated chain
+  kRippleGates,  ///< structural: full adders from plain gates (2 LEs per bit)
+};
+
+class Builder {
+ public:
+  explicit Builder(Netlist& nl) : nl_(nl) {}
+
+  [[nodiscard]] Netlist& netlist() { return nl_; }
+
+  /// Constant bus of `width` bits holding `value` (two's complement).
+  [[nodiscard]] Bus constant(std::int64_t value, int width);
+
+  /// Sign-extends (or truncates, keeping the low bits) to `width`.
+  [[nodiscard]] Bus resize(const Bus& b, int width) const;
+
+  /// value << k: width grows by k with constant-0 low bits.
+  [[nodiscard]] Bus shl(const Bus& b, int k);
+
+  /// value >> k arithmetic (truncation): drops the k low bits.
+  [[nodiscard]] Bus asr(const Bus& b, int k) const;
+
+  /// Signed a + b, result sized to `out_width` (callers size the result via
+  /// interval analysis; computation is exact modulo 2^out_width).
+  [[nodiscard]] Bus add(const Bus& a, const Bus& b, AdderStyle style,
+                        int out_width, const std::string& name = {});
+
+  /// Signed a - b (b inverted, carry-in 1).
+  [[nodiscard]] Bus sub(const Bus& a, const Bus& b, AdderStyle style,
+                        int out_width, const std::string& name = {});
+
+  /// Register bank: one DFF per bit.
+  [[nodiscard]] Bus reg(const Bus& b, const std::string& name = {});
+
+  /// n registers in series (shimming/delay line).
+  [[nodiscard]] Bus delay(const Bus& b, int cycles,
+                          const std::string& name = {});
+
+  /// Per-bit 2-input mux bank: sel ? b : a.
+  [[nodiscard]] Bus mux(const Bus& a, const Bus& b, NetId sel,
+                        const std::string& name = {});
+
+ private:
+  [[nodiscard]] NetId add_bit_gates(NetId a, NetId b, NetId cin, NetId& cout,
+                                    std::int32_t cluster,
+                                    const std::string& name);
+
+  Netlist& nl_;
+};
+
+}  // namespace dwt::rtl

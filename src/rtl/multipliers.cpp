@@ -1,0 +1,121 @@
+#include "rtl/multipliers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dwt::rtl {
+namespace {
+
+/// Partial-product row: (y_bit ? x : 0), as per-bit AND gates.  The row's
+/// sign bit is and(x_msb, y_bit), which is exactly the sign extension the
+/// wider downstream adders need, so plain Word resizing stays correct.
+Word and_row(Builder& b, const Word& x, NetId y_bit, const std::string& name) {
+  Word row;
+  row.bus.bits.reserve(x.bus.bits.size());
+  for (std::size_t j = 0; j < x.bus.bits.size(); ++j) {
+    row.bus.bits.push_back(b.netlist().add_cell(
+        CellKind::kAnd2, x.bus.bits[j], y_bit, kNullNet,
+        name + "[" + std::to_string(j) + "]"));
+  }
+  row.range = common::hull(common::Interval::point(0), x.range);
+  row.depth = x.depth;
+  return row;
+}
+
+Word multiply_rows(Pipeliner& p, const Word& x, const std::vector<NetId>& ybits,
+                   AdderStyle style, SumStructure structure,
+                   const std::string& name) {
+  Builder& b = p.builder();
+  const int wy = static_cast<int>(ybits.size());
+  if (wy < 2) throw std::invalid_argument("array multiplier: operand too narrow");
+  std::vector<SignedTerm> terms;
+  for (int i = 0; i < wy; ++i) {
+    const Word row = and_row(b, x, ybits[static_cast<std::size_t>(i)],
+                             name + ".pp" + std::to_string(i));
+    // The sign row of the two's complement operand subtracts.
+    terms.push_back({word_shl(b, row, i), /*negative=*/i == wy - 1});
+  }
+  return sum_signed(p, std::move(terms), structure, style, name + ".acc");
+}
+
+}  // namespace
+
+Word shiftadd_multiply(Pipeliner& p, const Word& x, const ShiftAddPlan& plan,
+                       AdderStyle style, SumStructure structure,
+                       const std::string& name) {
+  Builder& b = p.builder();
+  Word shared3x;
+  if (plan.has_shared_3x) {
+    shared3x = word_add(p, x, word_shl(b, x, 1), style, name + ".3x");
+  }
+  if (structure == SumStructure::kSequential) {
+    // Sequential accumulation (paper figure 7), positives before negatives.
+    // Pipeline shims delay the *narrow source* (x or 3x) and shift at the
+    // point of use: the shift is free wiring, and the shared delay line
+    // serves every partial product (resource sharing a tool would do).
+    std::vector<ShiftAddTerm> ordered = plan.terms;
+    std::stable_partition(ordered.begin(), ordered.end(),
+                          [](const ShiftAddTerm& t) { return !t.negative; });
+    if (ordered.front().negative) {
+      throw std::invalid_argument(
+          "shiftadd_multiply: plan starts with a negative term");
+    }
+    Word acc;
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      const ShiftAddTerm& t = ordered[i];
+      const Word& src = t.uses_shared_3x ? shared3x : x;
+      if (i == 0) {
+        acc = word_shl(b, p.align_to(src, shared3x.bus.bits.empty()
+                                              ? src.depth
+                                              : shared3x.depth,
+                                     name + ".srcd"),
+                       t.shift);
+        continue;
+      }
+      const Word aligned = p.align_to(src, acc.depth, name + ".srcd");
+      const Word term = word_shl(b, aligned, t.shift);
+      const std::string step = name + ".acc" + std::to_string(i);
+      acc = t.negative ? word_sub(p, acc, term, style, step)
+                       : word_add(p, acc, term, style, step);
+    }
+    return acc;
+  }
+  std::vector<SignedTerm> terms;
+  for (const ShiftAddTerm& t : plan.terms) {
+    const Word& src = t.uses_shared_3x ? shared3x : x;
+    terms.push_back({word_shl(b, src, t.shift), t.negative});
+  }
+  return sum_signed(p, std::move(terms), structure, style, name);
+}
+
+Word array_multiply_const(Pipeliner& p, const Word& x, std::int64_t constant,
+                          int const_width, AdderStyle style,
+                          SumStructure structure, const std::string& name) {
+  if (const_width < 2 || const_width > 62) {
+    throw std::invalid_argument("array_multiply_const: bad constant width");
+  }
+  const std::int64_t lo = -(std::int64_t{1} << (const_width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (const_width - 1)) - 1;
+  if (constant < lo || constant > hi) {
+    throw std::invalid_argument("array_multiply_const: constant overflow");
+  }
+  Builder& b = p.builder();
+  Netlist& nl = b.netlist();
+  // Megacore-style elaboration of data * constant: the constant drives one
+  // operand port; rows are formed over the *data* bits so the whole adder
+  // array stays live (a megacore is not constant-folded by synthesis).
+  Word const_word;
+  const_word.bus = b.constant(constant, const_width);
+  const_word.range = common::Interval::point(constant);
+  const_word.depth = x.depth;
+  (void)nl;
+  return multiply_rows(p, const_word, x.bus.bits, style, structure, name);
+}
+
+Word array_multiply(Pipeliner& p, const Word& x, const Word& y,
+                    AdderStyle style, SumStructure structure,
+                    const std::string& name) {
+  return multiply_rows(p, x, y.bus.bits, style, structure, name);
+}
+
+}  // namespace dwt::rtl

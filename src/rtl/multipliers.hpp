@@ -1,0 +1,40 @@
+// Hardware multiplier generators in the paper's two flavours:
+//  - shift-add constant multipliers (sections 3.2/3.3, figure 7), built from
+//    a ShiftAddPlan with sequential partial-product accumulation (the
+//    figure-7 structure) or a balanced tree (ablation);
+//  - generic array multipliers (section 3.1, "behavioral integer generic
+//    multipliers"), built as a megacore elaborates constant-times-data:
+//    one AND partial-product row per *data* bit, accumulated sequentially.
+// Both return the exact full-precision product; callers truncate with an
+// arithmetic right shift (the paper's 8-bit adjust).
+#pragma once
+
+#include "rtl/adders.hpp"
+#include "rtl/shiftadd_plan.hpp"
+
+namespace dwt::rtl {
+
+/// constant * x via shifted additions per `plan`.
+[[nodiscard]] Word shiftadd_multiply(Pipeliner& p, const Word& x,
+                                     const ShiftAddPlan& plan, AdderStyle style,
+                                     SumStructure structure,
+                                     const std::string& name);
+
+/// constant * x via a generic partial-product array: one row per data bit,
+/// each row the constant masked by that bit (no constant folding of the
+/// accumulation -- the megacore keeps its full adder array, which is exactly
+/// why design 1 is large, slow and power-hungry).
+[[nodiscard]] Word array_multiply_const(Pipeliner& p, const Word& x,
+                                        std::int64_t constant, int const_width,
+                                        AdderStyle style,
+                                        SumStructure structure,
+                                        const std::string& name);
+
+/// Fully generic signed x * y array multiplier (used by tests and available
+/// to library users; the paper's designs always have one constant operand).
+/// Rows are formed over y's bits.
+[[nodiscard]] Word array_multiply(Pipeliner& p, const Word& x, const Word& y,
+                                  AdderStyle style, SumStructure structure,
+                                  const std::string& name);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,233 @@
+#include "rtl/netlist.hpp"
+
+#include <stdexcept>
+
+namespace dwt::rtl {
+
+const char* to_string(CellKind k) {
+  switch (k) {
+    case CellKind::kConst0: return "const0";
+    case CellKind::kConst1: return "const1";
+    case CellKind::kNot: return "not";
+    case CellKind::kAnd2: return "and2";
+    case CellKind::kOr2: return "or2";
+    case CellKind::kXor2: return "xor2";
+    case CellKind::kMux2: return "mux2";
+    case CellKind::kAddSum: return "add_sum";
+    case CellKind::kAddCarry: return "add_carry";
+    case CellKind::kDff: return "dff";
+  }
+  return "?";
+}
+
+NetId Netlist::new_net(std::string name) {
+  nets_.push_back(Net{std::move(name), kNullCell, false});
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId id = new_net(std::move(name));
+  nets_[id].is_primary_input = true;
+  primary_inputs_.push_back(id);
+  return id;
+}
+
+Bus Netlist::add_input_bus(const std::string& name, int width) {
+  if (width <= 0) throw std::invalid_argument("add_input_bus: width <= 0");
+  Bus bus;
+  bus.bits.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.bits.push_back(add_input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+NetId Netlist::add_cell(CellKind kind, NetId a, NetId b, NetId c,
+                        std::string name) {
+  Cell cell;
+  cell.kind = kind;
+  cell.in = {a, b, c};
+  cell.out = new_net(std::move(name));
+  cells_.push_back(cell);
+  const CellId id = static_cast<CellId>(cells_.size() - 1);
+  nets_[cell.out].driver = id;
+  return cell.out;
+}
+
+NetId Netlist::add_chain_cell(CellKind kind, NetId a, NetId b, NetId cin,
+                              std::int32_t chain, std::int32_t bit,
+                              std::string name) {
+  if (kind != CellKind::kAddSum && kind != CellKind::kAddCarry) {
+    throw std::invalid_argument("add_chain_cell: kind must be add_sum/carry");
+  }
+  const NetId out = add_cell(kind, a, b, cin, std::move(name));
+  cells_.back().chain_id = chain;
+  cells_.back().chain_bit = bit;
+  if (chain >= next_chain_id_) next_chain_id_ = chain + 1;
+  return out;
+}
+
+NetId Netlist::const0() {
+  if (const0_ == kNullNet) const0_ = add_cell(CellKind::kConst0, kNullNet,
+                                              kNullNet, kNullNet, "const0");
+  return const0_;
+}
+
+NetId Netlist::const1() {
+  if (const1_ == kNullNet) const1_ = add_cell(CellKind::kConst1, kNullNet,
+                                              kNullNet, kNullNet, "const1");
+  return const1_;
+}
+
+void Netlist::set_cluster(NetId net, std::int32_t cluster) {
+  if (net >= nets_.size() || nets_[net].driver == kNullCell) {
+    throw std::invalid_argument("Netlist::set_cluster: net has no driver");
+  }
+  cells_[nets_[net].driver].cluster_id = cluster;
+  if (cluster >= next_cluster_id_) next_cluster_id_ = cluster + 1;
+}
+
+void Netlist::rewire_input(CellId cell, int pos, NetId net) {
+  if (cell >= cells_.size() || pos < 0 ||
+      pos >= input_count(cells_[cell].kind) || net >= nets_.size()) {
+    throw std::invalid_argument("Netlist::rewire_input: bad arguments");
+  }
+  cells_[cell].in[static_cast<std::size_t>(pos)] = net;
+}
+
+void Netlist::bind_output(const std::string& name, Bus bus) {
+  if (bus.bits.empty()) throw std::invalid_argument("bind_output: empty bus");
+  for (NetId n : bus.bits) {
+    if (n >= nets_.size()) throw std::out_of_range("bind_output: bad net");
+  }
+  outputs_[name] = std::move(bus);
+}
+
+const Bus& Netlist::output(const std::string& name) const {
+  const auto it = outputs_.find(name);
+  if (it == outputs_.end()) {
+    throw std::out_of_range("Netlist::output: no port named " + name);
+  }
+  return it->second;
+}
+
+Bus Netlist::find_input_bus(const std::string& prefix) const {
+  Bus bus;
+  for (std::size_t i = 0;; ++i) {
+    const std::string name = prefix + "[" + std::to_string(i) + "]";
+    NetId found = kNullNet;
+    for (const NetId pi : primary_inputs_) {
+      if (nets_[pi].name == name) {
+        found = pi;
+        break;
+      }
+    }
+    if (found == kNullNet) break;
+    bus.bits.push_back(found);
+  }
+  if (bus.bits.empty()) {
+    throw std::out_of_range("Netlist::find_input_bus: no input named " +
+                            prefix);
+  }
+  return bus;
+}
+
+std::size_t Netlist::count_kind(CellKind k) const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) {
+    if (c.kind == k) ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+  std::vector<std::uint32_t> fanout(nets_.size(), 0);
+  for (const Cell& c : cells_) {
+    for (int i = 0; i < input_count(c.kind); ++i) {
+      if (c.in[static_cast<std::size_t>(i)] != kNullNet) {
+        ++fanout[c.in[static_cast<std::size_t>(i)]];
+      }
+    }
+  }
+  return fanout;
+}
+
+std::vector<CellId> Netlist::topo_order() const {
+  // Kahn's algorithm over combinational cells; DFFs are sequential sinks.
+  std::vector<std::uint32_t> pending(cells_.size(), 0);
+  std::vector<std::vector<CellId>> net_loads(nets_.size());
+  std::vector<CellId> ready;
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& c = cells_[id];
+    if (c.kind == CellKind::kDff) continue;
+    std::uint32_t deps = 0;
+    for (int i = 0; i < input_count(c.kind); ++i) {
+      const NetId in = c.in[static_cast<std::size_t>(i)];
+      const Net& n = nets_[in];
+      if (n.is_primary_input) continue;
+      const Cell& drv = cells_[n.driver];
+      if (drv.kind == CellKind::kDff) continue;  // sequential source
+      net_loads[in].push_back(id);
+      ++deps;
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+  std::vector<CellId> order;
+  order.reserve(cells_.size());
+  while (!ready.empty()) {
+    const CellId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (const CellId load : net_loads[cells_[id].out]) {
+      if (--pending[load] == 0) ready.push_back(load);
+    }
+  }
+  std::size_t comb_cells = 0;
+  for (const Cell& c : cells_) {
+    if (c.kind != CellKind::kDff) ++comb_cells;
+  }
+  if (order.size() != comb_cells) {
+    throw std::logic_error("Netlist::topo_order: combinational cycle");
+  }
+  return order;
+}
+
+void Netlist::validate() const {
+  for (CellId id = 0; id < cells_.size(); ++id) {
+    const Cell& c = cells_[id];
+    for (int i = 0; i < input_count(c.kind); ++i) {
+      const NetId in = c.in[static_cast<std::size_t>(i)];
+      if (in == kNullNet || in >= nets_.size()) {
+        throw std::logic_error("Netlist::validate: unwired input on cell " +
+                               std::to_string(id));
+      }
+      if (!nets_[in].is_primary_input && nets_[in].driver == kNullCell) {
+        throw std::logic_error("Netlist::validate: undriven net feeding cell " +
+                               std::to_string(id));
+      }
+    }
+    if (c.out == kNullNet || nets_[c.out].driver != id) {
+      throw std::logic_error("Netlist::validate: bad output wiring on cell " +
+                             std::to_string(id));
+    }
+    if ((c.kind == CellKind::kAddSum || c.kind == CellKind::kAddCarry)) {
+      if (c.chain_id >= 0 && c.chain_bit < 0) {
+        throw std::logic_error("Netlist::validate: chain cell without bit");
+      }
+    } else if (c.chain_id >= 0) {
+      throw std::logic_error("Netlist::validate: chain tag on non-adder cell");
+    }
+  }
+  for (const auto& [name, bus] : outputs_) {
+    for (NetId n : bus.bits) {
+      if (n >= nets_.size() ||
+          (!nets_[n].is_primary_input && nets_[n].driver == kNullCell)) {
+        throw std::logic_error("Netlist::validate: undriven output " + name);
+      }
+    }
+  }
+  (void)topo_order();  // throws on combinational cycles
+}
+
+}  // namespace dwt::rtl

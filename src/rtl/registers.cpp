@@ -1,0 +1,83 @@
+#include "rtl/registers.hpp"
+
+#include <stdexcept>
+
+namespace dwt::rtl {
+
+int width_for(const common::Interval& range) {
+  return range.min_signed_bits();
+}
+
+Word Pipeliner::stage(const Word& w, const std::string& name) {
+  return Word{builder_.reg(w.bus, name), w.range, w.depth + 1};
+}
+
+Word Pipeliner::cut(const Word& w, const std::string& name) {
+  if (!enabled_) return w;
+  if (++cut_counter_ % granularity_ != 0) return w;
+  return stage(w, name);
+}
+
+Bus Pipeliner::delay_shared(const Bus& b, const std::string& name) {
+  const auto it = delay_cache_.find(b.bits);
+  if (it != delay_cache_.end()) return it->second;
+  Bus delayed = builder_.reg(b, name);
+  delay_cache_.emplace(b.bits, delayed);
+  return delayed;
+}
+
+Word Pipeliner::align_to(const Word& w, int target_depth,
+                         const std::string& name) {
+  if (target_depth < w.depth) {
+    throw std::logic_error("Pipeliner::align_to: cannot travel back in time");
+  }
+  Word out = w;
+  for (int i = w.depth; i < target_depth; ++i) {
+    out.bus = delay_shared(out.bus, name + ".d" + std::to_string(i));
+  }
+  out.depth = target_depth;
+  return out;
+}
+
+void Pipeliner::align(Word& a, Word& b, const std::string& name) {
+  if (a.depth < b.depth) {
+    a = align_to(a, b.depth, name + ".shimA");
+  } else if (b.depth < a.depth) {
+    b = align_to(b, a.depth, name + ".shimB");
+  }
+}
+
+Word word_input(Netlist& nl, const std::string& name, int bits) {
+  return Word{nl.add_input_bus(name, bits), common::Interval::signed_bits(bits),
+              0};
+}
+
+Word word_shl(Builder& b, const Word& w, int k) {
+  return Word{b.shl(w.bus, k), common::shl(w.range, k), w.depth};
+}
+
+Word word_asr(Builder& b, const Word& w, int k) {
+  return Word{b.asr(w.bus, k), common::asr(w.range, k), w.depth};
+}
+
+Word word_add(Pipeliner& p, const Word& a, const Word& b, AdderStyle style,
+              const std::string& name) {
+  Word aa = a, bb = b;
+  p.align(aa, bb, name);
+  const common::Interval range = aa.range + bb.range;
+  Word out{p.builder().add(aa.bus, bb.bus, style, width_for(range), name),
+           range, aa.depth};
+  return p.cut(out, name + ".r");
+}
+
+Word word_sub(Pipeliner& p, const Word& a, const Word& b, AdderStyle style,
+              const std::string& name) {
+  Word aa = a, bb = b;
+  p.align(aa, bb, name);
+  const common::Interval range = aa.range - bb.range;
+  Word out{p.builder().sub(aa.bus, bb.bus, style, width_for(range), name),
+           range, aa.depth};
+  return p.cut(out, name + ".r");
+}
+
+}  // namespace dwt::rtl

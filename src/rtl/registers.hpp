@@ -1,0 +1,80 @@
+// Pipeline bookkeeping for the "pipelined operators" designs (paper section
+// 3.3/3.5): a Word couples a bus with its statically analyzed value range
+// (for bit-width sizing, paper section 3.1) and its pipeline depth (for
+// automatic shim-register insertion when converging paths have different
+// latencies).
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/interval.hpp"
+#include "rtl/builder.hpp"
+
+namespace dwt::rtl {
+
+/// A signed word travelling through the datapath.
+struct Word {
+  Bus bus;
+  common::Interval range;  ///< guaranteed value range (sizes the bus)
+  int depth = 0;           ///< pipeline stage at which the value is valid
+};
+
+/// Inserts pipeline registers when enabled.  When disabled (designs 1, 2 and
+/// 4) arithmetic stays combinational inside a stage and only the explicit
+/// stage registers of the 8-stage skeleton are created.
+class Pipeliner {
+ public:
+  /// `granularity`: in pipelined mode, register every Nth operator-internal
+  /// cut (1 = the paper's one-sum-per-stage; larger values explore the space
+  /// between the flat designs and the fully pipelined ones).
+  Pipeliner(Builder& builder, bool enabled, int granularity = 1)
+      : builder_(builder), enabled_(enabled), granularity_(granularity) {
+    if (granularity < 1) {
+      throw std::invalid_argument("Pipeliner: granularity < 1");
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] Builder& builder() { return builder_; }
+
+  /// Registers a value unconditionally (explicit stage boundary).
+  [[nodiscard]] Word stage(const Word& w, const std::string& name);
+
+  /// Registers a value only in pipelined mode (operator-internal cut).
+  [[nodiscard]] Word cut(const Word& w, const std::string& name);
+
+  /// Delays `w` until `target_depth` with shim registers.
+  [[nodiscard]] Word align_to(const Word& w, int target_depth,
+                              const std::string& name);
+
+  /// Makes both words valid at the same depth (delays the shallower one).
+  void align(Word& a, Word& b, const std::string& name);
+
+ private:
+  /// One-cycle delay with sharing: delaying the same bus twice reuses the
+  /// same registers (resource sharing, as a synthesis tool would).
+  [[nodiscard]] Bus delay_shared(const Bus& b, const std::string& name);
+
+  Builder& builder_;
+  bool enabled_;
+  int granularity_;
+  int cut_counter_ = 0;
+  std::map<std::vector<NetId>, Bus> delay_cache_;
+};
+
+/// Width needed for a word's range.
+[[nodiscard]] int width_for(const common::Interval& range);
+
+/// Structural helpers; all widths derive from interval analysis.
+[[nodiscard]] Word word_input(Netlist& nl, const std::string& name, int bits);
+[[nodiscard]] Word word_shl(Builder& b, const Word& w, int k);
+[[nodiscard]] Word word_asr(Builder& b, const Word& w, int k);
+[[nodiscard]] Word word_add(Pipeliner& p, const Word& a, const Word& b,
+                            AdderStyle style, const std::string& name);
+[[nodiscard]] Word word_sub(Pipeliner& p, const Word& a, const Word& b,
+                            AdderStyle style, const std::string& name);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,165 @@
+#include "rtl/shiftadd_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsp/lifting_coeffs.hpp"
+
+namespace dwt::rtl {
+namespace {
+
+/// Two's-complement digits of `c` in the Q2.8-style datapath width the paper
+/// uses for all constants (2 integer + frac bits); bit w-1 weighs -2^(w-1).
+std::vector<int> twos_complement_digits(std::int64_t c, int width) {
+  const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+  if (c < lo || c > hi) {
+    throw std::invalid_argument("shiftadd: constant does not fit datapath width");
+  }
+  std::vector<int> digits(static_cast<std::size_t>(width), 0);
+  const std::uint64_t word =
+      static_cast<std::uint64_t>(c) & ((std::uint64_t{1} << width) - 1);
+  for (int i = 0; i < width; ++i) {
+    if ((word >> i) & 1) digits[static_cast<std::size_t>(i)] = 1;
+  }
+  if (digits[static_cast<std::size_t>(width - 1)] == 1) {
+    digits[static_cast<std::size_t>(width - 1)] = -1;  // sign bit subtracts
+  }
+  return digits;
+}
+
+/// Canonical signed-digit recoding: digits in {-1,0,1}, no two adjacent
+/// non-zeros, minimal non-zero count.
+std::vector<int> csd_digits(std::int64_t c) {
+  std::vector<int> digits;
+  std::int64_t v = c;
+  while (v != 0) {
+    if (v % 2 == 0) {
+      digits.push_back(0);
+      v /= 2;
+    } else {
+      // Choose the digit that makes the remaining value even twice over.
+      const int d = (v % 4 == 1 || v % 4 == -3) ? 1 : -1;
+      digits.push_back(d);
+      v = (v - d) / 2;
+    }
+  }
+  return digits;
+}
+
+ShiftAddPlan plan_from_digits(std::int64_t c, Recoding recoding,
+                              const std::vector<int>& digits,
+                              bool try_reuse) {
+  ShiftAddPlan plan;
+  plan.constant = c;
+  plan.recoding = recoding;
+
+  std::vector<bool> used(digits.size(), false);
+  if (try_reuse) {
+    // Find disjoint adjacent positive pairs (i, i+1): each computes
+    // 3x << i from the shared t = x + (x << 1).  Worth it only if at least
+    // two pairs exist (one adder builds t, each pair saves one adder).
+    std::vector<int> pair_starts;
+    for (std::size_t i = 0; i + 1 < digits.size(); ++i) {
+      if (digits[i] == 1 && digits[i + 1] == 1 && !used[i] && !used[i + 1]) {
+        pair_starts.push_back(static_cast<int>(i));
+        used[i] = used[i + 1] = true;
+      }
+    }
+    if (pair_starts.size() >= 2) {
+      plan.has_shared_3x = true;
+      for (const int i : pair_starts) {
+        plan.terms.push_back(
+            {.shift = i, .negative = false, .uses_shared_3x = true});
+      }
+    } else {
+      used.assign(digits.size(), false);  // not worth it; fall through
+    }
+  }
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (digits[i] == 0 || used[i]) continue;
+    plan.terms.push_back({.shift = static_cast<int>(i),
+                          .negative = digits[i] < 0,
+                          .uses_shared_3x = false});
+  }
+  if (plan.terms.empty()) {
+    throw std::invalid_argument("shiftadd: zero constant");
+  }
+  return plan;
+}
+
+}  // namespace
+
+int ShiftAddPlan::adders_for_products() const {
+  return static_cast<int>(terms.size()) - 1 + (has_shared_3x ? 1 : 0);
+}
+
+std::int64_t ShiftAddPlan::apply(std::int64_t x) const {
+  std::int64_t acc = 0;
+  const std::int64_t t = 3 * x;
+  for (const ShiftAddTerm& term : terms) {
+    const std::int64_t src = term.uses_shared_3x ? t : x;
+    const std::int64_t shifted = src << term.shift;
+    acc += term.negative ? -shifted : shifted;
+  }
+  return acc;
+}
+
+std::string ShiftAddPlan::to_string() const {
+  std::ostringstream os;
+  os << constant << "*x = ";
+  bool first = true;
+  for (const ShiftAddTerm& t : terms) {
+    if (!first || t.negative) os << (t.negative ? " - " : " + ");
+    os << (t.uses_shared_3x ? "(3x)" : "x");
+    if (t.shift > 0) os << "<<" << t.shift;
+    first = false;
+  }
+  if (has_shared_3x) os << "   [3x = x + x<<1 shared]";
+  return os.str();
+}
+
+ShiftAddPlan make_shiftadd_plan(std::int64_t constant, Recoding recoding) {
+  switch (recoding) {
+    case Recoding::kBinary:
+    case Recoding::kBinaryWithReuse: {
+      // The paper keeps every constant in the common Q2.8-style word
+      // (2 integer bits + 8 fractional), i.e. 10 bits, regardless of its
+      // minimal width; honour that unless the value needs more.
+      const int width =
+          std::max(10, common::signed_bits_for_range(constant, constant));
+      return plan_from_digits(constant, recoding,
+                              twos_complement_digits(constant, width),
+                              recoding == Recoding::kBinaryWithReuse);
+    }
+    case Recoding::kCsd: {
+      if (constant == 0) throw std::invalid_argument("shiftadd: zero constant");
+      return plan_from_digits(constant, recoding, csd_digits(constant),
+                              /*try_reuse=*/false);
+    }
+  }
+  throw std::invalid_argument("make_shiftadd_plan: unknown recoding");
+}
+
+std::vector<MultiplierAdderCount> paper_multiplier_adder_counts(
+    Recoding recoding) {
+  const auto c = dsp::LiftingFixedCoeffs::rounded(8);
+  auto entry = [recoding](std::string name, std::int64_t k, int pre_post) {
+    const ShiftAddPlan plan = make_shiftadd_plan(k, recoding);
+    return MultiplierAdderCount{std::move(name), k, plan.adders_for_products(),
+                                pre_post};
+  };
+  // Lifting-step multipliers include the r0+r2 pre-adder and the +r3
+  // post-adder in the paper's accounting; output scale blocks do not.
+  return {
+      entry("alpha", c.alpha.raw(), 2),
+      entry("beta", c.beta.raw(), 2),
+      entry("gamma", c.gamma.raw(), 2),
+      entry("delta", c.delta.raw(), 2),
+      entry("-k", c.minus_k.raw(), 0),
+      entry("1/k", c.inv_k.raw(), 0),
+  };
+}
+
+}  // namespace dwt::rtl

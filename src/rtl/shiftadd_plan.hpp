@@ -1,0 +1,70 @@
+// Decomposition of multiplication-by-constant into shifted additions (paper
+// section 3.2 / figure 7).  The paper recodes each lifting constant's two's
+// complement representation directly: every set bit becomes one shifted
+// partial product, the sign bit a subtracted one, plus an optional
+// shared-subexpression reuse that saves one adder for beta.  A canonical
+// signed-digit (CSD) mode is provided for the recoding ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fixed_point.hpp"
+
+namespace dwt::rtl {
+
+enum class Recoding {
+  kBinary,           ///< plain two's complement bits (the paper's scheme)
+  kBinaryWithReuse,  ///< + single shared "3x" subexpression (paper's beta)
+  kCsd,              ///< canonical signed digit (ablation)
+};
+
+/// One shifted addend: contributes sign * (source << shift), where source is
+/// the multiplicand x or the shared subexpression t = 3x.
+struct ShiftAddTerm {
+  int shift = 0;
+  bool negative = false;
+  bool uses_shared_3x = false;
+};
+
+struct ShiftAddPlan {
+  std::int64_t constant = 0;  ///< the integer constant being multiplied
+  Recoding recoding = Recoding::kBinary;
+  bool has_shared_3x = false;  ///< a t = x + (x << 1) pre-term is computed
+  std::vector<ShiftAddTerm> terms;
+
+  /// Adders needed to sum the partial products alone:
+  /// (terms - 1) + (1 if the shared 3x subexpression is built).
+  [[nodiscard]] int adders_for_products() const;
+
+  /// Reconstructs constant * x exactly (used by tests as the ground truth).
+  [[nodiscard]] std::int64_t apply(std::int64_t x) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Builds the decomposition of multiplication by `constant`.
+[[nodiscard]] ShiftAddPlan make_shiftadd_plan(std::int64_t constant,
+                                              Recoding recoding);
+
+/// Adder count for one full lifting-step multiplier block in the paper's
+/// accounting: pre-adder (r0 + r2), the partial-product adders, and the
+/// post-adder (+ r3).  Scale-constant blocks (-k, 1/k) have no pre/post add.
+struct MultiplierAdderCount {
+  std::string name;
+  std::int64_t constant;
+  int partial_product_adders;
+  int pre_post_adders;
+  [[nodiscard]] int total() const {
+    return partial_product_adders + pre_post_adders;
+  }
+};
+
+/// Adder counts for all six constant multipliers of the lifting datapath with
+/// 8 fractional bits, reproducing section 3.2's numbers
+/// (alpha 6, beta 7, gamma 5, delta 5, -k 4, 1/k 2).
+[[nodiscard]] std::vector<MultiplierAdderCount> paper_multiplier_adder_counts(
+    Recoding recoding = Recoding::kBinaryWithReuse);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,215 @@
+#include "rtl/simplify.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace dwt::rtl {
+namespace {
+
+class Simplifier {
+ public:
+  explicit Simplifier(const Netlist& in) : in_(in) {}
+
+  Netlist run() {
+    in_.validate();
+    remap_.assign(in_.net_count(), kNullNet);
+    c0_ = out_.const0();
+    c1_ = out_.const1();
+    for (const NetId pi : in_.primary_inputs()) {
+      remap_[pi] = out_.add_input(in_.net(pi).name);
+    }
+    // Constants are topological sources; pre-map them so any cell may
+    // resolve them regardless of its position in the order.
+    for (const Cell& c : in_.cells()) {
+      if (c.kind == CellKind::kConst0) remap_[c.out] = c0_;
+      if (c.kind == CellKind::kConst1) remap_[c.out] = c1_;
+    }
+    // DFB outputs are sequential sources: create them first with a
+    // placeholder D input, patched after the combinational pass.
+    std::vector<std::pair<CellId, CellId>> dff_patch;  // (old cell, new cell)
+    for (CellId id = 0; id < in_.cells().size(); ++id) {
+      const Cell& c = in_.cell(id);
+      if (c.kind != CellKind::kDff) continue;
+      const NetId q = out_.add_cell(CellKind::kDff, c0_, kNullNet, kNullNet,
+                                    in_.net(c.out).name);
+      remap_[c.out] = q;
+      dff_patch.emplace_back(id, out_.net(q).driver);
+    }
+    for (const CellId id : in_.topo_order()) {
+      map_comb_cell(in_.cell(id));
+    }
+    for (const auto& [old_id, new_id] : dff_patch) {
+      out_.rewire_input(new_id, 0, resolve(in_.cell(old_id).in[0]));
+    }
+    for (const auto& [name, bus] : in_.outputs()) {
+      Bus nb;
+      nb.bits.reserve(bus.bits.size());
+      for (const NetId b : bus.bits) nb.bits.push_back(resolve(b));
+      out_.bind_output(name, std::move(nb));
+    }
+    out_.validate();
+    return std::move(out_);
+  }
+
+ private:
+  NetId resolve(NetId old) const {
+    const NetId n = remap_[old];
+    if (n == kNullNet) throw std::logic_error("simplify: unmapped net");
+    return n;
+  }
+
+  NetId mk_not(NetId a, const std::string& name) {
+    if (a == c0_) return c1_;
+    if (a == c1_) return c0_;
+    const CellId drv = out_.net(a).driver;
+    if (drv != kNullCell && out_.cell(drv).kind == CellKind::kNot) {
+      return out_.cell(drv).in[0];  // double inverter
+    }
+    return out_.add_cell(CellKind::kNot, a, kNullNet, kNullNet, name);
+  }
+
+  void map_comb_cell(const Cell& c) {
+    const std::string& name = in_.net(c.out).name;
+    NetId a = kNullNet, b = kNullNet, s = kNullNet;
+    if (input_count(c.kind) > 0) a = resolve(c.in[0]);
+    if (input_count(c.kind) > 1) b = resolve(c.in[1]);
+    if (input_count(c.kind) > 2) s = resolve(c.in[2]);
+    switch (c.kind) {
+      case CellKind::kConst0: remap_[c.out] = c0_; return;
+      case CellKind::kConst1: remap_[c.out] = c1_; return;
+      case CellKind::kNot: remap_[c.out] = mk_not(a, name); return;
+      case CellKind::kAnd2:
+        if (a == c0_ || b == c0_) { remap_[c.out] = c0_; return; }
+        if (a == c1_) { remap_[c.out] = b; return; }
+        if (b == c1_ || a == b) { remap_[c.out] = a; return; }
+        break;
+      case CellKind::kOr2:
+        if (a == c1_ || b == c1_) { remap_[c.out] = c1_; return; }
+        if (a == c0_) { remap_[c.out] = b; return; }
+        if (b == c0_ || a == b) { remap_[c.out] = a; return; }
+        break;
+      case CellKind::kXor2:
+        if (a == b) { remap_[c.out] = c0_; return; }
+        if (a == c0_) { remap_[c.out] = b; return; }
+        if (b == c0_) { remap_[c.out] = a; return; }
+        if (a == c1_) { remap_[c.out] = mk_not(b, name); return; }
+        if (b == c1_) { remap_[c.out] = mk_not(a, name); return; }
+        break;
+      case CellKind::kMux2:
+        if (s == c0_ || a == b) { remap_[c.out] = a; return; }
+        if (s == c1_) { remap_[c.out] = b; return; }
+        break;
+      case CellKind::kAddSum:
+      case CellKind::kAddCarry:
+        // Adder structure is preserved verbatim (megacore semantics).
+        if (c.chain_id >= 0) {
+          remap_[c.out] = out_.add_chain_cell(c.kind, a, b, s, c.chain_id,
+                                              c.chain_bit, name);
+        } else {
+          remap_[c.out] = out_.add_cell(c.kind, a, b, s, name);
+        }
+        if (c.cluster_id >= 0) out_.set_cluster(remap_[c.out], c.cluster_id);
+        return;
+      case CellKind::kDff:
+        throw std::logic_error("simplify: DFF in combinational pass");
+    }
+    remap_[c.out] = out_.add_cell(c.kind, a, b, s, name);
+    if (c.cluster_id >= 0) out_.set_cluster(remap_[c.out], c.cluster_id);
+  }
+
+  const Netlist& in_;
+  Netlist out_;
+  std::vector<NetId> remap_;
+  NetId c0_ = kNullNet;
+  NetId c1_ = kNullNet;
+};
+
+/// Removes cells with no path to an output port (dead-code sweep).
+class Sweeper {
+ public:
+  explicit Sweeper(const Netlist& in) : in_(in) {}
+
+  Netlist run() {
+    // Mark live nets backwards from the outputs.
+    std::vector<std::uint8_t> live(in_.net_count(), 0);
+    std::vector<NetId> stack;
+    for (const auto& [name, bus] : in_.outputs()) {
+      (void)name;
+      for (const NetId b : bus.bits) stack.push_back(b);
+    }
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      if (live[n]) continue;
+      live[n] = 1;
+      const CellId d = in_.net(n).driver;
+      if (d == kNullCell) continue;
+      const Cell& c = in_.cell(d);
+      for (int i = 0; i < input_count(c.kind); ++i) {
+        stack.push_back(c.in[static_cast<std::size_t>(i)]);
+      }
+    }
+    // Rebuild with live cells only (inputs are always preserved).
+    remap_.assign(in_.net_count(), kNullNet);
+    for (const NetId pi : in_.primary_inputs()) {
+      remap_[pi] = out_.add_input(in_.net(pi).name);
+    }
+    std::vector<std::pair<CellId, CellId>> dff_patch;
+    for (CellId id = 0; id < in_.cells().size(); ++id) {
+      const Cell& c = in_.cell(id);
+      if (c.kind != CellKind::kDff || !live[c.out]) continue;
+      const NetId q = out_.add_cell(CellKind::kDff, out_.const0(), kNullNet,
+                                    kNullNet, in_.net(c.out).name);
+      remap_[c.out] = q;
+      dff_patch.emplace_back(id, out_.net(q).driver);
+    }
+    for (const CellId id : in_.topo_order()) {
+      const Cell& c = in_.cell(id);
+      if (!live[c.out]) continue;
+      if (c.kind == CellKind::kConst0) {
+        remap_[c.out] = out_.const0();
+        continue;
+      }
+      if (c.kind == CellKind::kConst1) {
+        remap_[c.out] = out_.const1();
+        continue;
+      }
+      NetId a = kNullNet, b = kNullNet, s = kNullNet;
+      if (input_count(c.kind) > 0) a = remap_[c.in[0]];
+      if (input_count(c.kind) > 1) b = remap_[c.in[1]];
+      if (input_count(c.kind) > 2) s = remap_[c.in[2]];
+      if (c.chain_id >= 0) {
+        remap_[c.out] = out_.add_chain_cell(c.kind, a, b, s, c.chain_id,
+                                            c.chain_bit, in_.net(c.out).name);
+      } else {
+        remap_[c.out] = out_.add_cell(c.kind, a, b, s, in_.net(c.out).name);
+      }
+      if (c.cluster_id >= 0) out_.set_cluster(remap_[c.out], c.cluster_id);
+    }
+    for (const auto& [old_id, new_id] : dff_patch) {
+      out_.rewire_input(new_id, 0, remap_[in_.cell(old_id).in[0]]);
+    }
+    for (const auto& [name, bus] : in_.outputs()) {
+      Bus nb;
+      nb.bits.reserve(bus.bits.size());
+      for (const NetId b : bus.bits) nb.bits.push_back(remap_[b]);
+      out_.bind_output(name, std::move(nb));
+    }
+    out_.validate();
+    return std::move(out_);
+  }
+
+ private:
+  const Netlist& in_;
+  Netlist out_;
+  std::vector<NetId> remap_;
+};
+
+}  // namespace
+
+Netlist simplify(const Netlist& in) {
+  const Netlist folded = Simplifier(in).run();
+  return Sweeper(folded).run();
+}
+
+}  // namespace dwt::rtl

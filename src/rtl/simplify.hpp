@@ -1,0 +1,19 @@
+// Pre-mapping netlist cleanup: constant folding and trivial-gate removal,
+// modeling what a synthesis tool does before technology mapping.  Carry-chain
+// adder cells are deliberately NOT folded -- a megacore-style adder keeps its
+// full structure even when some inputs are tied off, which is exactly why the
+// paper's design 1 (generic multipliers) stays large.
+#pragma once
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+/// Returns a functionally equivalent netlist with:
+///  * gates with constant inputs folded (and(x,0)=0, xor(x,0)=x, ...),
+///  * double inverters removed,
+///  * gates with identical inputs folded (and(x,x)=x, xor(x,x)=0, ...).
+/// Primary inputs and output port names/widths are preserved.
+[[nodiscard]] Netlist simplify(const Netlist& in);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,95 @@
+#include "rtl/simulator.hpp"
+
+#include <stdexcept>
+
+namespace dwt::rtl {
+
+Simulator::Simulator(const Netlist& nl)
+    : nl_(nl), topo_(nl.topo_order()), values_(nl.net_count(), 0) {}
+
+void Simulator::set_input(NetId net, bool value) {
+  if (net >= values_.size() || !nl_.net(net).is_primary_input) {
+    throw std::invalid_argument("Simulator::set_input: not a primary input");
+  }
+  values_[net] = value ? 1 : 0;
+}
+
+void Simulator::set_bus(const Bus& bus, std::int64_t value) {
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    set_input(bus.bits[i], ((value >> i) & 1) != 0);
+  }
+  // Verify the value actually fits the bus (two's complement).
+  const std::int64_t readback = [&] {
+    std::int64_t v = 0;
+    for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+      if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
+    }
+    const int w = bus.width();
+    if (w < 64 && (v & (std::int64_t{1} << (w - 1)))) {
+      v -= std::int64_t{1} << w;
+    }
+    return v;
+  }();
+  if (readback != value) {
+    throw std::invalid_argument("Simulator::set_bus: value does not fit bus");
+  }
+}
+
+bool Simulator::eval_cell(const Cell& c) const {
+  const auto in = [&](int i) {
+    return values_[c.in[static_cast<std::size_t>(i)]] != 0;
+  };
+  switch (c.kind) {
+    case CellKind::kConst0: return false;
+    case CellKind::kConst1: return true;
+    case CellKind::kNot: return !in(0);
+    case CellKind::kAnd2: return in(0) && in(1);
+    case CellKind::kOr2: return in(0) || in(1);
+    case CellKind::kXor2: return in(0) != in(1);
+    case CellKind::kMux2: return in(2) ? in(1) : in(0);
+    case CellKind::kAddSum: return (in(0) != in(1)) != in(2);
+    case CellKind::kAddCarry:
+      return (in(0) && in(1)) || (in(2) && (in(0) != in(1)));
+    case CellKind::kDff:
+      throw std::logic_error("eval_cell: DFF is not combinational");
+  }
+  return false;
+}
+
+void Simulator::eval() {
+  for (const CellId id : topo_) {
+    const Cell& c = nl_.cell(id);
+    values_[c.out] = eval_cell(c) ? 1 : 0;
+  }
+}
+
+void Simulator::step() {
+  eval();
+  // Sample all D inputs, then update outputs (two-phase, race-free).
+  std::vector<std::pair<NetId, std::uint8_t>> updates;
+  for (CellId id = 0; id < nl_.cells().size(); ++id) {
+    const Cell& c = nl_.cell(id);
+    if (c.kind == CellKind::kDff) {
+      updates.emplace_back(c.out, values_[c.in[0]]);
+    }
+  }
+  for (const auto& [net, v] : updates) values_[net] = v;
+}
+
+std::int64_t Simulator::read_bus(const Bus& bus) const {
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
+  }
+  const int w = bus.width();
+  if (w < 64 && (v & (std::int64_t{1} << (w - 1)))) {
+    v -= std::int64_t{1} << w;
+  }
+  return v;
+}
+
+void Simulator::reset() {
+  values_.assign(values_.size(), 0);
+}
+
+}  // namespace dwt::rtl

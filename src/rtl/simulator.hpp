@@ -1,0 +1,44 @@
+// Zero-delay (levelized) cycle-accurate simulator: evaluates the
+// combinational cloud in topological order, then advances all DFFs on
+// step().  Used for functional (bit-true) verification of the hardware
+// designs against the software fixed-point model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& nl);
+
+  /// Drives a primary input (before eval/step).
+  void set_input(NetId net, bool value);
+  /// Drives an input bus with a signed value (two's complement, LSB first).
+  void set_bus(const Bus& bus, std::int64_t value);
+
+  /// Settles the combinational logic for the current inputs/state.
+  void eval();
+
+  /// eval() then clock edge: every DFF output takes its D value.
+  void step();
+
+  [[nodiscard]] bool value(NetId net) const { return values_[net] != 0; }
+  /// Reads a bus as a signed two's complement integer.
+  [[nodiscard]] std::int64_t read_bus(const Bus& bus) const;
+
+  /// Resets all state and nets to 0.
+  void reset();
+
+ private:
+  [[nodiscard]] bool eval_cell(const Cell& c) const;
+
+  const Netlist& nl_;
+  std::vector<CellId> topo_;
+  std::vector<std::uint8_t> values_;  // per net
+};
+
+}  // namespace dwt::rtl

@@ -1,0 +1,93 @@
+#include "rtl/stats.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace dwt::rtl {
+
+int pipeline_depth(const Netlist& nl) {
+  // Longest path in registers: process cells so that a cell's depth =
+  // max over inputs of (input depth + (driver is DFF ? 1 : 0)).
+  // Since DFF->DFF paths follow the clocked graph, iterate: depth per net.
+  // The netlist is a DAG through combinational cells but cyclic through
+  // DFFs in general; the paper's datapaths are feed-forward, so a simple
+  // longest-path over the full graph treating DFFs as +1 edges works.  We
+  // compute it with an iterative relaxation bounded by the register count.
+  const std::size_t n_nets = nl.net_count();
+  std::vector<int> depth(n_nets, 0);
+  const auto topo = nl.topo_order();
+  const std::size_t dffs = nl.count_kind(CellKind::kDff);
+  // Relax combinational topo order once per register "wave".
+  for (std::size_t wave = 0; wave <= dffs; ++wave) {
+    bool changed = false;
+    for (const auto& c : nl.cells()) {
+      if (c.kind != CellKind::kDff) continue;
+      const int d = depth[c.in[0]] + 1;
+      if (d > depth[c.out]) {
+        depth[c.out] = d;
+        changed = true;
+      }
+    }
+    for (const CellId id : topo) {
+      const Cell& c = nl.cell(id);
+      int d = 0;
+      for (int i = 0; i < input_count(c.kind); ++i) {
+        d = std::max(d, depth[c.in[static_cast<std::size_t>(i)]]);
+      }
+      if (d > depth[c.out]) {
+        depth[c.out] = d;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  int out_depth = 0;
+  for (const auto& [name, bus] : nl.outputs()) {
+    (void)name;
+    for (const NetId b : bus.bits) out_depth = std::max(out_depth, depth[b]);
+  }
+  return out_depth;
+}
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.cells = nl.cell_count();
+  s.nets = nl.net_count();
+  std::set<std::int32_t> chains;
+  for (const Cell& c : nl.cells()) {
+    ++s.by_kind[c.kind];
+    switch (c.kind) {
+      case CellKind::kDff:
+        ++s.register_bits;
+        break;
+      case CellKind::kAddSum:
+        if (c.chain_id >= 0) {
+          chains.insert(c.chain_id);
+          ++s.chain_bits;
+        }
+        break;
+      case CellKind::kAddCarry:
+      case CellKind::kConst0:
+      case CellKind::kConst1:
+        break;
+      default:
+        ++s.gate_cells;
+        break;
+    }
+  }
+  s.carry_chains = chains.size();
+  s.pipeline_stages = pipeline_depth(nl);
+  return s;
+}
+
+std::string NetlistStats::to_string() const {
+  std::ostringstream os;
+  os << "cells=" << cells << " nets=" << nets
+     << " registers=" << register_bits << " carry_chains=" << carry_chains
+     << " chain_bits=" << chain_bits << " gates=" << gate_cells
+     << " pipeline_stages=" << pipeline_stages;
+  return os.str();
+}
+
+}  // namespace dwt::rtl

@@ -1,0 +1,34 @@
+// Structural statistics of a netlist: primitive counts, operator counts
+// (adders identified by carry-chain tags or full-adder gate clusters),
+// register bits, and pipeline depth (longest DFF-to-DFF register distance
+// from inputs to outputs), reported by the figure-oriented benches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+struct NetlistStats {
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::map<CellKind, std::size_t> by_kind;
+  std::size_t register_bits = 0;     ///< DFF count
+  std::size_t carry_chains = 0;      ///< distinct behavioral adder chains
+  std::size_t chain_bits = 0;        ///< total carry-chain sum bits
+  std::size_t gate_cells = 0;        ///< plain gates (structural logic)
+  int pipeline_stages = 0;           ///< registers on the longest input->output path
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] NetlistStats compute_stats(const Netlist& nl);
+
+/// Registers crossed on the longest path from any primary input to any bound
+/// output (the architecture's pipeline latency in cycles).
+[[nodiscard]] int pipeline_depth(const Netlist& nl);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,49 @@
+#include "rtl/vcd.hpp"
+
+#include <stdexcept>
+
+namespace dwt::rtl {
+namespace {
+
+// VCD identifier codes: printable ASCII starting at '!'.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const Netlist& nl, std::vector<NetId> traced,
+                     const std::string& path)
+    : nl_(nl), traced_(std::move(traced)), last_(traced_.size(), -1),
+      out_(path) {
+  if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+  out_ << "$timescale 1ns $end\n$scope module dwt $end\n";
+  for (std::size_t i = 0; i < traced_.size(); ++i) {
+    const Net& n = nl_.net(traced_[i]);
+    std::string name = n.name.empty() ? "n" + std::to_string(traced_[i])
+                                      : n.name;
+    for (char& ch : name) {
+      if (ch == ' ') ch = '_';
+    }
+    out_ << "$var wire 1 " << vcd_id(i) << " " << name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample(const Simulator& sim, std::uint64_t t) {
+  out_ << "#" << t << "\n";
+  for (std::size_t i = 0; i < traced_.size(); ++i) {
+    const int v = sim.value(traced_[i]) ? 1 : 0;
+    if (v != last_[i]) {
+      out_ << v << vcd_id(i) << "\n";
+      last_[i] = v;
+    }
+  }
+}
+
+}  // namespace dwt::rtl

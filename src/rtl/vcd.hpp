@@ -1,0 +1,31 @@
+// Minimal VCD (value change dump) writer so hardware simulations can be
+// inspected in any waveform viewer (GTKWave etc.).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::rtl {
+
+class VcdWriter {
+ public:
+  /// Opens `path` and writes a VCD header with one scalar signal per traced
+  /// net.  Nets with empty names are dumped as n<id>.
+  VcdWriter(const Netlist& nl, std::vector<NetId> traced,
+            const std::string& path);
+
+  /// Records the current simulator values at time `t` (dumps changes only).
+  void sample(const Simulator& sim, std::uint64_t t);
+
+ private:
+  const Netlist& nl_;
+  std::vector<NetId> traced_;
+  std::vector<int> last_;  // -1 unknown, else 0/1
+  std::ofstream out_;
+};
+
+}  // namespace dwt::rtl

@@ -1,0 +1,24 @@
+// Structural Verilog export of a netlist.  The paper argues structural
+// descriptions are the portable starting point for ASIC targets; this writer
+// lets every design elaborated in this library be handed to an external
+// synthesis flow (it emits only plain primitive instantiations).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+/// Emits a synthesizable structural Verilog module.  Carry-chain cells are
+/// emitted as plain full-adder assigns (the chain packing is an FPGA mapping
+/// property, not a logical one).
+void write_verilog(const Netlist& nl, const std::string& module_name,
+                   std::ostream& os);
+
+/// Convenience: render to a string.
+[[nodiscard]] std::string to_verilog(const Netlist& nl,
+                                     const std::string& module_name);
+
+}  // namespace dwt::rtl

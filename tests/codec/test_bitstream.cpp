@@ -1,0 +1,81 @@
+#include "codec/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dwt::codec {
+namespace {
+
+TEST(Bitstream, SingleBits) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  BitReader r(w.finish());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_FALSE(r.read_bit());  // zero padding
+}
+
+TEST(Bitstream, MultiBitValuesMsbFirst) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bits(0xFF, 8);
+  BitReader r(w.finish());
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_EQ(r.read_bits(8), 0xFFu);
+}
+
+TEST(Bitstream, ByteBoundaryAlignment) {
+  BitWriter w;
+  w.write_bits(0xABCD, 16);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAB);
+  EXPECT_EQ(bytes[1], 0xCD);
+}
+
+TEST(Bitstream, BitCountTracksWrites) {
+  BitWriter w;
+  w.write_bits(0, 5);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 6u);
+}
+
+TEST(Bitstream, RandomRoundTrip) {
+  common::Rng rng(9);
+  std::vector<std::pair<std::uint64_t, int>> items;
+  BitWriter w;
+  for (int i = 0; i < 500; ++i) {
+    const int count = static_cast<int>(rng.uniform(1, 32));
+    const std::uint64_t value =
+        static_cast<std::uint64_t>(rng.next_u64()) &
+        ((std::uint64_t{1} << count) - 1);
+    items.emplace_back(value, count);
+    w.write_bits(value, count);
+  }
+  BitReader r(w.finish());
+  for (const auto& [value, count] : items) {
+    EXPECT_EQ(r.read_bits(count), value);
+  }
+}
+
+TEST(Bitstream, ReaderThrowsPastEnd) {
+  BitWriter w;
+  w.write_bit(true);
+  BitReader r(w.finish());
+  (void)r.read_bits(8);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW(r.read_bit(), std::out_of_range);
+}
+
+TEST(Bitstream, WriteBitsValidation) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, -1), std::invalid_argument);
+  EXPECT_THROW(w.write_bits(0, 65), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::codec

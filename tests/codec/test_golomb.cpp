@@ -1,0 +1,95 @@
+#include "codec/golomb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dwt::codec {
+namespace {
+
+TEST(ZigZag, BijectiveOnSmallValues) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  for (std::int64_t v = -1000; v <= 1000; ++v) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(ExpGolomb, OrderZeroKnownCodes) {
+  // Order-0 Exp-Golomb: 0 -> "1", 1 -> "010", 2 -> "011", 3 -> "00100".
+  BitWriter w;
+  write_exp_golomb(w, 0, 0);
+  write_exp_golomb(w, 1, 0);
+  write_exp_golomb(w, 2, 0);
+  write_exp_golomb(w, 3, 0);
+  EXPECT_EQ(w.bit_count(), 1u + 3u + 3u + 5u);
+  BitReader r(w.finish());
+  EXPECT_EQ(read_exp_golomb(r, 0), 0u);
+  EXPECT_EQ(read_exp_golomb(r, 0), 1u);
+  EXPECT_EQ(read_exp_golomb(r, 0), 2u);
+  EXPECT_EQ(read_exp_golomb(r, 0), 3u);
+}
+
+class GolombOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(GolombOrder, RoundTripsRandomValues) {
+  const int k = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(k) + 1);
+  std::vector<std::uint64_t> values;
+  BitWriter w;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform(0, 100000));
+    values.push_back(v);
+    write_exp_golomb(w, v, k);
+  }
+  BitReader r(w.finish());
+  for (const std::uint64_t v : values) {
+    EXPECT_EQ(read_exp_golomb(r, k), v);
+  }
+}
+
+TEST_P(GolombOrder, SignedRoundTrip) {
+  const int k = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(k) + 77);
+  std::vector<std::int64_t> values;
+  BitWriter w;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t v = rng.uniform(-50000, 50000);
+    values.push_back(v);
+    write_signed_exp_golomb(w, v, k);
+  }
+  BitReader r(w.finish());
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(read_signed_exp_golomb(r, k), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GolombOrder, ::testing::Values(0, 1, 2, 3, 5, 8));
+
+TEST(ExpGolomb, LengthMatchesWrittenBits) {
+  for (const int k : {0, 1, 3}) {
+    for (const std::uint64_t v : {0ull, 1ull, 7ull, 100ull, 12345ull}) {
+      BitWriter w;
+      write_exp_golomb(w, v, k);
+      EXPECT_EQ(static_cast<int>(w.bit_count()), exp_golomb_length(v, k))
+          << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+TEST(ExpGolomb, HigherOrderBetterForLargeValues) {
+  // Order-k trades a k-bit floor cost for shorter prefixes on large values.
+  EXPECT_LT(exp_golomb_length(1000, 5), exp_golomb_length(1000, 0));
+  EXPECT_LT(exp_golomb_length(0, 0), exp_golomb_length(0, 5));
+}
+
+TEST(ExpGolomb, RejectsBadOrder) {
+  BitWriter w;
+  EXPECT_THROW(write_exp_golomb(w, 1, -1), std::invalid_argument);
+  EXPECT_THROW(write_exp_golomb(w, 1, 33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::codec

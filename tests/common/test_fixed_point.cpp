@@ -1,0 +1,96 @@
+#include "common/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwt::common {
+namespace {
+
+TEST(FixedPoint, FromDoubleRoundsToNearest) {
+  EXPECT_EQ(Fixed::from_double(0.5, 8).raw(), 128);
+  EXPECT_EQ(Fixed::from_double(-0.5, 8).raw(), -128);
+  EXPECT_EQ(Fixed::from_double(1.0, 8).raw(), 256);
+  EXPECT_EQ(Fixed::from_double(0.0, 8).raw(), 0);
+}
+
+TEST(FixedPoint, RoundsHalfAwayFromZero) {
+  // 0.001953125 * 256 = 0.5 exactly.
+  EXPECT_EQ(Fixed::from_double(0.001953125, 8).raw(), 1);
+  EXPECT_EQ(Fixed::from_double(-0.001953125, 8).raw(), -1);
+}
+
+TEST(FixedPoint, PaperTable1Constants) {
+  EXPECT_EQ(Fixed::from_double(-1.586134342, 8).raw(), -406);
+  EXPECT_EQ(Fixed::from_double(-0.052980118, 8).raw(), -14);
+  EXPECT_EQ(Fixed::from_double(0.882911075, 8).raw(), 226);
+  EXPECT_EQ(Fixed::from_double(0.443506852, 8).raw(), 114);
+  EXPECT_EQ(Fixed::from_double(0.812893066, 8).raw(), 208);
+  // Correct rounding of -1.230174105*256 = -314.92... gives -315; the
+  // paper's binary column (10.11000101) encodes -315 as well, though its
+  // integer column prints -314 (a known inconsistency in the paper).
+  EXPECT_EQ(Fixed::from_double(-1.230174105, 8).raw(), -315);
+}
+
+TEST(FixedPoint, ToDoubleRoundTrips) {
+  const Fixed f = Fixed::from_raw(-406, 8);
+  EXPECT_DOUBLE_EQ(f.to_double(), -406.0 / 256.0);
+}
+
+TEST(FixedPoint, BinaryStringMatchesPaperTable1) {
+  EXPECT_EQ(Fixed::from_raw(-406, 8).to_binary_string(2), "10.01101010");
+  EXPECT_EQ(Fixed::from_raw(-14, 8).to_binary_string(2), "11.11110010");
+  EXPECT_EQ(Fixed::from_raw(226, 8).to_binary_string(2), "00.11100010");
+  EXPECT_EQ(Fixed::from_raw(208, 8).to_binary_string(2), "00.11010000");
+  EXPECT_EQ(Fixed::from_raw(-315, 8).to_binary_string(2), "10.11000101");
+}
+
+TEST(FixedPoint, MulConstTruncateMatchesArithmeticShift) {
+  const Fixed alpha = Fixed::from_raw(-406, 8);
+  for (std::int64_t x = -300; x <= 300; x += 7) {
+    EXPECT_EQ(mul_const_truncate(x, alpha), (x * -406) >> 8) << "x=" << x;
+  }
+}
+
+TEST(FixedPoint, MulConstTruncateIsFloorDivision) {
+  const Fixed half = Fixed::from_raw(128, 8);  // 0.5
+  EXPECT_EQ(mul_const_truncate(3, half), 1);   // 1.5 -> 1
+  EXPECT_EQ(mul_const_truncate(-3, half), -2); // -1.5 -> -2 (floor)
+}
+
+TEST(FixedPoint, SignedBitsForRange) {
+  EXPECT_EQ(signed_bits_for_range(-128, 127), 8);
+  EXPECT_EQ(signed_bits_for_range(-128, 128), 9);
+  EXPECT_EQ(signed_bits_for_range(-530, 530), 11);
+  EXPECT_EQ(signed_bits_for_range(-184, 184), 9);
+  EXPECT_EQ(signed_bits_for_range(0, 0), 1);
+  EXPECT_EQ(signed_bits_for_range(-1, 0), 1);
+  EXPECT_EQ(signed_bits_for_range(0, 1), 2);
+}
+
+TEST(FixedPoint, SignedBitsRejectsInvertedRange) {
+  EXPECT_THROW((void)signed_bits_for_range(1, 0), std::invalid_argument);
+}
+
+TEST(FixedPoint, MinSignedBits) {
+  EXPECT_EQ(Fixed::from_raw(-406, 8).min_signed_bits(), 10);
+  EXPECT_EQ(Fixed::from_raw(226, 8).min_signed_bits(), 9);
+  EXPECT_EQ(Fixed::from_raw(-14, 8).min_signed_bits(), 5);
+}
+
+TEST(FixedPoint, FromDoubleRejectsBadFracBits) {
+  EXPECT_THROW((void)Fixed::from_double(1.0, -1), std::invalid_argument);
+  EXPECT_THROW((void)Fixed::from_double(1.0, 61), std::invalid_argument);
+}
+
+class FixedFracBitsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixedFracBitsTest, ScalesWithFracBits) {
+  const int f = GetParam();
+  const Fixed x = Fixed::from_double(-1.586134342, f);
+  EXPECT_NEAR(x.to_double(), -1.586134342, 1.0 / (1 << f));
+}
+
+INSTANTIATE_TEST_SUITE_P(WordLengths, FixedFracBitsTest,
+                         ::testing::Values(4, 6, 8, 10, 12, 16));
+
+}  // namespace
+}  // namespace dwt::common

@@ -1,0 +1,94 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwt::common {
+namespace {
+
+TEST(Interval, SignedBitsRange) {
+  EXPECT_EQ(Interval::signed_bits(8), (Interval{-128, 127}));
+  EXPECT_EQ(Interval::signed_bits(1), (Interval{-1, 0}));
+  EXPECT_THROW((void)Interval::signed_bits(0), std::invalid_argument);
+  EXPECT_THROW((void)Interval::signed_bits(63), std::invalid_argument);
+}
+
+TEST(Interval, Addition) {
+  const Interval a{-10, 20};
+  const Interval b{-5, 7};
+  EXPECT_EQ(a + b, (Interval{-15, 27}));
+}
+
+TEST(Interval, Subtraction) {
+  const Interval a{-10, 20};
+  const Interval b{-5, 7};
+  EXPECT_EQ(a - b, (Interval{-17, 25}));
+}
+
+TEST(Interval, MultiplyByPositiveConstant) {
+  EXPECT_EQ((Interval{-3, 5}) * 4, (Interval{-12, 20}));
+}
+
+TEST(Interval, MultiplyByNegativeConstantSwapsBounds) {
+  EXPECT_EQ((Interval{-3, 5}) * -4, (Interval{-20, 12}));
+}
+
+TEST(Interval, ArithmeticShiftRightIsFloor) {
+  EXPECT_EQ(asr(Interval{-5, 5}, 1), (Interval{-3, 2}));
+  EXPECT_EQ(asr(Interval{-256, 255}, 8), (Interval{-1, 0}));
+}
+
+TEST(Interval, ShiftLeft) {
+  EXPECT_EQ(shl(Interval{-3, 5}, 3), (Interval{-24, 40}));
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ(hull(Interval{-3, 5}, Interval{-10, 1}), (Interval{-10, 5}));
+  EXPECT_EQ(hull(Interval::point(0), Interval{-128, 127}),
+            (Interval{-128, 127}));
+}
+
+TEST(Interval, Contains) {
+  const Interval a{-530, 530};
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(-530));
+  EXPECT_TRUE(a.contains(530));
+  EXPECT_FALSE(a.contains(531));
+}
+
+TEST(Interval, MinSignedBitsMatchesPaperSection31) {
+  EXPECT_EQ((Interval{-530, 530}).min_signed_bits(), 11);
+  EXPECT_EQ((Interval{-184, 184}).min_signed_bits(), 9);
+  EXPECT_EQ((Interval{-205, 205}).min_signed_bits(), 9);
+  EXPECT_EQ((Interval{-366, 366}).min_signed_bits(), 10);
+  EXPECT_EQ((Interval{-298, 298}).min_signed_bits(), 10);
+  EXPECT_EQ((Interval{-252, 252}).min_signed_bits(), 9);
+}
+
+/// Property: interval arithmetic is a sound over-approximation -- every
+/// concrete operation on members lands inside the result interval.
+class IntervalSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalSoundness, OperationsAreSound) {
+  const int seed = GetParam();
+  // Deterministic pseudo-random intervals derived from the seed.
+  const std::int64_t lo_a = -(seed * 13 % 97), hi_a = seed * 7 % 53;
+  const std::int64_t lo_b = -(seed * 5 % 31), hi_b = seed * 11 % 71;
+  const Interval a{lo_a, hi_a}, b{lo_b, hi_b};
+  for (std::int64_t x = lo_a; x <= hi_a; x += std::max<std::int64_t>(1, (hi_a - lo_a) / 7)) {
+    for (std::int64_t y = lo_b; y <= hi_b; y += std::max<std::int64_t>(1, (hi_b - lo_b) / 7)) {
+      EXPECT_TRUE((a + b).contains(x + y));
+      EXPECT_TRUE((a - b).contains(x - y));
+      EXPECT_TRUE((a * -3).contains(x * -3));
+      EXPECT_TRUE(asr(a, 2).contains(x >> 2));
+      EXPECT_TRUE(shl(a, 2).contains(x << 2));
+      EXPECT_TRUE(hull(a, b).contains(x));
+      EXPECT_TRUE(hull(a, b).contains(y));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSoundness,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace dwt::common

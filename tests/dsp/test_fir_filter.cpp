@@ -1,0 +1,122 @@
+#include "dsp/fir_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dwt::dsp {
+namespace {
+
+TEST(FirCoeffs, AnalysisLowPassIsSymmetricWithDcGainOne) {
+  const auto& c = Dwt97FirCoeffs::daubechies97();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(c.analysis_low[i], c.analysis_low[8 - i]);
+  }
+  const double sum =
+      std::accumulate(c.analysis_low.begin(), c.analysis_low.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FirCoeffs, AnalysisHighPassIsSymmetricWithZeroDc) {
+  const auto& c = Dwt97FirCoeffs::daubechies97();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(c.analysis_high[i], c.analysis_high[6 - i]);
+  }
+  const double sum =
+      std::accumulate(c.analysis_high.begin(), c.analysis_high.end(), 0.0);
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(FirCoeffs, SynthesisLowPassDcGainTwo) {
+  const auto& c = Dwt97FirCoeffs::daubechies97();
+  const double sum =
+      std::accumulate(c.synthesis_low.begin(), c.synthesis_low.end(), 0.0);
+  EXPECT_NEAR(sum, 2.0, 1e-10);
+}
+
+TEST(FirCoeffs, BiorthogonalModulationRelation) {
+  // Synthesis low = (-1)^n * analysis high; synthesis high = (-1)^n *
+  // analysis low (center-aligned).
+  const auto& c = Dwt97FirCoeffs::daubechies97();
+  for (std::size_t i = 0; i < 7; ++i) {
+    const double sign = (i % 2 == 0) ? -1.0 : 1.0;
+    EXPECT_NEAR(c.synthesis_low[i], sign * c.analysis_high[i], 1e-12) << i;
+  }
+}
+
+TEST(FirFixedCoeffs, RoundedAtEightBits) {
+  const auto f = Dwt97FirFixedCoeffs::rounded(8);
+  EXPECT_EQ(f.analysis_low[4], 154);   // 0.602949 * 256 = 154.35
+  EXPECT_EQ(f.analysis_high[3], 285);  // 1.115087 * 256 = 285.46
+  EXPECT_EQ(f.analysis_low[0], 7);     // 0.026749 * 256 = 6.85
+  EXPECT_EQ(f.analysis_low[1], -4);    // -0.016864 * 256 = -4.32
+  EXPECT_EQ(f.frac_bits, 8);
+}
+
+TEST(MirrorIndex, IdentityInsideRange) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(mirror_index(static_cast<std::ptrdiff_t>(i), 8), i);
+  }
+}
+
+TEST(MirrorIndex, WholeSampleSymmetryAtZero) {
+  // x[-1] = x[1], x[-2] = x[2]: mirror without repeating the edge sample.
+  EXPECT_EQ(mirror_index(-1, 8), 1u);
+  EXPECT_EQ(mirror_index(-2, 8), 2u);
+  EXPECT_EQ(mirror_index(-7, 8), 7u);
+}
+
+TEST(MirrorIndex, WholeSampleSymmetryAtTop) {
+  EXPECT_EQ(mirror_index(8, 8), 6u);
+  EXPECT_EQ(mirror_index(9, 8), 5u);
+  EXPECT_EQ(mirror_index(14, 8), 0u);
+}
+
+TEST(MirrorIndex, PeriodicBeyondOneReflection) {
+  // The extension has period 2(n-1) = 14 for n = 8.
+  EXPECT_EQ(mirror_index(15, 8), mirror_index(1, 8));
+  EXPECT_EQ(mirror_index(-15, 8), mirror_index(-1, 8));
+}
+
+TEST(MirrorIndex, SingleSampleSignal) {
+  EXPECT_EQ(mirror_index(5, 1), 0u);
+  EXPECT_EQ(mirror_index(-5, 1), 0u);
+}
+
+TEST(MirrorIndex, EmptySignalThrows) {
+  EXPECT_THROW((void)mirror_index(0, 0), std::invalid_argument);
+}
+
+TEST(FirAt, ImpulseRecoversCoefficients) {
+  // Filtering a centered impulse reproduces the filter taps.
+  std::vector<double> x(32, 0.0);
+  x[16] = 1.0;
+  const auto& c = Dwt97FirCoeffs::daubechies97();
+  for (int k = -4; k <= 4; ++k) {
+    EXPECT_NEAR(fir_at(x, 16 + k, c.analysis_low),
+                c.analysis_low[static_cast<std::size_t>(4 - k)], 1e-15);
+  }
+}
+
+TEST(FirAt, ConstantSignalGivesDcGain) {
+  const std::vector<double> x(16, 3.0);
+  const auto& c = Dwt97FirCoeffs::daubechies97();
+  EXPECT_NEAR(fir_at(x, 7, c.analysis_low), 3.0, 1e-12);   // DC gain 1
+  EXPECT_NEAR(fir_at(x, 7, c.analysis_high), 0.0, 1e-12);  // DC gain 0
+}
+
+TEST(FirAtFixed, MatchesExactIntegerArithmetic) {
+  const auto f = Dwt97FirFixedCoeffs::rounded(8);
+  std::vector<std::int64_t> x = {10, -20, 30, -40, 50, -60, 70, -80};
+  for (std::ptrdiff_t p = 0; p < 8; ++p) {
+    std::int64_t acc = 0;
+    for (int k = -4; k <= 4; ++k) {
+      acc += f.analysis_low[static_cast<std::size_t>(k + 4)] *
+             x[mirror_index(p + k, x.size())];
+    }
+    EXPECT_EQ(fir_at_fixed(x, p, f.analysis_low, 8), acc >> 8);
+  }
+}
+
+}  // namespace
+}  // namespace dwt::dsp

@@ -1,0 +1,160 @@
+#include "dsp/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "dsp/image_gen.hpp"
+
+namespace dwt::dsp {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 7.0);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.at(3, 2), 7.0);
+  img.at(1, 2) = -5.5;
+  EXPECT_EQ(img.at(1, 2), -5.5);
+}
+
+TEST(Image, AtBoundsChecked) {
+  Image img(4, 3);
+  EXPECT_THROW(img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(img.at(0, 3), std::out_of_range);
+}
+
+TEST(Image, RowColRoundTrip) {
+  Image img(5, 4);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 5; ++x) {
+      img.at(x, y) = static_cast<double>(10 * y + x);
+    }
+  }
+  const auto row = img.row(2, 5);
+  EXPECT_EQ(row, (std::vector<double>{20, 21, 22, 23, 24}));
+  const auto col = img.col(3, 4);
+  EXPECT_EQ(col, (std::vector<double>{3, 13, 23, 33}));
+  Image copy(5, 4);
+  copy.set_row(2, row);
+  EXPECT_EQ(copy.at(4, 2), 24.0);
+  copy.set_col(3, col);
+  EXPECT_EQ(copy.at(3, 0), 3.0);
+}
+
+TEST(Image, PartialRowAccess) {
+  Image img(8, 2, 1.0);
+  EXPECT_EQ(img.row(0, 3).size(), 3u);
+  EXPECT_EQ(img.col(0, 2).size(), 2u);
+  EXPECT_THROW(img.row(0, 9), std::out_of_range);
+}
+
+TEST(Image, Crop) {
+  Image img(8, 8);
+  img.at(2, 3) = 42.0;
+  const Image tile = img.crop(4, 4);
+  EXPECT_EQ(tile.width(), 4u);
+  EXPECT_EQ(tile.at(2, 3), 42.0);
+  EXPECT_THROW(img.crop(9, 4), std::out_of_range);
+}
+
+TEST(Image, ClampedU8) {
+  Image img(3, 1);
+  img.at(0, 0) = -4.2;
+  img.at(1, 0) = 99.6;
+  img.at(2, 0) = 260.0;
+  const Image c = img.clamped_u8();
+  EXPECT_EQ(c.at(0, 0), 0.0);
+  EXPECT_EQ(c.at(1, 0), 100.0);
+  EXPECT_EQ(c.at(2, 0), 255.0);
+}
+
+TEST(Image, PgmRoundTrip) {
+  const Image img = make_still_tone_image(32, 16, 5);
+  const std::string path = ::testing::TempDir() + "/roundtrip.pgm";
+  write_pgm(img, path);
+  const Image back = read_pgm(path);
+  ASSERT_EQ(back.width(), 32u);
+  ASSERT_EQ(back.height(), 16u);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 32; ++x) {
+      EXPECT_NEAR(back.at(x, y), std::round(img.at(x, y)), 0.5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Image, ReadsAsciiPgmWithComments) {
+  const std::string path = ::testing::TempDir() + "/ascii.pgm";
+  {
+    std::ofstream out(path);
+    out << "P2\n# a comment line\n2 2\n255\n0 64\n128 255\n";
+  }
+  const Image img = read_pgm(path);
+  EXPECT_EQ(img.at(0, 0), 0.0);
+  EXPECT_EQ(img.at(1, 0), 64.0);
+  EXPECT_EQ(img.at(0, 1), 128.0);
+  EXPECT_EQ(img.at(1, 1), 255.0);
+  std::remove(path.c_str());
+}
+
+TEST(Image, ReadRejectsMissingFileAndBadMagic) {
+  EXPECT_THROW(read_pgm("/nonexistent/file.pgm"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/bad.pgm";
+  {
+    std::ofstream out(path);
+    out << "P6\n2 2\n255\nxxxx";
+  }
+  EXPECT_THROW(read_pgm(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ImageGen, StillToneIsDeterministicAndInRange) {
+  const Image a = make_still_tone_image(64, 64, 7);
+  const Image b = make_still_tone_image(64, 64, 7);
+  EXPECT_EQ(a.data(), b.data());
+  for (const double v : a.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 255.0);
+  }
+}
+
+TEST(ImageGen, StillToneIsPixelCorrelated) {
+  // Adjacent-pixel correlation is what the DWT exploits; the synthetic
+  // scene must look like a photograph, not noise.
+  const Image img = make_still_tone_image(128, 128, 2005);
+  double diff = 0.0;
+  std::size_t n = 0;
+  for (std::size_t y = 0; y < 128; ++y) {
+    for (std::size_t x = 1; x < 128; ++x) {
+      diff += std::abs(img.at(x, y) - img.at(x - 1, y));
+      ++n;
+    }
+  }
+  EXPECT_LT(diff / static_cast<double>(n), 12.0);
+}
+
+TEST(ImageGen, NoiseIsNotCorrelated) {
+  const Image img = make_noise_image(128, 128, 1);
+  double diff = 0.0;
+  std::size_t n = 0;
+  for (std::size_t y = 0; y < 128; ++y) {
+    for (std::size_t x = 1; x < 128; ++x) {
+      diff += std::abs(img.at(x, y) - img.at(x - 1, y));
+      ++n;
+    }
+  }
+  EXPECT_GT(diff / static_cast<double>(n), 60.0);
+}
+
+TEST(ImageGen, RampIsMonotone) {
+  const Image img = make_ramp_image(32, 4);
+  for (std::size_t x = 1; x < 32; ++x) {
+    EXPECT_GT(img.at(x, 0), img.at(x - 1, 0));
+  }
+}
+
+}  // namespace
+}  // namespace dwt::dsp

@@ -1,0 +1,90 @@
+#include "dsp/lifting_coeffs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwt::dsp {
+namespace {
+
+TEST(LiftingCoeffs, MatchesPaperTable1FloatingColumn) {
+  const LiftingCoeffs& c = LiftingCoeffs::daubechies97();
+  EXPECT_NEAR(c.alpha, -1.586134342, 1e-9);
+  EXPECT_NEAR(c.beta, -0.052980118, 1e-9);
+  EXPECT_NEAR(c.gamma, 0.882911075, 1e-9);
+  EXPECT_NEAR(c.delta, 0.443506852, 1e-9);
+  EXPECT_NEAR(-c.k, -1.230174105, 1e-9);
+  EXPECT_NEAR(1.0 / c.k, 0.812893066, 1e-9);
+}
+
+TEST(LiftingCoeffs, RoundedMatchesPaperIntegerColumn) {
+  const LiftingFixedCoeffs f = LiftingFixedCoeffs::rounded(8);
+  EXPECT_EQ(f.alpha.raw(), -406);
+  EXPECT_EQ(f.beta.raw(), -14);
+  EXPECT_EQ(f.gamma.raw(), 226);
+  EXPECT_EQ(f.delta.raw(), 114);
+  EXPECT_EQ(f.inv_k.raw(), 208);
+  // -315: matches the paper's own binary column (its integer column prints
+  // -314, inconsistent with the binary and with correct rounding).
+  EXPECT_EQ(f.minus_k.raw(), -315);
+}
+
+TEST(LiftingCoeffs, InverseScalesAreConsistent) {
+  const LiftingFixedCoeffs f = LiftingFixedCoeffs::rounded(8);
+  EXPECT_EQ(f.k.raw(), 315);
+  EXPECT_EQ(f.minus_inv_k.raw(), -208);
+}
+
+TEST(LiftingCoeffs, Table1RowsCompleteAndOrdered) {
+  const auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[1].name, "beta");
+  EXPECT_EQ(rows[2].name, "gamma");
+  EXPECT_EQ(rows[3].name, "delta");
+  EXPECT_EQ(rows[4].name, "-k");
+  EXPECT_EQ(rows[5].name, "1/k");
+}
+
+TEST(LiftingCoeffs, Table1BinaryColumn) {
+  const auto rows = table1_rows();
+  EXPECT_EQ(rows[0].binary, "10.01101010");
+  EXPECT_EQ(rows[1].binary, "11.11110010");
+  EXPECT_EQ(rows[2].binary, "00.11100010");
+  EXPECT_EQ(rows[5].binary, "00.11010000");
+}
+
+TEST(LiftingCoeffs, BinaryColumnEncodesIntegerColumn) {
+  // Internal consistency: the binary string is the two's complement of the
+  // integer-rounded value (frac 8 + 2 integer bits).
+  for (const Table1Row& row : table1_rows()) {
+    std::int64_t v = 0;
+    for (const char ch : row.binary) {
+      if (ch == '.') continue;
+      v = v * 2 + (ch - '0');
+    }
+    if (v >= 512) v -= 1024;  // 10-bit two's complement
+    EXPECT_EQ(v, row.integer_rounded) << row.name;
+  }
+}
+
+class CoeffPrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoeffPrecisionTest, RoundingErrorBoundedByHalfLsb) {
+  const int f = GetParam();
+  const LiftingFixedCoeffs fc = LiftingFixedCoeffs::rounded(f);
+  const LiftingCoeffs& c = LiftingCoeffs::daubechies97();
+  const double lsb = 1.0 / static_cast<double>(std::int64_t{1} << f);
+  EXPECT_LE(std::abs(fc.alpha.to_double() - c.alpha), lsb / 2);
+  EXPECT_LE(std::abs(fc.beta.to_double() - c.beta), lsb / 2);
+  EXPECT_LE(std::abs(fc.gamma.to_double() - c.gamma), lsb / 2);
+  EXPECT_LE(std::abs(fc.delta.to_double() - c.delta), lsb / 2);
+  EXPECT_LE(std::abs(fc.minus_k.to_double() + c.k), lsb / 2);
+  EXPECT_LE(std::abs(fc.inv_k.to_double() - 1.0 / c.k), lsb / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordLengths, CoeffPrecisionTest,
+                         ::testing::Values(4, 5, 6, 7, 8, 10, 12, 14, 16));
+
+}  // namespace
+}  // namespace dwt::dsp

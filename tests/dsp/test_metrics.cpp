@@ -1,0 +1,64 @@
+#include "dsp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwt::dsp {
+namespace {
+
+TEST(Metrics, MseOfIdenticalIsZero) {
+  const std::vector<double> a{1, 2, 3};
+  EXPECT_EQ(mse(a, a), 0.0);
+}
+
+TEST(Metrics, MseDefinition) {
+  const std::vector<double> a{0, 0, 0, 0};
+  const std::vector<double> b{1, -1, 2, -2};
+  EXPECT_DOUBLE_EQ(mse(a, b), (1.0 + 1.0 + 4.0 + 4.0) / 4.0);
+}
+
+TEST(Metrics, MseRejectsMismatch) {
+  EXPECT_THROW(mse(std::vector<double>{1}, std::vector<double>{1, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(mse(std::vector<double>{}, std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, PsnrOfIdenticalIsInfinite) {
+  const std::vector<double> a{5, 6, 7};
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  // MSE = 1 with peak 255: PSNR = 10 log10(255^2) = 48.13 dB.
+  std::vector<double> a(100, 0.0), b(100, 1.0);
+  EXPECT_NEAR(psnr(a, b), 48.1308, 1e-3);
+}
+
+TEST(Metrics, PsnrDecreasesWithError) {
+  std::vector<double> a(64, 0.0), b1(64, 1.0), b4(64, 4.0);
+  EXPECT_GT(psnr(a, b1), psnr(a, b4));
+}
+
+TEST(Metrics, ImageOverloadMatchesVector) {
+  Image x(4, 2), y(4, 2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    x.data()[i] = static_cast<double>(i);
+    y.data()[i] = static_cast<double>(i) + 2.0;
+  }
+  EXPECT_DOUBLE_EQ(mse(x, y), 4.0);
+  EXPECT_DOUBLE_EQ(psnr(x, y), psnr(x.data(), y.data()));
+}
+
+TEST(Metrics, ImageDimensionMismatchRejected) {
+  EXPECT_THROW(mse(Image(2, 2), Image(4, 1)), std::invalid_argument);
+}
+
+TEST(Metrics, CustomPeak) {
+  std::vector<double> a(10, 0.0), b(10, 1.0);
+  EXPECT_NEAR(psnr(a, b, 1.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dwt::dsp

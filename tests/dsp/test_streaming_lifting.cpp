@@ -1,0 +1,88 @@
+#include "dsp/streaming_lifting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dsp/dwt97_lifting_fixed.hpp"
+#include "dsp/fir_filter.hpp"
+
+namespace dwt::dsp {
+namespace {
+
+std::vector<std::int64_t> random_samples(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::int64_t> x(n);
+  for (auto& v : x) v = rng.uniform(-128, 127);
+  return x;
+}
+
+/// Feeds the WSS-extended stream (guard pairs before and after) and collects
+/// the payload outputs -- the same protocol as the hardware harness.
+std::pair<std::vector<std::int64_t>, std::vector<std::int64_t>> run_streaming(
+    std::span<const std::int64_t> x, int guard_pairs = 4) {
+  StreamingLifting97Fixed engine;
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(x.size() / 2);
+  std::vector<std::int64_t> low(x.size() / 2), high(x.size() / 2);
+  auto x_ext = [&x](std::ptrdiff_t pos) {
+    return x[mirror_index(pos, x.size())];
+  };
+  for (std::ptrdiff_t t = -guard_pairs; t < half + guard_pairs; ++t) {
+    const auto out = engine.push(x_ext(2 * t), x_ext(2 * t + 1));
+    const std::ptrdiff_t i = t - StreamingLifting97Fixed::kDelayPairs;
+    if (out.has_value() && i >= 0 && i < half) {
+      low[static_cast<std::size_t>(i)] = out->first;
+      high[static_cast<std::size_t>(i)] = out->second;
+    }
+  }
+  return {std::move(low), std::move(high)};
+}
+
+class StreamingMatchesBatch : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamingMatchesBatch, BitExact) {
+  const auto x = random_samples(128, GetParam());
+  const auto [low, high] = run_streaming(x);
+  const auto batch =
+      lifting97_forward_fixed(x, LiftingFixedCoeffs::rounded(8));
+  EXPECT_EQ(low, batch.low);
+  EXPECT_EQ(high, batch.high);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingMatchesBatch,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(StreamingLifting, WarmUpReturnsNothing) {
+  StreamingLifting97Fixed engine;
+  EXPECT_FALSE(engine.push(1, 2).has_value());
+  EXPECT_FALSE(engine.push(3, 4).has_value());
+  EXPECT_TRUE(engine.push(5, 6).has_value());
+}
+
+TEST(StreamingLifting, ResetRestartsWarmUp) {
+  StreamingLifting97Fixed engine;
+  (void)engine.push(1, 2);
+  (void)engine.push(3, 4);
+  (void)engine.push(5, 6);
+  engine.reset();
+  EXPECT_FALSE(engine.push(1, 2).has_value());
+}
+
+TEST(StreamingLifting, DeterministicAcrossInstances) {
+  const auto x = random_samples(64, 42);
+  const auto a = run_streaming(x);
+  const auto b = run_streaming(x);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(StreamingLifting, ShortestSignal) {
+  const std::vector<std::int64_t> x{10, -3};
+  const auto [low, high] = run_streaming(x);
+  const auto batch =
+      lifting97_forward_fixed(x, LiftingFixedCoeffs::rounded(8));
+  EXPECT_EQ(low, batch.low);
+  EXPECT_EQ(high, batch.high);
+}
+
+}  // namespace
+}  // namespace dwt::dsp

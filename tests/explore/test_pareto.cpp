@@ -1,0 +1,55 @@
+#include "explore/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwt::explore {
+namespace {
+
+TEST(Pareto, DominationDefinition) {
+  const TradeoffPoint a{"a", 100, 10, 50};
+  const TradeoffPoint b{"b", 120, 12, 60};
+  const TradeoffPoint c{"c", 100, 10, 50};
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+  EXPECT_FALSE(a.dominates(c));  // equal points do not dominate
+}
+
+TEST(Pareto, MixedTradeoffNotDominated) {
+  const TradeoffPoint small_slow{"s", 100, 20, 50};
+  const TradeoffPoint big_fast{"f", 200, 5, 50};
+  EXPECT_FALSE(small_slow.dominates(big_fast));
+  EXPECT_FALSE(big_fast.dominates(small_slow));
+}
+
+TEST(Pareto, FrontKeepsNonDominated) {
+  const std::vector<TradeoffPoint> pts{
+      {"good", 100, 10, 50},
+      {"dominated", 150, 15, 80},
+      {"fast", 300, 4, 90},
+      {"tiny", 50, 30, 40},
+  };
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0], 0u);
+  EXPECT_EQ(front[1], 2u);
+  EXPECT_EQ(front[2], 3u);
+}
+
+TEST(Pareto, AllEqualAllOnFront) {
+  const std::vector<TradeoffPoint> pts(3, TradeoffPoint{"x", 1, 1, 1});
+  EXPECT_EQ(pareto_front(pts).size(), 3u);
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Pareto, AreaPowerPerMhz) {
+  const TradeoffPoint p{"p", 480, 1000.0 / 44.0, 248};
+  EXPECT_NEAR(area_power_per_mhz(p), 480.0 * 248.0 / 44.0, 1e-9);
+  EXPECT_THROW(area_power_per_mhz(TradeoffPoint{"bad", 1, 0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::explore

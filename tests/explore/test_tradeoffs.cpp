@@ -1,0 +1,55 @@
+#include "explore/tradeoffs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwt::explore {
+namespace {
+
+TEST(Tradeoffs, PaperRatiosFromTable3) {
+  const TradeoffAnalysis a = paper_tradeoffs();
+  // Section 5: pipelined operators cost 40-60% more LEs...
+  EXPECT_NEAR(a.pipelined_area_ratio_behavioral, 766.0 / 480.0, 1e-9);
+  EXPECT_NEAR(a.pipelined_area_ratio_structural, 1002.0 / 701.0, 1e-9);
+  // ...raise fmax by 2-3.5x...
+  EXPECT_NEAR(a.pipelined_fmax_ratio_behavioral, 157.0 / 44.0, 1e-9);
+  // ...and cut power to under half at the same frequency.
+  EXPECT_LT(a.pipelined_power_ratio_behavioral, 0.5);
+  EXPECT_LT(a.pipelined_power_ratio_structural, 0.5);
+  // Structural description overhead ~30-46% area.
+  EXPECT_NEAR(a.structural_area_ratio_pipelined, 1002.0 / 766.0, 1e-9);
+}
+
+TEST(Tradeoffs, ClaimListComplete) {
+  const auto claims = paper_tradeoffs().claims();
+  EXPECT_EQ(claims.size(), 9u);
+  for (const RatioClaim& c : claims) {
+    EXPECT_FALSE(c.description.empty());
+    EXPECT_GT(c.paper_value, 0.0);
+  }
+}
+
+TEST(Tradeoffs, AnalyzeRejectsWrongCount) {
+  EXPECT_THROW(analyze_tradeoffs({}), std::invalid_argument);
+}
+
+TEST(Tradeoffs, AnalyzeComputesRatios) {
+  // Synthesize five fake evaluations with known metrics.
+  std::vector<DesignEvaluation> evals(5);
+  const double les[] = {800, 500, 800, 750, 1050};
+  const double fmax[] = {17, 44, 157, 54, 105};
+  const double power[] = {300, 250, 100, 230, 90};
+  for (int i = 0; i < 5; ++i) {
+    evals[static_cast<std::size_t>(i)].report.logic_elements =
+        static_cast<std::size_t>(les[i]);
+    evals[static_cast<std::size_t>(i)].report.fmax_mhz = fmax[i];
+    evals[static_cast<std::size_t>(i)].report.power_mw = power[i];
+  }
+  const TradeoffAnalysis a = analyze_tradeoffs(evals);
+  EXPECT_NEAR(a.pipelined_area_ratio_behavioral, 800.0 / 500.0, 1e-9);
+  EXPECT_NEAR(a.pipelined_fmax_ratio_structural, 105.0 / 54.0, 1e-9);
+  EXPECT_NEAR(a.structural_fmax_ratio_pipelined, 105.0 / 157.0, 1e-9);
+  EXPECT_NEAR(a.pipelined_power_ratio_behavioral, 100.0 / 250.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dwt::explore

@@ -1,0 +1,146 @@
+#include "fpga/mapped_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/multipliers.hpp"
+#include "rtl/registers.hpp"
+#include "rtl/simplify.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::fpga {
+namespace {
+
+using rtl::AdderStyle;
+using rtl::Builder;
+using rtl::Bus;
+using rtl::Netlist;
+
+TEST(MappedSim, AgreesWithRtlSimulatorOnAdders) {
+  // The mapped netlist must be functionally identical to the RTL netlist:
+  // this validates both the LUT truth tables and the chain mapping.
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 7);
+  const Bus c = nl.add_input_bus("b", 7);
+  const Bus s = b.add(a, c, AdderStyle::kCarryChain, 8, "s");
+  const Bus d = b.sub(a, c, AdderStyle::kRippleGates, 8, "d");
+  nl.bind_output("s", b.reg(s, "rs"));
+  nl.bind_output("d", b.reg(d, "rd"));
+  const MappedNetlist m = map_to_apex(nl);
+  rtl::Simulator ref(nl);
+  MappedActivitySim sim(m);
+  common::Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t va = rng.uniform(-64, 63);
+    const std::int64_t vb = rng.uniform(-64, 63);
+    ref.set_bus(a, va);
+    ref.set_bus(c, vb);
+    ref.step();
+    sim.set_bus(a, va);
+    sim.set_bus(c, vb);
+    sim.cycle();
+    EXPECT_EQ(sim.read_bus(nl.output("s")), ref.read_bus(nl.output("s")));
+    EXPECT_EQ(sim.read_bus(nl.output("d")), ref.read_bus(nl.output("d")));
+  }
+}
+
+TEST(MappedSim, AgreesOnPipelinedMultiplier) {
+  Netlist nl;
+  Builder b(nl);
+  rtl::Pipeliner p(b, true);
+  const rtl::Word x = rtl::word_input(nl, "x", 8);
+  const rtl::Word y = rtl::shiftadd_multiply(
+      p, x, rtl::make_shiftadd_plan(-406, rtl::Recoding::kBinaryWithReuse),
+      AdderStyle::kCarryChain, rtl::SumStructure::kSequential, "m");
+  nl.bind_output("y", y.bus);
+  const Netlist opt = rtl::simplify(nl);
+  const MappedNetlist m = map_to_apex(opt);
+  rtl::Simulator ref(opt);
+  MappedActivitySim sim(m);
+  const Bus in = opt.find_input_bus("x");
+  const Bus out = opt.output("y");
+  common::Rng rng(12);
+  for (int i = 0; i < 80; ++i) {
+    const std::int64_t v = rng.uniform(-128, 127);
+    ref.set_bus(in, v);
+    sim.set_bus(in, v);
+    ref.step();
+    sim.cycle();
+    EXPECT_EQ(sim.read_bus(out), ref.read_bus(out)) << i;
+  }
+}
+
+TEST(MappedSim, CountsMoreTogglesInDeeperLogic) {
+  auto build = [](int cascade) {
+    auto nl = std::make_unique<Netlist>();
+    Builder b(*nl);
+    const Bus a = nl->add_input_bus("a", 8);
+    Bus acc = b.add(a, a, AdderStyle::kCarryChain, 9, "s0");
+    for (int i = 1; i < cascade; ++i) {
+      acc = b.add(acc, a, AdderStyle::kCarryChain, acc.width() + 1,
+                  "s" + std::to_string(i));
+    }
+    nl->bind_output("y", b.reg(acc, "r"));
+    return nl;
+  };
+  const auto run = [](const Netlist& nl) {
+    const MappedNetlist m = map_to_apex(nl);
+    MappedActivitySim sim(m);
+    const Bus in = nl.find_input_bus("a");
+    common::Rng rng(5);
+    for (int t = 0; t < 300; ++t) {
+      sim.set_bus(in, rng.uniform(-128, 127));
+      sim.cycle();
+    }
+    // Transitions per cycle per LE output.
+    double total = 0;
+    std::size_t nets = 0;
+    for (const LogicElement& le : m.les) {
+      if (le.lut_output != rtl::kNullNet) {
+        total += sim.stats().rate(le.lut_output);
+        ++nets;
+      }
+    }
+    return total / static_cast<double>(nets);
+  };
+  const auto shallow = build(1);
+  const auto deep = build(6);
+  EXPECT_GT(run(*deep), run(*shallow));
+}
+
+TEST(MappedSim, StatsAndReset) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  nl.bind_output("y", b.reg(a, "r"));
+  const MappedNetlist m = map_to_apex(nl);
+  MappedActivitySim sim(m);
+  sim.set_bus(a, 5);
+  sim.cycle();
+  sim.set_bus(a, -5);
+  sim.cycle();
+  EXPECT_EQ(sim.stats().cycles, 2u);
+  EXPECT_GT(sim.stats().total_toggles, 0u);
+  sim.reset_stats();
+  EXPECT_EQ(sim.stats().cycles, 0u);
+  EXPECT_EQ(sim.stats().total_toggles, 0u);
+}
+
+TEST(MappedSim, InputValidation) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  nl.bind_output("y", b.reg(a, "r"));
+  const MappedNetlist m = map_to_apex(nl);
+  MappedActivitySim sim(m);
+  EXPECT_THROW(sim.set_bus(a, 1000), std::invalid_argument);
+  EXPECT_THROW(sim.set_input(nl.output("y").bits[0], true),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::fpga

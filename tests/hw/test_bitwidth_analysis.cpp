@@ -1,0 +1,96 @@
+#include "hw/bitwidth_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dsp/image_gen.hpp"
+
+namespace dwt::hw {
+namespace {
+
+std::vector<std::int64_t> image_samples(std::uint64_t seed) {
+  const dsp::Image img = dsp::make_still_tone_image(128, 64, seed);
+  std::vector<std::int64_t> out;
+  out.reserve(img.data().size());
+  for (const double v : img.data()) {
+    out.push_back(static_cast<std::int64_t>(std::llround(v)) - 128);
+  }
+  return out;
+}
+
+TEST(BitwidthAnalysis, IntervalBoundsContainPaperRanges) {
+  const auto ivl =
+      interval_stage_ranges(8, dsp::LiftingFixedCoeffs::rounded(8));
+  const auto paper = paper_section31_ranges();
+  ASSERT_EQ(ivl.size(), paper.size());
+  for (std::size_t i = 0; i < ivl.size(); ++i) {
+    EXPECT_EQ(ivl[i].name, paper[i].name);
+    EXPECT_LE(ivl[i].range.lo, paper[i].range.lo) << ivl[i].name;
+    EXPECT_GE(ivl[i].range.hi, paper[i].range.hi) << ivl[i].name;
+  }
+}
+
+TEST(BitwidthAnalysis, IntervalWidthsCloseToPaper) {
+  // Worst-case analysis costs at most 3 extra bits over the measured sizes.
+  const auto ivl =
+      interval_stage_ranges(8, dsp::LiftingFixedCoeffs::rounded(8));
+  const auto paper = paper_section31_ranges();
+  for (std::size_t i = 0; i < ivl.size(); ++i) {
+    EXPECT_LE(ivl[i].bits, paper[i].bits + 3) << ivl[i].name;
+  }
+}
+
+TEST(BitwidthAnalysis, ObservedRangesWithinPaperOnImages) {
+  // The key claim of section 3.1: natural image data stays inside the
+  // published register ranges.
+  const auto comparisons = compare_stage_ranges(image_samples(2005));
+  for (const StageRangeComparison& c : comparisons) {
+    EXPECT_GE(c.observed.lo, c.paper.lo) << c.name;
+    EXPECT_LE(c.observed.hi, c.paper.hi) << c.name;
+    EXPECT_LE(c.observed_bits, c.paper_bits) << c.name;
+  }
+}
+
+TEST(BitwidthAnalysis, ObservedWithinInterval) {
+  // Soundness: measured values never escape the static bounds.
+  common::Rng rng(3);
+  std::vector<std::int64_t> x(512);
+  for (auto& v : x) v = rng.uniform(-128, 127);
+  const auto comparisons = compare_stage_ranges(x);
+  for (const StageRangeComparison& c : comparisons) {
+    EXPECT_GE(c.observed.lo, c.interval.lo) << c.name;
+    EXPECT_LE(c.observed.hi, c.interval.hi) << c.name;
+  }
+}
+
+TEST(BitwidthAnalysis, StageNamesComplete) {
+  const auto comparisons = compare_stage_ranges(image_samples(7));
+  ASSERT_EQ(comparisons.size(), 7u);
+  EXPECT_EQ(comparisons[0].name, "input");
+  EXPECT_EQ(comparisons[1].name, "d1_after_alpha");
+  EXPECT_EQ(comparisons[6].name, "high_output");
+}
+
+TEST(BitwidthAnalysis, PaperBitsMatchSection31) {
+  const auto paper = paper_section31_ranges();
+  EXPECT_EQ(paper[1].bits, 11);  // after alpha
+  EXPECT_EQ(paper[2].bits, 9);   // after beta
+  EXPECT_EQ(paper[3].bits, 9);   // after gamma
+  EXPECT_EQ(paper[4].bits, 10);  // after delta
+  EXPECT_EQ(paper[5].bits, 10);  // low output
+  EXPECT_EQ(paper[6].bits, 9);   // high output
+}
+
+TEST(BitwidthAnalysis, WiderInputsGrowIntervals) {
+  const auto c = dsp::LiftingFixedCoeffs::rounded(8);
+  const auto r8 = interval_stage_ranges(8, c);
+  const auto r10 = interval_stage_ranges(10, c);
+  for (std::size_t i = 0; i < r8.size(); ++i) {
+    EXPECT_GE(r10[i].bits, r8[i].bits + 1) << r8[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace dwt::hw

@@ -1,0 +1,83 @@
+#include "hw/designs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/stats.hpp"
+
+namespace dwt::hw {
+namespace {
+
+TEST(Designs, FiveDesignsInPaperOrder) {
+  const auto specs = all_designs();
+  ASSERT_EQ(specs.size(), 5u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].name, "Design " + std::to_string(i + 1));
+    EXPECT_FALSE(specs[i].description.empty());
+  }
+}
+
+TEST(Designs, ConfigurationAxesMatchPaperSection3) {
+  const auto specs = all_designs();
+  // Design 1: behavioral generic multipliers.
+  EXPECT_EQ(specs[0].config.multiplier, MultiplierStyle::kGenericArray);
+  EXPECT_EQ(specs[0].config.adder_style, rtl::AdderStyle::kCarryChain);
+  EXPECT_FALSE(specs[0].config.pipelined_operators);
+  // Design 2: behavioral shift-add.
+  EXPECT_EQ(specs[1].config.multiplier, MultiplierStyle::kShiftAdd);
+  EXPECT_FALSE(specs[1].config.pipelined_operators);
+  // Design 3: behavioral pipelined shift-add.
+  EXPECT_TRUE(specs[2].config.pipelined_operators);
+  EXPECT_EQ(specs[2].config.adder_style, rtl::AdderStyle::kCarryChain);
+  // Design 4: structural shift-add.
+  EXPECT_EQ(specs[3].config.adder_style, rtl::AdderStyle::kRippleGates);
+  EXPECT_FALSE(specs[3].config.pipelined_operators);
+  // Design 5: structural pipelined shift-add.
+  EXPECT_EQ(specs[4].config.adder_style, rtl::AdderStyle::kRippleGates);
+  EXPECT_TRUE(specs[4].config.pipelined_operators);
+}
+
+TEST(Designs, SpecLookupMatchesList) {
+  EXPECT_EQ(design_spec(DesignId::kDesign3).name, "Design 3");
+  EXPECT_EQ(design_spec(DesignId::kDesign5).description,
+            all_designs()[4].description);
+}
+
+TEST(Designs, StructuralDesignsHaveNoChains) {
+  const BuiltDatapath d4 = build_design(DesignId::kDesign4);
+  const rtl::NetlistStats st = rtl::compute_stats(d4.netlist);
+  EXPECT_EQ(st.carry_chains, 0u);
+  EXPECT_GT(st.gate_cells, 0u);
+}
+
+TEST(Designs, BehavioralDesignsUseChains) {
+  const BuiltDatapath d2 = build_design(DesignId::kDesign2);
+  const rtl::NetlistStats st = rtl::compute_stats(d2.netlist);
+  EXPECT_GT(st.carry_chains, 20u);  // ~29 adders in the datapath
+}
+
+TEST(Designs, Design1HasPartialProductGates) {
+  const BuiltDatapath d1 = build_design(DesignId::kDesign1);
+  const BuiltDatapath d2 = build_design(DesignId::kDesign2);
+  EXPECT_GT(d1.netlist.cell_count(), 1.5 * d2.netlist.cell_count());
+}
+
+TEST(Designs, PipelinedDesignsHaveManyMoreRegisters) {
+  const auto r2 = rtl::compute_stats(build_design(DesignId::kDesign2).netlist)
+                      .register_bits;
+  const auto r3 = rtl::compute_stats(build_design(DesignId::kDesign3).netlist)
+                      .register_bits;
+  EXPECT_GT(r3, 3 * r2);
+}
+
+TEST(Designs, PaperTable3ValuesRecorded) {
+  const auto rows = paper_table3();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[1].area_les, 480);
+  EXPECT_DOUBLE_EQ(rows[2].fmax_mhz, 157.0);
+  EXPECT_DOUBLE_EQ(rows[4].power_mw_15mhz, 91.4);
+  EXPECT_EQ(rows[0].pipeline_stages, 8);
+  EXPECT_EQ(rows[4].pipeline_stages, 21);
+}
+
+}  // namespace
+}  // namespace dwt::hw

@@ -1,0 +1,79 @@
+#include "hw/dwt2d_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/dwt2d.hpp"
+#include "dsp/image_gen.hpp"
+
+namespace dwt::hw {
+namespace {
+
+dsp::Image shifted_tile(std::size_t n, std::uint64_t seed) {
+  dsp::Image img = dsp::make_still_tone_image(n, n, seed);
+  dsp::level_shift_forward(img);
+  dsp::round_coefficients(img);  // integer pixels for the integer core
+  return img;
+}
+
+TEST(Dwt2dSystem, OneOctaveMatchesSoftwareTransform) {
+  dsp::Image hw_plane = shifted_tile(32, 11);
+  dsp::Image sw_plane = hw_plane;
+  Dwt2dSystem system(DesignId::kDesign2);
+  const Dwt2dRunStats stats = system.transform(hw_plane, 1);
+  dsp::dwt2d_forward(dsp::Method::kLiftingFixed, sw_plane, 1);
+  for (std::size_t i = 0; i < hw_plane.data().size(); ++i) {
+    EXPECT_EQ(hw_plane.data()[i], sw_plane.data()[i]) << i;
+  }
+  EXPECT_EQ(stats.line_passes, 64u);  // 32 rows + 32 columns
+  EXPECT_GT(stats.total_cycles, 32u * 32u / 2u);
+}
+
+TEST(Dwt2dSystem, MultiOctaveWithWidenedCore) {
+  dsp::Image hw_plane = shifted_tile(32, 12);
+  dsp::Image sw_plane = hw_plane;
+  Dwt2dSystem system(DesignId::kDesign3, /*max_octaves=*/3);
+  (void)system.transform(hw_plane, 3);
+  dsp::dwt2d_forward(dsp::Method::kLiftingFixed, sw_plane, 3);
+  for (std::size_t i = 0; i < hw_plane.data().size(); ++i) {
+    EXPECT_EQ(hw_plane.data()[i], sw_plane.data()[i]) << i;
+  }
+}
+
+TEST(Dwt2dSystem, CycleAccountingScalesWithImage) {
+  Dwt2dSystem system(DesignId::kDesign2);
+  dsp::Image small = shifted_tile(16, 1);
+  dsp::Image large = shifted_tile(32, 1);
+  const auto s = system.transform(small, 1);
+  const auto l = system.transform(large, 1);
+  EXPECT_GT(l.total_cycles, 2 * s.total_cycles);
+}
+
+TEST(Dwt2dSystem, ThroughputMetricConsistent) {
+  Dwt2dRunStats stats;
+  stats.total_cycles = 150000;
+  EXPECT_NEAR(stats.milliseconds_at(15.0), 10.0, 1e-9);
+  EXPECT_NEAR(stats.milliseconds_at(150.0), 1.0, 1e-9);
+}
+
+TEST(Dwt2dSystem, RejectsBadOctaves) {
+  Dwt2dSystem system(DesignId::kDesign2);
+  dsp::Image img = shifted_tile(16, 2);
+  EXPECT_THROW(system.transform(img, 0), std::invalid_argument);
+  dsp::Image odd(18, 18, 0.0);
+  EXPECT_THROW(system.transform(odd, 3), std::invalid_argument);
+}
+
+TEST(Dwt2dSystem, PipelinedCoreSameResultDifferentLatency) {
+  dsp::Image a = shifted_tile(16, 5);
+  dsp::Image b = a;
+  Dwt2dSystem d2(DesignId::kDesign2);
+  Dwt2dSystem d5(DesignId::kDesign5);
+  (void)d2.transform(a, 1);
+  const auto stats5 = d5.transform(b, 1);
+  EXPECT_EQ(a.data(), b.data());
+  // The deeper pipeline flushes more cycles per line.
+  EXPECT_GT(stats5.total_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace dwt::hw

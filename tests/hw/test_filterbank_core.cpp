@@ -1,0 +1,157 @@
+#include "hw/filterbank_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dsp/fir_filter.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/stats.hpp"
+
+namespace dwt::hw {
+namespace {
+
+/// Streams samples into the core and collects (low, high) once per cycle.
+struct StreamOut {
+  std::vector<std::int64_t> low;
+  std::vector<std::int64_t> high;
+};
+
+StreamOut run_core(const BuiltFilterBank& fb, std::span<const std::int64_t> x) {
+  rtl::Simulator sim(fb.netlist);
+  StreamOut out;
+  for (const std::int64_t v : x) {
+    sim.set_bus(fb.in_sample, v);
+    sim.step();
+    out.low.push_back(sim.read_bus(fb.out_low));
+    out.high.push_back(sim.read_bus(fb.out_high));
+  }
+  return out;
+}
+
+/// Reference: straight (non-mirrored) convolution with exact accumulation
+/// and a final >> frac_bits, centered at tap 4 of the 9-deep window.
+std::int64_t ref_filter(std::span<const std::int64_t> x, std::ptrdiff_t center,
+                        std::span<const std::int64_t> coeffs,
+                        std::size_t first_tap, int frac_bits) {
+  std::int64_t acc = 0;
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    // Window tap k holds the sample delayed k cycles: tap (first_tap + j)
+    // corresponds to x[center_cycle - first_tap - j].
+    const std::ptrdiff_t idx =
+        center - static_cast<std::ptrdiff_t>(first_tap + j);
+    if (idx < 0 || idx >= static_cast<std::ptrdiff_t>(x.size())) return 0;
+    acc += coeffs[j] * x[static_cast<std::size_t>(idx)];
+  }
+  return acc >> frac_bits;
+}
+
+TEST(FilterBankCore, MatchesReferenceConvolution) {
+  FilterBankConfig cfg;
+  const BuiltFilterBank fb = build_filterbank_core(cfg);
+  EXPECT_EQ(fb.latency, 1);  // output register only
+  common::Rng rng(3);
+  std::vector<std::int64_t> x(64);
+  for (auto& v : x) v = rng.uniform(-128, 127);
+  const StreamOut out = run_core(fb, x);
+  const auto coeffs = dsp::Dwt97FirFixedCoeffs::rounded(8);
+  // Output at cycle t (post-register) reflects the window as of cycle t-1.
+  for (std::ptrdiff_t t = 12; t < 64; ++t) {
+    const std::ptrdiff_t window_end = t - fb.latency + 1;
+    EXPECT_EQ(out.low[static_cast<std::size_t>(t)],
+              ref_filter(x, window_end, coeffs.analysis_low, 0, 8))
+        << t;
+    EXPECT_EQ(out.high[static_cast<std::size_t>(t)],
+              ref_filter(x, window_end, coeffs.analysis_high, 1, 8))
+        << t;
+  }
+}
+
+TEST(FilterBankCore, SixteenMultipliersUnfolded) {
+  const BuiltFilterBank fb = build_filterbank_core({});
+  EXPECT_EQ(fb.multiplier_blocks, 16);  // paper figure 2
+}
+
+TEST(FilterBankCore, SymmetryFoldingHalvesMultipliers) {
+  FilterBankConfig cfg;
+  cfg.exploit_symmetry = true;
+  const BuiltFilterBank fb = build_filterbank_core(cfg);
+  EXPECT_EQ(fb.multiplier_blocks, 9);  // 5 low + 4 high
+}
+
+TEST(FilterBankCore, FoldedMatchesUnfolded) {
+  FilterBankConfig folded;
+  folded.exploit_symmetry = true;
+  const BuiltFilterBank a = build_filterbank_core({});
+  const BuiltFilterBank b = build_filterbank_core(folded);
+  common::Rng rng(9);
+  std::vector<std::int64_t> x(48);
+  for (auto& v : x) v = rng.uniform(-128, 127);
+  const StreamOut ra = run_core(a, x);
+  const StreamOut rb = run_core(b, x);
+  for (std::size_t t = 12; t < x.size(); ++t) {
+    EXPECT_EQ(ra.low[t], rb.low[t]) << t;
+    EXPECT_EQ(ra.high[t], rb.high[t]) << t;
+  }
+}
+
+TEST(FilterBankCore, PipelinedVariantMatchesWithLatency) {
+  FilterBankConfig cfg;
+  cfg.pipelined_operators = true;
+  const BuiltFilterBank fb = build_filterbank_core(cfg);
+  EXPECT_GT(fb.latency, 2);
+  const BuiltFilterBank flat = build_filterbank_core({});
+  common::Rng rng(4);
+  std::vector<std::int64_t> x(64, 0);
+  for (auto& v : x) v = rng.uniform(-128, 127);
+  const StreamOut rp = run_core(fb, x);
+  const StreamOut rf = run_core(flat, x);
+  const int skew = fb.latency - flat.latency;
+  for (std::size_t t = 20; t + static_cast<std::size_t>(skew) < x.size(); ++t) {
+    EXPECT_EQ(rp.low[t + static_cast<std::size_t>(skew)], rf.low[t]) << t;
+  }
+}
+
+TEST(FilterBankCore, ImpulseResponseRecoversCoefficients) {
+  FilterBankConfig cfg;
+  cfg.input_bits = 12;  // room for the scaled impulse
+  const BuiltFilterBank fb = build_filterbank_core(cfg);
+  std::vector<std::int64_t> x(32, 0);
+  x[10] = 256;  // scaled impulse so >>8 returns the raw coefficients
+  const StreamOut out = run_core(fb, x);
+  const auto coeffs = dsp::Dwt97FirFixedCoeffs::rounded(8);
+  // low[t] = h[j] where window_end - j = 10.
+  for (std::size_t j = 0; j < 9; ++j) {
+    const std::size_t t = 10 + j + static_cast<std::size_t>(fb.latency) - 1;
+    EXPECT_EQ(out.low[t], coeffs.analysis_low[j]) << j;
+  }
+}
+
+TEST(FilterBankCore, StructuralVariantBuildsAndMatches) {
+  FilterBankConfig cfg;
+  cfg.adder_style = rtl::AdderStyle::kRippleGates;
+  const BuiltFilterBank fb = build_filterbank_core(cfg);
+  const BuiltFilterBank ref = build_filterbank_core({});
+  common::Rng rng(6);
+  std::vector<std::int64_t> x(40);
+  for (auto& v : x) v = rng.uniform(-128, 127);
+  const StreamOut ra = run_core(fb, x);
+  const StreamOut rb = run_core(ref, x);
+  for (std::size_t t = 12; t < x.size(); ++t) {
+    EXPECT_EQ(ra.low[t], rb.low[t]) << t;
+    EXPECT_EQ(ra.high[t], rb.high[t]) << t;
+  }
+}
+
+TEST(FilterBankCore, PaperBaselineConstants) {
+  EXPECT_EQ(paper_baseline().area_les, 785);
+  EXPECT_DOUBLE_EQ(paper_baseline().fmax_mhz, 85.5);
+}
+
+TEST(FilterBankCore, RejectsBadConfig) {
+  FilterBankConfig cfg;
+  cfg.input_bits = 0;
+  EXPECT_THROW(build_filterbank_core(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::hw

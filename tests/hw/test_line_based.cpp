@@ -1,0 +1,59 @@
+#include "hw/line_based_dwt2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsp/dwt2d.hpp"
+#include "dsp/image_gen.hpp"
+
+namespace dwt::hw {
+namespace {
+
+dsp::Image shifted_tile(std::size_t w, std::size_t h, std::uint64_t seed) {
+  dsp::Image img = dsp::make_still_tone_image(w, h, seed);
+  dsp::level_shift_forward(img);
+  dsp::round_coefficients(img);
+  return img;
+}
+
+class LineBasedMatchesBatch
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(LineBasedMatchesBatch, BitExactOctave) {
+  const auto [w, h] = GetParam();
+  dsp::Image line = shifted_tile(w, h, 7);
+  dsp::Image batch = line;
+  (void)line_based_forward_octave(line);
+  dsp::dwt2d_forward_octave(dsp::Method::kLiftingFixed, batch, w, h);
+  EXPECT_EQ(line.data(), batch.data()) << w << "x" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LineBasedMatchesBatch,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{16, 16},
+                                           std::pair<std::size_t, std::size_t>{32, 16},
+                                           std::pair<std::size_t, std::size_t>{16, 32},
+                                           std::pair<std::size_t, std::size_t>{64, 64},
+                                           std::pair<std::size_t, std::size_t>{2, 8},
+                                           std::pair<std::size_t, std::size_t>{8, 2}));
+
+TEST(LineBased, MemoryFootprintIsLinesNotFrames) {
+  dsp::Image img = shifted_tile(64, 64, 3);
+  const LineBasedStats stats = line_based_forward_octave(img);
+  EXPECT_EQ(stats.frame_memory_words, 64u * 64u);
+  EXPECT_EQ(stats.line_buffer_words, 7u * 64u);
+  EXPECT_LT(stats.line_buffer_words * 8, stats.frame_memory_words);
+}
+
+TEST(LineBased, RowPassCountIncludesGuards) {
+  dsp::Image img = shifted_tile(16, 32, 5);
+  const LineBasedStats stats = line_based_forward_octave(img);
+  // (row pairs + 2 * 4 guards) * 2 rows per pair.
+  EXPECT_EQ(stats.rows_processed, (32u / 2u + 8u) * 2u);
+}
+
+TEST(LineBased, RejectsOddDimensions) {
+  dsp::Image img(15, 16, 0.0);
+  EXPECT_THROW(line_based_forward_octave(img), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::hw

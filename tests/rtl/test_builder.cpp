@@ -1,0 +1,250 @@
+#include "rtl/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::rtl {
+namespace {
+
+struct Fixture {
+  Netlist nl;
+  Builder b{nl};
+};
+
+TEST(Builder, ConstantBusEncodesTwosComplement) {
+  Fixture f;
+  const Bus c = f.b.constant(-3, 4);  // 1101
+  f.nl.bind_output("c", c);
+  Simulator sim(f.nl);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(c), -3);
+}
+
+TEST(Builder, ResizeSignExtends) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 4);
+  const Bus wide = f.b.resize(in, 8);
+  f.nl.bind_output("y", wide);
+  Simulator sim(f.nl);
+  sim.set_bus(in, -5);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(wide), -5);
+}
+
+TEST(Builder, ResizeTruncatesLowBits) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 8);
+  const Bus narrow = f.b.resize(in, 4);
+  Simulator sim(f.nl);
+  sim.set_bus(in, 0x35);  // low nibble 5
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(narrow), 5);
+}
+
+TEST(Builder, ShiftLeftMultiplies) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 5);
+  const Bus y = f.b.shl(in, 3);
+  EXPECT_EQ(y.width(), 8);
+  Simulator sim(f.nl);
+  sim.set_bus(in, -7);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(y), -56);
+}
+
+TEST(Builder, AsrTruncatesTowardMinusInfinity) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 8);
+  const Bus y = f.b.asr(in, 2);
+  Simulator sim(f.nl);
+  for (const std::int64_t v : {-128, -7, -1, 0, 1, 7, 127}) {
+    sim.set_bus(in, v);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus(y), v >> 2) << v;
+  }
+}
+
+TEST(Builder, AsrBeyondWidthLeavesSign) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 4);
+  const Bus y = f.b.asr(in, 7);
+  EXPECT_EQ(y.width(), 1);
+  Simulator sim(f.nl);
+  sim.set_bus(in, -3);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(y), -1);
+}
+
+class AdderStyleTest : public ::testing::TestWithParam<AdderStyle> {};
+
+TEST_P(AdderStyleTest, AddExhaustiveSmall) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 4);
+  const Bus b = f.nl.add_input_bus("b", 4);
+  const Bus y = f.b.add(a, b, GetParam(), 5, "sum");
+  Simulator sim(f.nl);
+  for (std::int64_t va = -8; va <= 7; ++va) {
+    for (std::int64_t vb = -8; vb <= 7; ++vb) {
+      sim.set_bus(a, va);
+      sim.set_bus(b, vb);
+      sim.eval();
+      EXPECT_EQ(sim.read_bus(y), va + vb) << va << "+" << vb;
+    }
+  }
+}
+
+TEST_P(AdderStyleTest, SubExhaustiveSmall) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 4);
+  const Bus b = f.nl.add_input_bus("b", 4);
+  const Bus y = f.b.sub(a, b, GetParam(), 5, "diff");
+  Simulator sim(f.nl);
+  for (std::int64_t va = -8; va <= 7; ++va) {
+    for (std::int64_t vb = -8; vb <= 7; ++vb) {
+      sim.set_bus(a, va);
+      sim.set_bus(b, vb);
+      sim.eval();
+      EXPECT_EQ(sim.read_bus(y), va - vb) << va << "-" << vb;
+    }
+  }
+}
+
+TEST_P(AdderStyleTest, AddRandomWide) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 16);
+  const Bus b = f.nl.add_input_bus("b", 16);
+  const Bus y = f.b.add(a, b, GetParam(), 17, "sum");
+  Simulator sim(f.nl);
+  common::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t va = rng.uniform(-32768, 32767);
+    const std::int64_t vb = rng.uniform(-32768, 32767);
+    sim.set_bus(a, va);
+    sim.set_bus(b, vb);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus(y), va + vb);
+  }
+}
+
+TEST_P(AdderStyleTest, MixedWidthOperands) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 9);
+  const Bus b = f.nl.add_input_bus("b", 5);
+  const Bus y = f.b.add(a, b, GetParam(), 10, "sum");
+  Simulator sim(f.nl);
+  common::Rng rng(32);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t va = rng.uniform(-256, 255);
+    const std::int64_t vb = rng.uniform(-16, 15);
+    sim.set_bus(a, va);
+    sim.set_bus(b, vb);
+    sim.eval();
+    EXPECT_EQ(sim.read_bus(y), va + vb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, AdderStyleTest,
+                         ::testing::Values(AdderStyle::kCarryChain,
+                                           AdderStyle::kRippleGates),
+                         [](const auto& info) {
+                           return info.param == AdderStyle::kCarryChain
+                                      ? "CarryChain"
+                                      : "RippleGates";
+                         });
+
+TEST(Builder, CarryChainTagsBits) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 3);
+  const Bus b = f.nl.add_input_bus("b", 3);
+  (void)f.b.add(a, b, AdderStyle::kCarryChain, 4, "s");
+  std::size_t chain_cells = 0;
+  for (const Cell& c : f.nl.cells()) {
+    if (c.chain_id >= 0) ++chain_cells;
+  }
+  // 4 sum cells + 3 carry cells.
+  EXPECT_EQ(chain_cells, 7u);
+}
+
+TEST(Builder, StructuralAdderUsesNoChains) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 3);
+  const Bus b = f.nl.add_input_bus("b", 3);
+  (void)f.b.add(a, b, AdderStyle::kRippleGates, 4, "s");
+  for (const Cell& c : f.nl.cells()) {
+    EXPECT_LT(c.chain_id, 0);
+  }
+  EXPECT_GT(f.nl.count_kind(CellKind::kXor2), 0u);
+}
+
+TEST(Builder, EachAdderGetsItsOwnCluster) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 3);
+  const Bus b = f.nl.add_input_bus("b", 3);
+  const Bus s1 = f.b.add(a, b, AdderStyle::kRippleGates, 4, "s1");
+  const Bus s2 = f.b.add(s1, b, AdderStyle::kRippleGates, 5, "s2");
+  const std::int32_t c1 = f.nl.cell(f.nl.net(s1.bits[0]).driver).cluster_id;
+  const std::int32_t c2 = f.nl.cell(f.nl.net(s2.bits[0]).driver).cluster_id;
+  EXPECT_GE(c1, 0);
+  EXPECT_GE(c2, 0);
+  EXPECT_NE(c1, c2);
+}
+
+TEST(Builder, RegisterBankDelaysOneCycle) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 6);
+  const Bus q = f.b.reg(in, "r");
+  Simulator sim(f.nl);
+  sim.set_bus(in, 13);
+  sim.step();
+  EXPECT_EQ(sim.read_bus(q), 13);
+  sim.set_bus(in, -9);
+  sim.step();
+  EXPECT_EQ(sim.read_bus(q), -9);
+}
+
+TEST(Builder, DelayLine) {
+  Fixture f;
+  const Bus in = f.nl.add_input_bus("x", 4);
+  const Bus q = f.b.delay(in, 3, "d");
+  Simulator sim(f.nl);
+  const std::int64_t seq[] = {1, -2, 3, -4, 5, -6};
+  for (int t = 0; t < 6; ++t) {
+    sim.set_bus(in, seq[t]);
+    sim.step();
+    // After step t the third register holds the value applied at step t-2.
+    if (t >= 2) EXPECT_EQ(sim.read_bus(q), seq[t - 2]) << t;
+  }
+}
+
+TEST(Builder, MuxSelects) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 4);
+  const Bus b = f.nl.add_input_bus("b", 4);
+  const NetId sel = f.nl.add_input("sel");
+  const Bus y = f.b.mux(a, b, sel, "m");
+  Simulator sim(f.nl);
+  sim.set_bus(a, 3);
+  sim.set_bus(b, -4);
+  sim.set_input(sel, false);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(y), 3);
+  sim.set_input(sel, true);
+  sim.eval();
+  EXPECT_EQ(sim.read_bus(y), -4);
+}
+
+TEST(Builder, ArgumentValidation) {
+  Fixture f;
+  const Bus a = f.nl.add_input_bus("a", 4);
+  EXPECT_THROW(f.b.constant(0, 0), std::invalid_argument);
+  EXPECT_THROW(f.b.shl(a, -1), std::invalid_argument);
+  EXPECT_THROW(f.b.asr(a, -1), std::invalid_argument);
+  EXPECT_THROW(f.b.add(a, a, AdderStyle::kCarryChain, 0), std::invalid_argument);
+  EXPECT_THROW(f.b.mux(a, f.b.resize(a, 3), f.nl.add_input("s")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::rtl

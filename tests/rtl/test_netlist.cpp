@@ -1,0 +1,141 @@
+#include "rtl/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dwt::rtl {
+namespace {
+
+TEST(Netlist, InputsAndCells) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_cell(CellKind::kAnd2, a, b, kNullNet, "y");
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.cell_count(), 1u);
+  EXPECT_EQ(nl.net(y).driver, 0u);
+  EXPECT_TRUE(nl.net(a).is_primary_input);
+  EXPECT_FALSE(nl.net(y).is_primary_input);
+}
+
+TEST(Netlist, InputBusNamesAndRecovery) {
+  Netlist nl;
+  const Bus bus = nl.add_input_bus("data", 4);
+  EXPECT_EQ(bus.width(), 4);
+  EXPECT_EQ(nl.net(bus.bits[2]).name, "data[2]");
+  const Bus found = nl.find_input_bus("data");
+  EXPECT_EQ(found.bits, bus.bits);
+  EXPECT_THROW(nl.find_input_bus("nothere"), std::out_of_range);
+}
+
+TEST(Netlist, ConstantsAreSingletons) {
+  Netlist nl;
+  EXPECT_EQ(nl.const0(), nl.const0());
+  EXPECT_EQ(nl.const1(), nl.const1());
+  EXPECT_NE(nl.const0(), nl.const1());
+}
+
+TEST(Netlist, OutputBinding) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.bind_output("y", Bus{{a}});
+  EXPECT_EQ(nl.output("y").bits[0], a);
+  EXPECT_THROW(nl.output("z"), std::out_of_range);
+  EXPECT_THROW(nl.bind_output("bad", Bus{}), std::invalid_argument);
+}
+
+TEST(Netlist, CountKind) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  (void)nl.add_cell(CellKind::kNot, a);
+  (void)nl.add_cell(CellKind::kNot, a);
+  (void)nl.add_cell(CellKind::kDff, a);
+  EXPECT_EQ(nl.count_kind(CellKind::kNot), 2u);
+  EXPECT_EQ(nl.count_kind(CellKind::kDff), 1u);
+}
+
+TEST(Netlist, FanoutCounts) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_cell(CellKind::kNot, a);
+  (void)nl.add_cell(CellKind::kAnd2, a, n1);
+  const auto fanout = nl.fanout_counts();
+  EXPECT_EQ(fanout[a], 2u);
+  EXPECT_EQ(fanout[n1], 1u);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_cell(CellKind::kNot, a);
+  const NetId y = nl.add_cell(CellKind::kNot, x);
+  (void)y;
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), 2u);
+  // The driver of x must appear before the driver of y.
+  EXPECT_LT(std::find(order.begin(), order.end(), nl.net(x).driver),
+            std::find(order.begin(), order.end(), nl.net(y).driver));
+}
+
+TEST(Netlist, TopoOrderBreaksAtRegisters) {
+  // A feedback loop through a DFF is sequential, not combinational.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_cell(CellKind::kDff, a);  // placeholder D
+  const NetId x = nl.add_cell(CellKind::kXor2, a, q);
+  nl.rewire_input(nl.net(q).driver, 0, x);
+  EXPECT_NO_THROW(nl.topo_order());
+}
+
+TEST(Netlist, ValidateDetectsUnwiredInput) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  (void)nl.add_cell(CellKind::kAnd2, a, kNullNet);
+  EXPECT_THROW(nl.validate(), std::logic_error);
+}
+
+TEST(Netlist, ValidateAcceptsWellFormed) {
+  Netlist nl;
+  const Bus in = nl.add_input_bus("x", 2);
+  const NetId y = nl.add_cell(CellKind::kXor2, in.bits[0], in.bits[1], kNullNet);
+  nl.bind_output("y", Bus{{y}});
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, ChainCellsTracked) {
+  Netlist nl;
+  const Bus in = nl.add_input_bus("x", 2);
+  const std::int32_t chain = nl.new_chain_id();
+  const NetId s = nl.add_chain_cell(CellKind::kAddSum, in.bits[0], in.bits[1],
+                                    nl.const0(), chain, 0);
+  EXPECT_EQ(nl.cell(nl.net(s).driver).chain_id, chain);
+  EXPECT_EQ(nl.cell(nl.net(s).driver).chain_bit, 0);
+  EXPECT_THROW(
+      nl.add_chain_cell(CellKind::kAnd2, in.bits[0], in.bits[1], nl.const0(),
+                        chain, 1),
+      std::invalid_argument);
+}
+
+TEST(Netlist, ClusterAssignment) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellKind::kNot, a);
+  const std::int32_t c = nl.new_cluster_id();
+  nl.set_cluster(y, c);
+  EXPECT_EQ(nl.cell(nl.net(y).driver).cluster_id, c);
+  EXPECT_THROW(nl.set_cluster(a, c), std::invalid_argument);  // input: no driver
+}
+
+TEST(Netlist, RewireInputValidatesArguments) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellKind::kNot, a);
+  const CellId cell = nl.net(y).driver;
+  EXPECT_THROW(nl.rewire_input(cell, 1, a), std::invalid_argument);  // kNot has 1 input
+  EXPECT_THROW(nl.rewire_input(cell, 0, 9999), std::invalid_argument);
+  EXPECT_NO_THROW(nl.rewire_input(cell, 0, a));
+}
+
+}  // namespace
+}  // namespace dwt::rtl

@@ -1,0 +1,90 @@
+#include "rtl/registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "rtl/adders.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::rtl {
+namespace {
+
+TEST(PipelinerGranularity, OneRegistersEverySum) {
+  Netlist nl;
+  Builder b(nl);
+  Pipeliner p(b, true, 1);
+  Word x = word_input(nl, "x", 4);
+  Word acc = x;
+  for (int i = 0; i < 4; ++i) {
+    acc = word_add(p, acc, x, AdderStyle::kCarryChain, "a" + std::to_string(i));
+  }
+  EXPECT_EQ(acc.depth, 4);
+}
+
+TEST(PipelinerGranularity, TwoRegistersEveryOtherSum) {
+  Netlist nl;
+  Builder b(nl);
+  Pipeliner p(b, true, 2);
+  Word x = word_input(nl, "x", 4);
+  Word acc = x;
+  for (int i = 0; i < 4; ++i) {
+    acc = word_add(p, acc, x, AdderStyle::kCarryChain, "a" + std::to_string(i));
+  }
+  EXPECT_EQ(acc.depth, 2);
+}
+
+TEST(PipelinerGranularity, FunctionallyEquivalentAcrossGranularities) {
+  common::Rng rng(5);
+  std::vector<std::int64_t> results;
+  for (const int gran : {1, 2, 3}) {
+    Netlist nl;
+    Builder b(nl);
+    Pipeliner p(b, true, gran);
+    const Word x = word_input(nl, "x", 6);
+    Word acc = x;
+    for (int i = 0; i < 5; ++i) {
+      acc = word_add(p, acc, word_shl(b, x, 1), AdderStyle::kCarryChain,
+                     "a" + std::to_string(i));
+    }
+    nl.bind_output("y", acc.bus);
+    Simulator sim(nl);
+    sim.set_bus(x.bus, 13);
+    for (int k = 0; k <= acc.depth; ++k) sim.step();
+    results.push_back(sim.read_bus(acc.bus));
+  }
+  EXPECT_EQ(results[0], 13 + 5 * 26);
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[1], results[2]);
+}
+
+TEST(PipelinerGranularity, RejectsNonPositive) {
+  Netlist nl;
+  Builder b(nl);
+  EXPECT_THROW(Pipeliner(b, true, 0), std::invalid_argument);
+}
+
+TEST(WordInput, RangeMatchesWidth) {
+  Netlist nl;
+  const Word w = word_input(nl, "x", 9);
+  EXPECT_EQ(w.range.lo, -256);
+  EXPECT_EQ(w.range.hi, 255);
+  EXPECT_EQ(w.depth, 0);
+}
+
+TEST(WidthFor, MatchesIntervalBits) {
+  EXPECT_EQ(width_for(common::Interval{-530, 530}), 11);
+  EXPECT_EQ(width_for(common::Interval{0, 1}), 2);
+}
+
+TEST(Pipeliner, StageAlwaysRegistersEvenWhenDisabled) {
+  Netlist nl;
+  Builder b(nl);
+  Pipeliner p(b, false);
+  const Word x = word_input(nl, "x", 4);
+  const Word r = p.stage(x, "r");
+  EXPECT_EQ(r.depth, 1);
+  EXPECT_EQ(nl.count_kind(CellKind::kDff), 4u);
+}
+
+}  // namespace
+}  // namespace dwt::rtl

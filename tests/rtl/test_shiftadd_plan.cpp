@@ -1,0 +1,121 @@
+#include "rtl/shiftadd_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dwt::rtl {
+namespace {
+
+TEST(ShiftAddPlan, AlphaBinaryDecomposition) {
+  // alpha = -406 = 10.01101010 in Q2.8: bits 1,3,5,6 positive, sign bit 9
+  // subtracts (paper figure 7).
+  const ShiftAddPlan plan = make_shiftadd_plan(-406, Recoding::kBinary);
+  EXPECT_EQ(plan.terms.size(), 5u);
+  EXPECT_EQ(plan.adders_for_products(), 4);
+  EXPECT_FALSE(plan.has_shared_3x);
+  for (std::int64_t x = -300; x <= 300; x += 11) {
+    EXPECT_EQ(plan.apply(x), -406 * x) << x;
+  }
+}
+
+TEST(ShiftAddPlan, PaperSection32AdderCounts) {
+  // "alpha needs 6 adders ... beta needed 8 adders, but one adder result can
+  //  be re-used, reducing this stage to 7 ... gamma needs 5 ... delta needs
+  //  5 ... 4 adders for -k ... 2 adders for 1/k."
+  const auto counts = paper_multiplier_adder_counts(Recoding::kBinaryWithReuse);
+  ASSERT_EQ(counts.size(), 6u);
+  EXPECT_EQ(counts[0].name, "alpha");
+  EXPECT_EQ(counts[0].total(), 6);
+  EXPECT_EQ(counts[1].name, "beta");
+  EXPECT_EQ(counts[1].total(), 7);
+  EXPECT_EQ(counts[2].name, "gamma");
+  EXPECT_EQ(counts[2].total(), 5);
+  EXPECT_EQ(counts[3].name, "delta");
+  EXPECT_EQ(counts[3].total(), 5);
+  EXPECT_EQ(counts[4].name, "-k");
+  EXPECT_EQ(counts[4].total(), 4);
+  EXPECT_EQ(counts[5].name, "1/k");
+  EXPECT_EQ(counts[5].total(), 2);
+}
+
+TEST(ShiftAddPlan, BetaWithoutReuseNeedsEightAdders) {
+  const auto counts = paper_multiplier_adder_counts(Recoding::kBinary);
+  EXPECT_EQ(counts[1].total(), 8);  // the paper's pre-reuse count
+}
+
+TEST(ShiftAddPlan, BetaReuseUsesShared3x) {
+  const ShiftAddPlan plan = make_shiftadd_plan(-14, Recoding::kBinaryWithReuse);
+  EXPECT_TRUE(plan.has_shared_3x);
+  int shared_terms = 0;
+  for (const auto& t : plan.terms) {
+    if (t.uses_shared_3x) ++shared_terms;
+  }
+  EXPECT_EQ(shared_terms, 2);
+  for (std::int64_t x = -600; x <= 600; x += 13) {
+    EXPECT_EQ(plan.apply(x), -14 * x) << x;
+  }
+}
+
+TEST(ShiftAddPlan, ReuseNotAppliedForSinglePair) {
+  // alpha has only one adjacent positive pair; reuse would not save adders.
+  const ShiftAddPlan plan = make_shiftadd_plan(-406, Recoding::kBinaryWithReuse);
+  EXPECT_FALSE(plan.has_shared_3x);
+}
+
+TEST(ShiftAddPlan, CsdNeedsFewerTermsForBeta) {
+  const ShiftAddPlan binary = make_shiftadd_plan(-14, Recoding::kBinary);
+  const ShiftAddPlan csd = make_shiftadd_plan(-14, Recoding::kCsd);
+  EXPECT_LT(csd.terms.size(), binary.terms.size());
+  EXPECT_EQ(csd.terms.size(), 2u);  // -14 = 2 - 16
+  for (std::int64_t x = -600; x <= 600; x += 7) {
+    EXPECT_EQ(csd.apply(x), -14 * x) << x;
+  }
+}
+
+TEST(ShiftAddPlan, CsdHasNoAdjacentNonzeroDigits) {
+  for (const std::int64_t c : {-406LL, -14LL, 226LL, 114LL, -315LL, 208LL}) {
+    const ShiftAddPlan plan = make_shiftadd_plan(c, Recoding::kCsd);
+    std::vector<int> shifts;
+    for (const auto& t : plan.terms) shifts.push_back(t.shift);
+    std::sort(shifts.begin(), shifts.end());
+    for (std::size_t i = 1; i < shifts.size(); ++i) {
+      EXPECT_GT(shifts[i] - shifts[i - 1], 1) << "constant " << c;
+    }
+  }
+}
+
+class PlanCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, Recoding>> {};
+
+TEST_P(PlanCorrectness, AppliesExactly) {
+  const auto [c, recoding] = GetParam();
+  const ShiftAddPlan plan = make_shiftadd_plan(c, recoding);
+  for (std::int64_t x = -128; x <= 127; x += 5) {
+    EXPECT_EQ(plan.apply(x), c * x) << "c=" << c << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstantsTimesRecodings, PlanCorrectness,
+    ::testing::Combine(::testing::Values<std::int64_t>(-406, -14, 226, 114,
+                                                       -315, 208, 1, -1, 255,
+                                                       -256, 511, 3, -3),
+                       ::testing::Values(Recoding::kBinary,
+                                         Recoding::kBinaryWithReuse,
+                                         Recoding::kCsd)));
+
+TEST(ShiftAddPlan, RejectsZeroConstant) {
+  EXPECT_THROW(make_shiftadd_plan(0, Recoding::kBinary), std::invalid_argument);
+  EXPECT_THROW(make_shiftadd_plan(0, Recoding::kCsd), std::invalid_argument);
+}
+
+TEST(ShiftAddPlan, ToStringMentionsOperands) {
+  const ShiftAddPlan plan = make_shiftadd_plan(-14, Recoding::kBinaryWithReuse);
+  const std::string s = plan.to_string();
+  EXPECT_NE(s.find("3x"), std::string::npos);
+  EXPECT_NE(s.find("-14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwt::rtl

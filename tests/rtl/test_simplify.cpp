@@ -1,0 +1,148 @@
+#include "rtl/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/multipliers.hpp"
+#include "rtl/registers.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::rtl {
+namespace {
+
+/// Checks functional equivalence of two netlists with identical port names.
+void expect_equivalent(const Netlist& a, const Netlist& b,
+                       const std::string& in_bus, const std::string& out_bus,
+                       int in_width, int cycles_per_vector) {
+  Simulator sa(a), sb(b);
+  const Bus ia = a.find_input_bus(in_bus);
+  const Bus ib = b.find_input_bus(in_bus);
+  const Bus oa = a.output(out_bus);
+  const Bus ob = b.output(out_bus);
+  common::Rng rng(13);
+  const std::int64_t lo = -(std::int64_t{1} << (in_width - 1));
+  const std::int64_t hi = (std::int64_t{1} << (in_width - 1)) - 1;
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t v = rng.uniform(lo, hi);
+    sa.set_bus(ia, v);
+    sb.set_bus(ib, v);
+    for (int c = 0; c < cycles_per_vector; ++c) {
+      sa.step();
+      sb.step();
+    }
+    EXPECT_EQ(sa.read_bus(oa), sb.read_bus(ob)) << "v=" << v;
+  }
+}
+
+TEST(Simplify, FoldsConstantGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a[0]");
+  const NetId and0 = nl.add_cell(CellKind::kAnd2, a, nl.const0());
+  const NetId or0 = nl.add_cell(CellKind::kOr2, and0, a);
+  nl.bind_output("y", Bus{{or0}});
+  const Netlist out = simplify(nl);
+  // and(a,0) = 0, or(0,a) = a: no gates remain.
+  EXPECT_EQ(out.count_kind(CellKind::kAnd2), 0u);
+  EXPECT_EQ(out.count_kind(CellKind::kOr2), 0u);
+}
+
+TEST(Simplify, RemovesDoubleInverters) {
+  Netlist nl;
+  const NetId a = nl.add_input("a[0]");
+  const NetId n1 = nl.add_cell(CellKind::kNot, a);
+  const NetId n2 = nl.add_cell(CellKind::kNot, n1);
+  nl.bind_output("y", Bus{{n2}});
+  const Netlist out = simplify(nl);
+  EXPECT_EQ(out.count_kind(CellKind::kNot), 0u);
+  EXPECT_EQ(out.output("y").bits[0], out.find_input_bus("a").bits[0]);
+}
+
+TEST(Simplify, FoldsXorIdentities) {
+  Netlist nl;
+  const NetId a = nl.add_input("a[0]");
+  const NetId x0 = nl.add_cell(CellKind::kXor2, a, nl.const0());
+  const NetId x1 = nl.add_cell(CellKind::kXor2, x0, nl.const1());
+  const NetId xx = nl.add_cell(CellKind::kXor2, a, a);
+  nl.bind_output("y", Bus{{x1, xx}});
+  const Netlist out = simplify(nl);
+  EXPECT_EQ(out.count_kind(CellKind::kXor2), 0u);
+  EXPECT_EQ(out.count_kind(CellKind::kNot), 1u);  // xor with 1 = inverter
+}
+
+TEST(Simplify, FoldsMuxWithConstantSelect) {
+  Netlist nl;
+  const NetId a = nl.add_input("a[0]");
+  const NetId b = nl.add_input("b[0]");
+  const NetId m = nl.add_cell(CellKind::kMux2, a, b, nl.const1());
+  nl.bind_output("y", Bus{{m}});
+  const Netlist out = simplify(nl);
+  EXPECT_EQ(out.count_kind(CellKind::kMux2), 0u);
+  EXPECT_EQ(out.output("y").bits[0], out.find_input_bus("b").bits[0]);
+}
+
+TEST(Simplify, PreservesChainAdders) {
+  // Adder megacore structure must survive even with tied-off inputs.
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  const Bus z = b.constant(0, 4);
+  const Bus s = b.add(a, z, AdderStyle::kCarryChain, 5, "s");
+  nl.bind_output("y", s);
+  const Netlist out = simplify(nl);
+  EXPECT_EQ(out.count_kind(CellKind::kAddSum), 5u);
+}
+
+TEST(Simplify, PreservesRegistersAndBehaviour) {
+  Netlist nl;
+  Builder b(nl);
+  Pipeliner p(b, true);
+  const Word x = word_input(nl, "x", 8);
+  const Word y = shiftadd_multiply(
+      p, x, make_shiftadd_plan(-406, Recoding::kBinaryWithReuse),
+      AdderStyle::kCarryChain, SumStructure::kSequential, "m");
+  nl.bind_output("y", y.bus);
+  const Netlist out = simplify(nl);
+  EXPECT_EQ(out.count_kind(CellKind::kDff), nl.count_kind(CellKind::kDff));
+  expect_equivalent(nl, out, "x", "y", 8, y.depth + 1);
+}
+
+TEST(Simplify, EquivalentOnGateHeavyLogic) {
+  Netlist nl;
+  Builder b(nl);
+  Pipeliner p(b, false);
+  const Word x = word_input(nl, "x", 7);
+  const Word prod = array_multiply_const(p, x, 114, 10, AdderStyle::kRippleGates,
+                                         SumStructure::kSequential, "m");
+  nl.bind_output("y", prod.bus);
+  const Netlist out = simplify(nl);
+  EXPECT_LT(out.cell_count(), nl.cell_count());  // masked rows folded
+  expect_equivalent(nl, out, "x", "y", 7, 1);
+}
+
+TEST(Simplify, KeepsClusterTags) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  const Bus bb = nl.add_input_bus("b", 4);
+  const Bus s = b.add(a, bb, AdderStyle::kRippleGates, 5, "s");
+  nl.bind_output("y", s);
+  const Netlist out = simplify(nl);
+  bool found = false;
+  for (const Cell& c : out.cells()) {
+    if (c.cluster_id >= 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Simplify, PreservesOutputPortShape) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  nl.bind_output("y", b.shl(a, 2));
+  const Netlist out = simplify(nl);
+  EXPECT_EQ(out.output("y").width(), 6);
+}
+
+}  // namespace
+}  // namespace dwt::rtl

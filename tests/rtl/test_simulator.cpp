@@ -1,0 +1,134 @@
+#include "rtl/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+
+namespace dwt::rtl {
+namespace {
+
+TEST(Simulator, GateTruthTables) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId s = nl.add_input("s");
+  const NetId n_not = nl.add_cell(CellKind::kNot, a);
+  const NetId n_and = nl.add_cell(CellKind::kAnd2, a, b);
+  const NetId n_or = nl.add_cell(CellKind::kOr2, a, b);
+  const NetId n_xor = nl.add_cell(CellKind::kXor2, a, b);
+  const NetId n_mux = nl.add_cell(CellKind::kMux2, a, b, s);
+  Simulator sim(nl);
+  for (int va = 0; va < 2; ++va) {
+    for (int vb = 0; vb < 2; ++vb) {
+      for (int vs = 0; vs < 2; ++vs) {
+        sim.set_input(a, va != 0);
+        sim.set_input(b, vb != 0);
+        sim.set_input(s, vs != 0);
+        sim.eval();
+        EXPECT_EQ(sim.value(n_not), va == 0);
+        EXPECT_EQ(sim.value(n_and), va && vb);
+        EXPECT_EQ(sim.value(n_or), va || vb);
+        EXPECT_EQ(sim.value(n_xor), va != vb);
+        EXPECT_EQ(sim.value(n_mux), vs ? vb != 0 : va != 0);
+      }
+    }
+  }
+}
+
+TEST(Simulator, FullAdderCells) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId sum = nl.add_cell(CellKind::kAddSum, a, b, c);
+  const NetId carry = nl.add_cell(CellKind::kAddCarry, a, b, c);
+  Simulator sim(nl);
+  for (int m = 0; m < 8; ++m) {
+    sim.set_input(a, m & 1);
+    sim.set_input(b, m & 2);
+    sim.set_input(c, m & 4);
+    sim.eval();
+    const int total = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    EXPECT_EQ(sim.value(sum), total % 2 == 1) << m;
+    EXPECT_EQ(sim.value(carry), total >= 2) << m;
+  }
+}
+
+TEST(Simulator, DffSamplesOnStep) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_cell(CellKind::kDff, d);
+  Simulator sim(nl);
+  sim.set_input(d, true);
+  sim.eval();
+  EXPECT_FALSE(sim.value(q));  // eval does not clock
+  sim.step();
+  EXPECT_TRUE(sim.value(q));
+  sim.set_input(d, false);
+  sim.step();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(Simulator, ShiftRegisterChain) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q1 = nl.add_cell(CellKind::kDff, d);
+  const NetId q2 = nl.add_cell(CellKind::kDff, q1);
+  const NetId q3 = nl.add_cell(CellKind::kDff, q2);
+  Simulator sim(nl);
+  const bool pattern[] = {true, false, true, true, false};
+  for (int t = 0; t < 5; ++t) {
+    sim.set_input(d, pattern[t]);
+    sim.step();
+    if (t >= 2) EXPECT_EQ(sim.value(q3), pattern[t - 2]) << t;
+  }
+}
+
+TEST(Simulator, TogglingFeedbackThroughDff) {
+  // q <= not q: a divide-by-two toggler; two-phase update must not race.
+  Netlist nl;
+  const NetId q = nl.add_cell(CellKind::kDff, kNullNet);
+  const NetId nq = nl.add_cell(CellKind::kNot, q);
+  nl.rewire_input(nl.net(q).driver, 0, nq);
+  Simulator sim(nl);
+  bool expected = false;
+  for (int t = 0; t < 6; ++t) {
+    sim.step();
+    expected = !expected;
+    EXPECT_EQ(sim.value(q), expected) << t;
+  }
+}
+
+TEST(Simulator, SetBusRejectsOverflow) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus in = nl.add_input_bus("x", 4);
+  Simulator sim(nl);
+  EXPECT_NO_THROW(sim.set_bus(in, 7));
+  EXPECT_NO_THROW(sim.set_bus(in, -8));
+  EXPECT_THROW(sim.set_bus(in, 8), std::invalid_argument);
+  EXPECT_THROW(sim.set_bus(in, -9), std::invalid_argument);
+}
+
+TEST(Simulator, SetInputRejectsNonInputs) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellKind::kNot, a);
+  Simulator sim(nl);
+  EXPECT_THROW(sim.set_input(y, true), std::invalid_argument);
+}
+
+TEST(Simulator, ResetClearsState) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_cell(CellKind::kDff, d);
+  Simulator sim(nl);
+  sim.set_input(d, true);
+  sim.step();
+  EXPECT_TRUE(sim.value(q));
+  sim.reset();
+  EXPECT_FALSE(sim.value(q));
+}
+
+}  // namespace
+}  // namespace dwt::rtl

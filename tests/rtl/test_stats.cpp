@@ -1,0 +1,80 @@
+#include "rtl/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rtl/builder.hpp"
+#include "rtl/registers.hpp"
+
+namespace dwt::rtl {
+namespace {
+
+TEST(Stats, CountsPrimitives) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  const Bus bb = nl.add_input_bus("b", 4);
+  const Bus s = b.add(a, bb, AdderStyle::kCarryChain, 5, "s");
+  const Bus r = b.reg(s, "r");
+  nl.bind_output("y", r);
+  const NetlistStats st = compute_stats(nl);
+  EXPECT_EQ(st.register_bits, 5u);
+  EXPECT_EQ(st.carry_chains, 1u);
+  EXPECT_EQ(st.chain_bits, 5u);
+  EXPECT_EQ(st.gate_cells, 0u);
+  EXPECT_EQ(st.cells, nl.cell_count());
+}
+
+TEST(Stats, GateCellsForStructuralAdder) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 4);
+  const Bus bb = nl.add_input_bus("b", 4);
+  const Bus s = b.add(a, bb, AdderStyle::kRippleGates, 5, "s");
+  nl.bind_output("y", s);
+  const NetlistStats st = compute_stats(nl);
+  EXPECT_EQ(st.carry_chains, 0u);
+  EXPECT_EQ(st.gate_cells, 25u);  // 5 gates per full-adder bit
+}
+
+TEST(Stats, PipelineDepthCountsRegistersOnPath) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 2);
+  Bus x = a;
+  for (int i = 0; i < 4; ++i) x = b.reg(x, "r" + std::to_string(i));
+  nl.bind_output("y", x);
+  EXPECT_EQ(pipeline_depth(nl), 4);
+}
+
+TEST(Stats, PipelineDepthZeroForCombinational) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 2);
+  const Bus s = b.add(a, a, AdderStyle::kCarryChain, 3, "s");
+  nl.bind_output("y", s);
+  EXPECT_EQ(pipeline_depth(nl), 0);
+}
+
+TEST(Stats, PipelineDepthTakesLongestBranch) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 2);
+  const Bus shallow = b.reg(a, "r1");
+  const Bus deep = b.delay(a, 3, "d");
+  const Bus s = b.add(shallow, deep, AdderStyle::kCarryChain, 3, "s");
+  nl.bind_output("y", s);
+  EXPECT_EQ(pipeline_depth(nl), 3);
+}
+
+TEST(Stats, ToStringMentionsKeyNumbers) {
+  Netlist nl;
+  Builder b(nl);
+  const Bus a = nl.add_input_bus("a", 2);
+  nl.bind_output("y", b.reg(a, "r"));
+  const std::string s = compute_stats(nl).to_string();
+  EXPECT_NE(s.find("registers=2"), std::string::npos);
+  EXPECT_NE(s.find("pipeline_stages=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwt::rtl

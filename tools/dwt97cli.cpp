@@ -1,0 +1,141 @@
+// dwt97cli -- command-line front end to the library.
+//
+//   dwt97cli compress   <in.pgm> <out.dwt> [--lossless] [--step S] [--octaves N]
+//   dwt97cli decompress <in.dwt> <out.pgm>
+//   dwt97cli synth      [design 1..5]
+//   dwt97cli verilog    <design 1..5> <out.v>
+//   dwt97cli psnr       <a.pgm> <b.pgm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "dsp/metrics.hpp"
+#include "explore/explorer.hpp"
+#include "fpga/report.hpp"
+#include "hw/designs.hpp"
+#include "rtl/verilog_writer.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dwt97cli compress   <in.pgm> <out.dwt> [--lossless] "
+               "[--step S] [--octaves N]\n"
+               "  dwt97cli decompress <in.dwt> <out.pgm>\n"
+               "  dwt97cli synth      [design 1..5]\n"
+               "  dwt97cli verilog    <design 1..5> <out.v>\n"
+               "  dwt97cli psnr       <a.pgm> <b.pgm>\n");
+  return 2;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(b.data()),
+            static_cast<std::streamsize>(b.size()));
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 4) return usage();
+  dwt::codec::EncodeOptions opt;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lossless") == 0) {
+      opt.mode = dwt::codec::CodecMode::kLossless53;
+    } else if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
+      opt.base_step = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--octaves") == 0 && i + 1 < argc) {
+      opt.octaves = std::atoi(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  dwt::dsp::Image img = dwt::dsp::read_pgm(argv[2]);
+  for (double& v : img.data()) v = std::round(v);
+  const auto enc = dwt::codec::encode_image(img, opt);
+  write_file(argv[3], enc.bytes);
+  std::printf("%s: %zux%zu -> %zu bytes (%.2f bpp, %s)\n", argv[3],
+              img.width(), img.height(), enc.bytes.size(),
+              enc.bits_per_pixel(img.width(), img.height()),
+              opt.mode == dwt::codec::CodecMode::kLossless53 ? "lossless 5/3"
+                                                             : "lossy 9/7");
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const dwt::dsp::Image img = dwt::codec::decode_image(read_file(argv[2]));
+  dwt::dsp::write_pgm(img, argv[3]);
+  std::printf("%s: %zux%zu\n", argv[3], img.width(), img.height());
+  return 0;
+}
+
+int cmd_synth(int argc, char** argv) {
+  dwt::explore::Explorer explorer;
+  if (argc >= 3) {
+    const int n = std::atoi(argv[2]);
+    if (n < 1 || n > 5) return usage();
+    const auto eval = explorer.evaluate(
+        dwt::hw::design_spec(static_cast<dwt::hw::DesignId>(n - 1)));
+    std::printf("%s\n", eval.report.to_string().c_str());
+    return 0;
+  }
+  std::printf("%s\n", dwt::fpga::format_table3_header().c_str());
+  for (const auto& eval : explorer.evaluate_all()) {
+    std::printf("%s\n", dwt::fpga::format_table3_row(eval.report).c_str());
+  }
+  return 0;
+}
+
+int cmd_verilog(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const int n = std::atoi(argv[2]);
+  if (n < 1 || n > 5) return usage();
+  const auto dp = dwt::hw::build_design(static_cast<dwt::hw::DesignId>(n - 1));
+  std::ofstream out(argv[3]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", argv[3]);
+    return 1;
+  }
+  dwt::rtl::write_verilog(dp.netlist, "dwt_lifting_core", out);
+  std::printf("%s: design %d (%zu cells, latency %d)\n", argv[3], n,
+              dp.netlist.cell_count(), dp.info.latency);
+  return 0;
+}
+
+int cmd_psnr(int argc, char** argv) {
+  if (argc != 4) return usage();
+  const dwt::dsp::Image a = dwt::dsp::read_pgm(argv[2]);
+  const dwt::dsp::Image b = dwt::dsp::read_pgm(argv[3]);
+  std::printf("%.3f dB\n", dwt::dsp::psnr(a, b));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "compress") == 0) return cmd_compress(argc, argv);
+    if (std::strcmp(argv[1], "decompress") == 0) {
+      return cmd_decompress(argc, argv);
+    }
+    if (std::strcmp(argv[1], "synth") == 0) return cmd_synth(argc, argv);
+    if (std::strcmp(argv[1], "verilog") == 0) return cmd_verilog(argc, argv);
+    if (std::strcmp(argv[1], "psnr") == 0) return cmd_psnr(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
