@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_53_vs_97.dir/bench_53_vs_97.cpp.o"
+  "CMakeFiles/bench_53_vs_97.dir/bench_53_vs_97.cpp.o.d"
+  "bench_53_vs_97"
+  "bench_53_vs_97.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_53_vs_97.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

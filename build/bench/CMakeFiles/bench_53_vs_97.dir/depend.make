@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_53_vs_97.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recoding.dir/bench_ablation_recoding.cpp.o"
+  "CMakeFiles/bench_ablation_recoding.dir/bench_ablation_recoding.cpp.o.d"
+  "bench_ablation_recoding"
+  "bench_ablation_recoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wordlength.dir/bench_ablation_wordlength.cpp.o"
+  "CMakeFiles/bench_ablation_wordlength.dir/bench_ablation_wordlength.cpp.o.d"
+  "bench_ablation_wordlength"
+  "bench_ablation_wordlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wordlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

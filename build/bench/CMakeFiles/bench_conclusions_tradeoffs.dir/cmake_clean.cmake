@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conclusions_tradeoffs.dir/bench_conclusions_tradeoffs.cpp.o"
+  "CMakeFiles/bench_conclusions_tradeoffs.dir/bench_conclusions_tradeoffs.cpp.o.d"
+  "bench_conclusions_tradeoffs"
+  "bench_conclusions_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conclusions_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

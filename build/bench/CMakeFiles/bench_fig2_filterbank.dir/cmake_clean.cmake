@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_filterbank.dir/bench_fig2_filterbank.cpp.o"
+  "CMakeFiles/bench_fig2_filterbank.dir/bench_fig2_filterbank.cpp.o.d"
+  "bench_fig2_filterbank"
+  "bench_fig2_filterbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_filterbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_shiftadd.dir/bench_fig7_shiftadd.cpp.o"
+  "CMakeFiles/bench_fig7_shiftadd.dir/bench_fig7_shiftadd.cpp.o.d"
+  "bench_fig7_shiftadd"
+  "bench_fig7_shiftadd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_shiftadd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_stage_pipelining.dir/bench_fig8_stage_pipelining.cpp.o"
+  "CMakeFiles/bench_fig8_stage_pipelining.dir/bench_fig8_stage_pipelining.cpp.o.d"
+  "bench_fig8_stage_pipelining"
+  "bench_fig8_stage_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_stage_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idwt_core.dir/bench_idwt_core.cpp.o"
+  "CMakeFiles/bench_idwt_core.dir/bench_idwt_core.cpp.o.d"
+  "bench_idwt_core"
+  "bench_idwt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idwt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_power_sweep.dir/bench_power_sweep.cpp.o"
+  "CMakeFiles/bench_power_sweep.dir/bench_power_sweep.cpp.o.d"
+  "bench_power_sweep"
+  "bench_power_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_power_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec31_bitwidths.dir/bench_sec31_bitwidths.cpp.o"
+  "CMakeFiles/bench_sec31_bitwidths.dir/bench_sec31_bitwidths.cpp.o.d"
+  "bench_sec31_bitwidths"
+  "bench_sec31_bitwidths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec31_bitwidths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

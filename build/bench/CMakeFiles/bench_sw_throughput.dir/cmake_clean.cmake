@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sw_throughput.dir/bench_sw_throughput.cpp.o"
+  "CMakeFiles/bench_sw_throughput.dir/bench_sw_throughput.cpp.o.d"
+  "bench_sw_throughput"
+  "bench_sw_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sw_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

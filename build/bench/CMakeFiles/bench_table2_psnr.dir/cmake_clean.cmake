@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_psnr.dir/bench_table2_psnr.cpp.o"
+  "CMakeFiles/bench_table2_psnr.dir/bench_table2_psnr.cpp.o.d"
+  "bench_table2_psnr"
+  "bench_table2_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_simulation.dir/hw_simulation.cpp.o"
+  "CMakeFiles/hw_simulation.dir/hw_simulation.cpp.o.d"
+  "hw_simulation"
+  "hw_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_compression.dir/image_compression.cpp.o"
+  "CMakeFiles/image_compression.dir/image_compression.cpp.o.d"
+  "image_compression"
+  "image_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

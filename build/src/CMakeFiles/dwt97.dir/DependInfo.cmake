@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/bitstream.cpp" "src/CMakeFiles/dwt97.dir/codec/bitstream.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/codec/bitstream.cpp.o.d"
+  "/root/repo/src/codec/codec.cpp" "src/CMakeFiles/dwt97.dir/codec/codec.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/codec/codec.cpp.o.d"
+  "/root/repo/src/codec/golomb.cpp" "src/CMakeFiles/dwt97.dir/codec/golomb.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/codec/golomb.cpp.o.d"
+  "/root/repo/src/common/fixed_point.cpp" "src/CMakeFiles/dwt97.dir/common/fixed_point.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/common/fixed_point.cpp.o.d"
+  "/root/repo/src/common/interval.cpp" "src/CMakeFiles/dwt97.dir/common/interval.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/common/interval.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dwt97.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/common/rng.cpp.o.d"
+  "/root/repo/src/dsp/dwt1d.cpp" "src/CMakeFiles/dwt97.dir/dsp/dwt1d.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/dwt1d.cpp.o.d"
+  "/root/repo/src/dsp/dwt2d.cpp" "src/CMakeFiles/dwt97.dir/dsp/dwt2d.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/dwt2d.cpp.o.d"
+  "/root/repo/src/dsp/dwt53.cpp" "src/CMakeFiles/dwt97.dir/dsp/dwt53.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/dwt53.cpp.o.d"
+  "/root/repo/src/dsp/dwt97_fir.cpp" "src/CMakeFiles/dwt97.dir/dsp/dwt97_fir.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/dwt97_fir.cpp.o.d"
+  "/root/repo/src/dsp/dwt97_lifting.cpp" "src/CMakeFiles/dwt97.dir/dsp/dwt97_lifting.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/dwt97_lifting.cpp.o.d"
+  "/root/repo/src/dsp/dwt97_lifting_fixed.cpp" "src/CMakeFiles/dwt97.dir/dsp/dwt97_lifting_fixed.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/dwt97_lifting_fixed.cpp.o.d"
+  "/root/repo/src/dsp/fir_filter.cpp" "src/CMakeFiles/dwt97.dir/dsp/fir_filter.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/fir_filter.cpp.o.d"
+  "/root/repo/src/dsp/image.cpp" "src/CMakeFiles/dwt97.dir/dsp/image.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/image.cpp.o.d"
+  "/root/repo/src/dsp/image_gen.cpp" "src/CMakeFiles/dwt97.dir/dsp/image_gen.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/image_gen.cpp.o.d"
+  "/root/repo/src/dsp/lifting_coeffs.cpp" "src/CMakeFiles/dwt97.dir/dsp/lifting_coeffs.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/lifting_coeffs.cpp.o.d"
+  "/root/repo/src/dsp/metrics.cpp" "src/CMakeFiles/dwt97.dir/dsp/metrics.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/metrics.cpp.o.d"
+  "/root/repo/src/dsp/quantizer.cpp" "src/CMakeFiles/dwt97.dir/dsp/quantizer.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/quantizer.cpp.o.d"
+  "/root/repo/src/dsp/streaming_lifting.cpp" "src/CMakeFiles/dwt97.dir/dsp/streaming_lifting.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/dsp/streaming_lifting.cpp.o.d"
+  "/root/repo/src/explore/explorer.cpp" "src/CMakeFiles/dwt97.dir/explore/explorer.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/explore/explorer.cpp.o.d"
+  "/root/repo/src/explore/pareto.cpp" "src/CMakeFiles/dwt97.dir/explore/pareto.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/explore/pareto.cpp.o.d"
+  "/root/repo/src/explore/tradeoffs.cpp" "src/CMakeFiles/dwt97.dir/explore/tradeoffs.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/explore/tradeoffs.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/CMakeFiles/dwt97.dir/fpga/device.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/fpga/device.cpp.o.d"
+  "/root/repo/src/fpga/mapped_sim.cpp" "src/CMakeFiles/dwt97.dir/fpga/mapped_sim.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/fpga/mapped_sim.cpp.o.d"
+  "/root/repo/src/fpga/power.cpp" "src/CMakeFiles/dwt97.dir/fpga/power.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/fpga/power.cpp.o.d"
+  "/root/repo/src/fpga/report.cpp" "src/CMakeFiles/dwt97.dir/fpga/report.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/fpga/report.cpp.o.d"
+  "/root/repo/src/fpga/tech_mapper.cpp" "src/CMakeFiles/dwt97.dir/fpga/tech_mapper.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/fpga/tech_mapper.cpp.o.d"
+  "/root/repo/src/fpga/timing.cpp" "src/CMakeFiles/dwt97.dir/fpga/timing.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/fpga/timing.cpp.o.d"
+  "/root/repo/src/hw/bitwidth_analysis.cpp" "src/CMakeFiles/dwt97.dir/hw/bitwidth_analysis.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/bitwidth_analysis.cpp.o.d"
+  "/root/repo/src/hw/designs.cpp" "src/CMakeFiles/dwt97.dir/hw/designs.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/designs.cpp.o.d"
+  "/root/repo/src/hw/dwt2d_system.cpp" "src/CMakeFiles/dwt97.dir/hw/dwt2d_system.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/dwt2d_system.cpp.o.d"
+  "/root/repo/src/hw/filterbank_core.cpp" "src/CMakeFiles/dwt97.dir/hw/filterbank_core.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/filterbank_core.cpp.o.d"
+  "/root/repo/src/hw/inverse_lifting_datapath.cpp" "src/CMakeFiles/dwt97.dir/hw/inverse_lifting_datapath.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/inverse_lifting_datapath.cpp.o.d"
+  "/root/repo/src/hw/lifting53_datapath.cpp" "src/CMakeFiles/dwt97.dir/hw/lifting53_datapath.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/lifting53_datapath.cpp.o.d"
+  "/root/repo/src/hw/lifting_datapath.cpp" "src/CMakeFiles/dwt97.dir/hw/lifting_datapath.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/lifting_datapath.cpp.o.d"
+  "/root/repo/src/hw/line_based_dwt2d.cpp" "src/CMakeFiles/dwt97.dir/hw/line_based_dwt2d.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/line_based_dwt2d.cpp.o.d"
+  "/root/repo/src/hw/stream_runner.cpp" "src/CMakeFiles/dwt97.dir/hw/stream_runner.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/hw/stream_runner.cpp.o.d"
+  "/root/repo/src/rtl/activity_sim.cpp" "src/CMakeFiles/dwt97.dir/rtl/activity_sim.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/activity_sim.cpp.o.d"
+  "/root/repo/src/rtl/adders.cpp" "src/CMakeFiles/dwt97.dir/rtl/adders.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/adders.cpp.o.d"
+  "/root/repo/src/rtl/builder.cpp" "src/CMakeFiles/dwt97.dir/rtl/builder.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/builder.cpp.o.d"
+  "/root/repo/src/rtl/multipliers.cpp" "src/CMakeFiles/dwt97.dir/rtl/multipliers.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/multipliers.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/CMakeFiles/dwt97.dir/rtl/netlist.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/netlist.cpp.o.d"
+  "/root/repo/src/rtl/registers.cpp" "src/CMakeFiles/dwt97.dir/rtl/registers.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/registers.cpp.o.d"
+  "/root/repo/src/rtl/shiftadd_plan.cpp" "src/CMakeFiles/dwt97.dir/rtl/shiftadd_plan.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/shiftadd_plan.cpp.o.d"
+  "/root/repo/src/rtl/simplify.cpp" "src/CMakeFiles/dwt97.dir/rtl/simplify.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/simplify.cpp.o.d"
+  "/root/repo/src/rtl/simulator.cpp" "src/CMakeFiles/dwt97.dir/rtl/simulator.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/simulator.cpp.o.d"
+  "/root/repo/src/rtl/stats.cpp" "src/CMakeFiles/dwt97.dir/rtl/stats.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/stats.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/CMakeFiles/dwt97.dir/rtl/vcd.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/vcd.cpp.o.d"
+  "/root/repo/src/rtl/verilog_writer.cpp" "src/CMakeFiles/dwt97.dir/rtl/verilog_writer.cpp.o" "gcc" "src/CMakeFiles/dwt97.dir/rtl/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

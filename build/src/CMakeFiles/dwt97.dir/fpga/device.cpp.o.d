@@ -1,0 +1,3 @@
+src/CMakeFiles/dwt97.dir/fpga/device.cpp.o: \
+ /root/repo/src/fpga/device.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/fpga/device.hpp

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codec/test_bitstream.cpp" "tests/CMakeFiles/dwt97_tests.dir/codec/test_bitstream.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/codec/test_bitstream.cpp.o.d"
+  "/root/repo/tests/codec/test_codec.cpp" "tests/CMakeFiles/dwt97_tests.dir/codec/test_codec.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/codec/test_codec.cpp.o.d"
+  "/root/repo/tests/codec/test_golomb.cpp" "tests/CMakeFiles/dwt97_tests.dir/codec/test_golomb.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/codec/test_golomb.cpp.o.d"
+  "/root/repo/tests/common/test_fixed_point.cpp" "tests/CMakeFiles/dwt97_tests.dir/common/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/common/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/common/test_interval.cpp" "tests/CMakeFiles/dwt97_tests.dir/common/test_interval.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/common/test_interval.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/dwt97_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/dsp/test_dwt1d.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt1d.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt1d.cpp.o.d"
+  "/root/repo/tests/dsp/test_dwt2d.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt2d.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt2d.cpp.o.d"
+  "/root/repo/tests/dsp/test_dwt53.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt53.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt53.cpp.o.d"
+  "/root/repo/tests/dsp/test_dwt97_fir.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt97_fir.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt97_fir.cpp.o.d"
+  "/root/repo/tests/dsp/test_dwt97_lifting.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt97_lifting.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt97_lifting.cpp.o.d"
+  "/root/repo/tests/dsp/test_dwt97_lifting_fixed.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt97_lifting_fixed.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_dwt97_lifting_fixed.cpp.o.d"
+  "/root/repo/tests/dsp/test_fir_filter.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_fir_filter.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_fir_filter.cpp.o.d"
+  "/root/repo/tests/dsp/test_image.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_image.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_image.cpp.o.d"
+  "/root/repo/tests/dsp/test_lifting_coeffs.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_lifting_coeffs.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_lifting_coeffs.cpp.o.d"
+  "/root/repo/tests/dsp/test_metrics.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_metrics.cpp.o.d"
+  "/root/repo/tests/dsp/test_quantizer.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_quantizer.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_quantizer.cpp.o.d"
+  "/root/repo/tests/dsp/test_streaming_lifting.cpp" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_streaming_lifting.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/dsp/test_streaming_lifting.cpp.o.d"
+  "/root/repo/tests/explore/test_explorer.cpp" "tests/CMakeFiles/dwt97_tests.dir/explore/test_explorer.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/explore/test_explorer.cpp.o.d"
+  "/root/repo/tests/explore/test_pareto.cpp" "tests/CMakeFiles/dwt97_tests.dir/explore/test_pareto.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/explore/test_pareto.cpp.o.d"
+  "/root/repo/tests/explore/test_tradeoffs.cpp" "tests/CMakeFiles/dwt97_tests.dir/explore/test_tradeoffs.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/explore/test_tradeoffs.cpp.o.d"
+  "/root/repo/tests/fpga/test_mapped_sim.cpp" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_mapped_sim.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_mapped_sim.cpp.o.d"
+  "/root/repo/tests/fpga/test_power.cpp" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_power.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_power.cpp.o.d"
+  "/root/repo/tests/fpga/test_tech_mapper.cpp" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_tech_mapper.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_tech_mapper.cpp.o.d"
+  "/root/repo/tests/fpga/test_timing.cpp" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_timing.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/fpga/test_timing.cpp.o.d"
+  "/root/repo/tests/hw/test_bitwidth_analysis.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_bitwidth_analysis.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_bitwidth_analysis.cpp.o.d"
+  "/root/repo/tests/hw/test_designs.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_designs.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_designs.cpp.o.d"
+  "/root/repo/tests/hw/test_dwt2d_system.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_dwt2d_system.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_dwt2d_system.cpp.o.d"
+  "/root/repo/tests/hw/test_filterbank_core.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_filterbank_core.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_filterbank_core.cpp.o.d"
+  "/root/repo/tests/hw/test_inverse_datapath.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_inverse_datapath.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_inverse_datapath.cpp.o.d"
+  "/root/repo/tests/hw/test_lifting53_datapath.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_lifting53_datapath.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_lifting53_datapath.cpp.o.d"
+  "/root/repo/tests/hw/test_lifting_datapath.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_lifting_datapath.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_lifting_datapath.cpp.o.d"
+  "/root/repo/tests/hw/test_line_based.cpp" "tests/CMakeFiles/dwt97_tests.dir/hw/test_line_based.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/hw/test_line_based.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/dwt97_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_netlist_fuzz.cpp" "tests/CMakeFiles/dwt97_tests.dir/integration/test_netlist_fuzz.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/integration/test_netlist_fuzz.cpp.o.d"
+  "/root/repo/tests/rtl/test_activity_sim.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_activity_sim.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_activity_sim.cpp.o.d"
+  "/root/repo/tests/rtl/test_adders.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_adders.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_adders.cpp.o.d"
+  "/root/repo/tests/rtl/test_builder.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_builder.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_builder.cpp.o.d"
+  "/root/repo/tests/rtl/test_multipliers.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_multipliers.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_multipliers.cpp.o.d"
+  "/root/repo/tests/rtl/test_netlist.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_netlist.cpp.o.d"
+  "/root/repo/tests/rtl/test_registers.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_registers.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_registers.cpp.o.d"
+  "/root/repo/tests/rtl/test_shiftadd_plan.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_shiftadd_plan.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_shiftadd_plan.cpp.o.d"
+  "/root/repo/tests/rtl/test_simplify.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_simplify.cpp.o.d"
+  "/root/repo/tests/rtl/test_simulator.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_simulator.cpp.o.d"
+  "/root/repo/tests/rtl/test_stats.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_stats.cpp.o.d"
+  "/root/repo/tests/rtl/test_writers.cpp" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_writers.cpp.o" "gcc" "tests/CMakeFiles/dwt97_tests.dir/rtl/test_writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dwt97.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

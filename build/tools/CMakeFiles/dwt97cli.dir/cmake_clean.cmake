@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwt97cli.dir/dwt97cli.cpp.o"
+  "CMakeFiles/dwt97cli.dir/dwt97cli.cpp.o.d"
+  "dwt97cli"
+  "dwt97cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwt97cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
