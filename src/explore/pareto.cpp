@@ -7,10 +7,12 @@ namespace dwt::explore {
 bool TradeoffPoint::dominates(const TradeoffPoint& other) const {
   const bool no_worse = area_les <= other.area_les &&
                         period_ns <= other.period_ns &&
-                        power_mw <= other.power_mw;
+                        power_mw <= other.power_mw &&
+                        sdc_rate <= other.sdc_rate;
   const bool strictly_better = area_les < other.area_les ||
                                period_ns < other.period_ns ||
-                               power_mw < other.power_mw;
+                               power_mw < other.power_mw ||
+                               sdc_rate < other.sdc_rate;
   return no_worse && strictly_better;
 }
 

@@ -8,13 +8,17 @@
 
 namespace dwt::explore {
 
-/// One candidate in the trade-off space.  All three objectives minimize
+/// One candidate in the trade-off space.  All objectives minimize
 /// (throughput enters as its reciprocal via ns-per-sample or 1/fmax).
+/// `sdc_rate` is the resilience axis added by the fault campaigns: the
+/// fraction of injected faults that ended in silent data corruption.  It
+/// defaults to 0, so three-objective comparisons behave exactly as before.
 struct TradeoffPoint {
   std::string name;
   double area_les = 0.0;
   double period_ns = 0.0;  ///< 1000 / fmax_mhz
   double power_mw = 0.0;   ///< at the common reference frequency
+  double sdc_rate = 0.0;   ///< silent-data-corruption fraction, in [0, 1]
 
   [[nodiscard]] bool dominates(const TradeoffPoint& other) const;
 };

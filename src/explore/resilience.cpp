@@ -1,0 +1,322 @@
+#include "explore/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "dsp/image_gen.hpp"
+#include "dsp/metrics.hpp"
+#include "fpga/device.hpp"
+#include "fpga/tech_mapper.hpp"
+#include "fpga/timing.hpp"
+#include "hw/stream_runner.hpp"
+#include "rtl/simplify.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::explore {
+namespace {
+
+/// Image-derived sample stream in the signed 8-bit input domain (row-major
+/// scan of the synthetic still-tone scene, DC level shifted), matching the
+/// Explorer's activity workload.
+std::vector<std::int64_t> image_stimulus(std::size_t samples,
+                                         std::uint64_t seed) {
+  const std::size_t width = 64;
+  const std::size_t rows = (samples + width - 1) / width;
+  const dsp::Image img = dsp::make_still_tone_image(width, rows, seed);
+  std::vector<std::int64_t> out;
+  out.reserve(samples);
+  for (std::size_t y = 0; y < rows && out.size() < samples; ++y) {
+    for (std::size_t x = 0; x < width && out.size() < samples; ++x) {
+      out.push_back(static_cast<std::int64_t>(std::llround(img.at(x, y))) -
+                    128);
+    }
+  }
+  return out;
+}
+
+SynthesisCost synthesize(const rtl::Netlist& nl) {
+  const rtl::Netlist simplified = rtl::simplify(nl);
+  const fpga::MappedNetlist mapped = fpga::map_to_apex(simplified);
+  const fpga::ApexDeviceParams device = fpga::ApexDeviceParams::apex20ke();
+  fpga::TimingAnalyzer sta(mapped, device);
+  const fpga::TimingReport timing = sta.analyze();
+  SynthesisCost cost;
+  cost.logic_elements = mapped.le_count();
+  cost.ff_count = mapped.ff_count();
+  cost.fmax_mhz = timing.fmax_mhz;
+  return cost;
+}
+
+/// PSNR of the corrupted coefficient stream against golden, over the
+/// concatenated low/high bands.
+double coeff_psnr(const hw::StreamResult& got, const hw::StreamResult& gold) {
+  std::vector<double> a;
+  std::vector<double> b;
+  a.reserve(gold.low.size() + gold.high.size());
+  b.reserve(a.capacity());
+  for (std::size_t i = 0; i < gold.low.size(); ++i) {
+    a.push_back(static_cast<double>(gold.low[i]));
+    b.push_back(static_cast<double>(got.low[i]));
+  }
+  for (std::size_t i = 0; i < gold.high.size(); ++i) {
+    a.push_back(static_cast<double>(gold.high[i]));
+    b.push_back(static_cast<double>(got.high[i]));
+  }
+  return dsp::psnr(a, b);
+}
+
+std::int64_t max_abs_error(const hw::StreamResult& got,
+                           const hw::StreamResult& gold) {
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < gold.low.size(); ++i) {
+    worst = std::max(worst, std::abs(got.low[i] - gold.low[i]));
+    worst = std::max(worst, std::abs(got.high[i] - gold.high[i]));
+  }
+  return worst;
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[64];
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(FaultOutcome o) {
+  switch (o) {
+    case FaultOutcome::kMasked: return "masked";
+    case FaultOutcome::kDetected: return "detected";
+    case FaultOutcome::kSilentCorruption: return "sdc";
+  }
+  return "?";
+}
+
+CampaignResult run_campaign(const ResilienceOptions& options) {
+  if (options.trials == 0) {
+    throw std::invalid_argument("run_campaign: zero trials");
+  }
+  if (options.samples < 8 || options.samples % 2 != 0) {
+    throw std::invalid_argument(
+        "run_campaign: samples must be even and >= 8");
+  }
+  if (options.kinds.empty()) {
+    throw std::invalid_argument("run_campaign: no fault kinds enabled");
+  }
+
+  CampaignResult result;
+  result.spec = hw::design_spec(options.design);
+  result.harden = options.harden;
+  result.seed = options.seed;
+  result.samples = options.samples;
+  result.kinds = options.kinds;
+
+  const hw::BuiltDatapath built =
+      hw::build_lifting_datapath(result.spec.config);
+  result.baseline = synthesize(built.netlist);
+
+  const hw::BuiltDatapath dut =
+      hw::harden_datapath(built, options.harden, &result.harden_report);
+  result.hardened = options.harden == rtl::HardeningStyle::kNone
+                        ? result.baseline
+                        : synthesize(dut.netlist);
+
+  const std::vector<std::int64_t> stimulus =
+      image_stimulus(options.samples, options.seed);
+
+  // Golden references: the unhardened design defines correctness; the
+  // hardened one must reproduce it fault-free (a transform bug fails loudly
+  // here rather than skewing the campaign).
+  hw::StreamResult golden;
+  {
+    rtl::Simulator sim(built.netlist);
+    golden = hw::run_stream(built, sim, stimulus);
+  }
+  const rtl::NetId flag_net =
+      options.harden == rtl::HardeningStyle::kParity
+          ? dut.netlist.output(rtl::kErrorFlagPort).bits.front()
+          : rtl::kNullNet;
+  {
+    rtl::Simulator sim(dut.netlist);
+    rtl::FaultInjector clean(dut.netlist, sim);
+    if (flag_net != rtl::kNullNet) clean.watch(flag_net);
+    const hw::StreamResult check = hw::run_stream_faulty(dut, clean, stimulus);
+    if (check.low != golden.low || check.high != golden.high) {
+      throw std::logic_error(
+          "run_campaign: hardened netlist diverges without faults");
+    }
+    if (clean.watch_triggered()) {
+      throw std::logic_error(
+          "run_campaign: parity flag raised without faults");
+    }
+  }
+
+  const std::vector<rtl::NetId> seu = rtl::seu_targets(dut.netlist);
+  const std::vector<rtl::NetId> stuck = rtl::stuck_targets(dut.netlist);
+  const std::vector<rtl::NetId> glitch = rtl::glitch_targets(dut.netlist);
+  const std::uint64_t total_cycles =
+      hw::stream_cycle_count(dut, stimulus.size());
+
+  common::Rng rng(options.seed);
+  double psnr_sum = 0.0;
+  double psnr_min = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    rtl::Fault fault;
+    fault.kind = options.kinds[static_cast<std::size_t>(rng.uniform(
+        0, static_cast<std::int64_t>(options.kinds.size()) - 1))];
+    const std::vector<rtl::NetId>* pool = nullptr;
+    switch (fault.kind) {
+      case rtl::FaultKind::kSeuFlip: pool = &seu; break;
+      case rtl::FaultKind::kGlitch: pool = &glitch; break;
+      case rtl::FaultKind::kStuckAt0:
+      case rtl::FaultKind::kStuckAt1: pool = &stuck; break;
+    }
+    if (pool == nullptr || pool->empty()) {
+      throw std::logic_error(std::string("run_campaign: no targets for ") +
+                             rtl::to_string(fault.kind));
+    }
+    fault.net = (*pool)[static_cast<std::size_t>(rng.uniform(
+        0, static_cast<std::int64_t>(pool->size()) - 1))];
+    // Leave at least one settle cycle after injection so a detection flag
+    // raised by the final-state upset is still observed.
+    fault.cycle = static_cast<std::uint64_t>(
+        rng.uniform(0, static_cast<std::int64_t>(total_cycles) - 2));
+    fault.glitch_value = rng.uniform(0, 1) != 0;
+
+    rtl::Simulator sim(dut.netlist);
+    rtl::FaultInjector inj(dut.netlist, sim);
+    inj.arm(fault);
+    if (flag_net != rtl::kNullNet) inj.watch(flag_net);
+    const hw::StreamResult got = hw::run_stream_faulty(dut, inj, stimulus);
+
+    FaultTrial trial;
+    trial.fault = fault;
+    trial.net_name = dut.netlist.net(fault.net).name;
+    const bool corrupted =
+        got.low != golden.low || got.high != golden.high;
+    if (inj.watch_triggered()) {
+      trial.outcome = FaultOutcome::kDetected;
+      ++result.detected;
+    } else if (corrupted) {
+      trial.outcome = FaultOutcome::kSilentCorruption;
+      ++result.sdc;
+    } else {
+      trial.outcome = FaultOutcome::kMasked;
+      ++result.masked;
+    }
+    trial.psnr_db = coeff_psnr(got, golden);
+    trial.max_abs_error = max_abs_error(got, golden);
+    if (corrupted) {
+      ++result.corrupted;
+      psnr_sum += trial.psnr_db;
+      psnr_min = std::min(psnr_min, trial.psnr_db);
+    }
+    ++result.trials_run;
+    if (options.keep_trials) result.trials.push_back(std::move(trial));
+  }
+  if (result.corrupted > 0) {
+    result.min_psnr_db = psnr_min;
+    result.mean_psnr_db = psnr_sum / static_cast<double>(result.corrupted);
+  }
+  return result;
+}
+
+TradeoffPoint resilience_point(const CampaignResult& r) {
+  TradeoffPoint p;
+  p.name = r.spec.name + "+" + rtl::to_string(r.harden);
+  p.area_les = static_cast<double>(r.hardened.logic_elements);
+  p.period_ns = r.hardened.fmax_mhz > 0 ? 1000.0 / r.hardened.fmax_mhz : 0.0;
+  p.sdc_rate = r.sdc_rate();
+  return p;
+}
+
+std::string to_json(const CampaignResult& r) {
+  std::string out;
+  out.reserve(4096 + 96 * r.trials.size());
+  out += "{\n";
+  out += "  \"design\": \"" + r.spec.name + "\",\n";
+  out += std::string("  \"harden\": \"") + rtl::to_string(r.harden) + "\",\n";
+  out += "  \"seed\": " + std::to_string(r.seed) + ",\n";
+  out += "  \"samples\": " + std::to_string(r.samples) + ",\n";
+  out += "  \"fault_kinds\": [";
+  for (std::size_t i = 0; i < r.kinds.size(); ++i) {
+    if (i) out += ", ";
+    out += std::string("\"") + rtl::to_string(r.kinds[i]) + "\"";
+  }
+  out += "],\n";
+  out += "  \"trials\": " + std::to_string(r.trials_run) + ",\n";
+  out += "  \"outcomes\": {\"masked\": " + std::to_string(r.masked) +
+         ", \"detected\": " + std::to_string(r.detected) +
+         ", \"sdc\": " + std::to_string(r.sdc) + "},\n";
+  out += "  \"sdc_rate\": ";
+  append_json_number(out, r.sdc_rate());
+  out += ",\n";
+  out += "  \"corrupted_trials\": " + std::to_string(r.corrupted) + ",\n";
+  out += "  \"min_psnr_db\": ";
+  append_json_number(out, r.corrupted > 0
+                              ? r.min_psnr_db
+                              : std::numeric_limits<double>::infinity());
+  out += ",\n";
+  out += "  \"mean_psnr_db\": ";
+  append_json_number(out, r.corrupted > 0
+                              ? r.mean_psnr_db
+                              : std::numeric_limits<double>::infinity());
+  out += ",\n";
+  out += "  \"baseline\": {\"logic_elements\": " +
+         std::to_string(r.baseline.logic_elements) +
+         ", \"ff_count\": " + std::to_string(r.baseline.ff_count) +
+         ", \"fmax_mhz\": ";
+  append_json_number(out, r.baseline.fmax_mhz);
+  out += "},\n";
+  out += "  \"hardened\": {\"logic_elements\": " +
+         std::to_string(r.hardened.logic_elements) +
+         ", \"ff_count\": " + std::to_string(r.hardened.ff_count) +
+         ", \"fmax_mhz\": ";
+  append_json_number(out, r.hardened.fmax_mhz);
+  out += ", \"protected_ffs\": " +
+         std::to_string(r.harden_report.protected_ffs) +
+         ", \"added_ffs\": " + std::to_string(r.harden_report.added_ffs) +
+         ", \"added_gates\": " + std::to_string(r.harden_report.added_gates) +
+         ", \"parity_groups\": " +
+         std::to_string(r.harden_report.parity_groups) + "},\n";
+  out += "  \"overhead\": {\"le_ratio\": ";
+  append_json_number(out, r.baseline.logic_elements > 0
+                              ? static_cast<double>(r.hardened.logic_elements) /
+                                    static_cast<double>(
+                                        r.baseline.logic_elements)
+                              : 0.0);
+  out += ", \"fmax_ratio\": ";
+  append_json_number(out, r.baseline.fmax_mhz > 0
+                              ? r.hardened.fmax_mhz / r.baseline.fmax_mhz
+                              : 0.0);
+  out += "},\n";
+  out += "  \"trial_list\": [";
+  for (std::size_t i = 0; i < r.trials.size(); ++i) {
+    const FaultTrial& t = r.trials[i];
+    out += i ? ",\n    " : "\n    ";
+    out += std::string("{\"kind\": \"") + rtl::to_string(t.fault.kind) +
+           "\", \"net\": " + std::to_string(t.fault.net) + ", \"net_name\": \"" +
+           t.net_name + "\", \"cycle\": " + std::to_string(t.fault.cycle) +
+           ", \"outcome\": \"" + to_string(t.outcome) +
+           "\", \"max_abs_error\": " + std::to_string(t.max_abs_error) +
+           ", \"psnr_db\": ";
+    append_json_number(out, t.psnr_db);
+    out += "}";
+  }
+  out += r.trials.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"trials_kept\": " + std::to_string(r.trials.size()) + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dwt::explore

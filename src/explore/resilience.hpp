@@ -1,0 +1,96 @@
+// Resilience campaign runner: streams an image-derived workload through a
+// design (optionally hardened) while injecting faults, classifies each trial
+// as masked / detected / silent data corruption, measures the PSNR
+// degradation of the coefficient stream, and prices the hardening through
+// the same APEX mapper + static-timing machinery as paper Table 3 -- adding
+// a resilience axis to the area/throughput/power trade-off space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/pareto.hpp"
+#include "hw/designs.hpp"
+#include "rtl/fault.hpp"
+#include "rtl/harden.hpp"
+
+namespace dwt::explore {
+
+struct ResilienceOptions {
+  hw::DesignId design = hw::DesignId::kDesign1;
+  std::vector<rtl::FaultKind> kinds = {rtl::FaultKind::kSeuFlip};
+  std::size_t trials = 100;
+  std::uint64_t seed = 2005;
+  rtl::HardeningStyle harden = rtl::HardeningStyle::kNone;
+  /// Even number of image-derived samples streamed per trial.
+  std::size_t samples = 64;
+  /// Keep every per-trial record in CampaignResult::trials (the summary
+  /// counters are always filled).
+  bool keep_trials = true;
+};
+
+enum class FaultOutcome {
+  kMasked,            ///< golden output, no error flag
+  kDetected,          ///< error flag raised (output may or may not differ)
+  kSilentCorruption,  ///< output differs, no error flag
+};
+
+[[nodiscard]] const char* to_string(FaultOutcome o);
+
+struct FaultTrial {
+  rtl::Fault fault;
+  std::string net_name;
+  FaultOutcome outcome = FaultOutcome::kMasked;
+  /// PSNR (dB) of the corrupted coefficient stream against golden; +inf when
+  /// bit-identical.
+  double psnr_db = 0.0;
+  std::int64_t max_abs_error = 0;
+};
+
+/// Area/f_max of one netlist through simplify -> APEX map -> STA.
+struct SynthesisCost {
+  std::size_t logic_elements = 0;
+  std::size_t ff_count = 0;
+  double fmax_mhz = 0.0;
+};
+
+struct CampaignResult {
+  hw::DesignSpec spec;
+  rtl::HardeningStyle harden = rtl::HardeningStyle::kNone;
+  rtl::HardeningReport harden_report;
+  SynthesisCost baseline;  ///< unhardened design
+  SynthesisCost hardened;  ///< == baseline when harden == kNone
+  std::size_t trials_run = 0;
+  std::size_t masked = 0;
+  std::size_t detected = 0;
+  std::size_t sdc = 0;
+  /// Over the corrupted (non-golden-output) trials; 0 when none corrupted.
+  double min_psnr_db = 0.0;
+  double mean_psnr_db = 0.0;
+  std::size_t corrupted = 0;
+  std::uint64_t seed = 0;
+  std::size_t samples = 0;
+  std::vector<rtl::FaultKind> kinds;
+  std::vector<FaultTrial> trials;
+
+  [[nodiscard]] double sdc_rate() const {
+    return trials_run == 0
+               ? 0.0
+               : static_cast<double>(sdc) / static_cast<double>(trials_run);
+  }
+};
+
+/// Runs the campaign.  Deterministic: identical options produce an identical
+/// CampaignResult (and identical to_json serialization).
+[[nodiscard]] CampaignResult run_campaign(const ResilienceOptions& options);
+
+/// Projects a campaign onto the trade-off space: hardened area/period plus
+/// the measured silent-corruption rate (power is not measured by campaigns
+/// and stays 0).
+[[nodiscard]] TradeoffPoint resilience_point(const CampaignResult& r);
+
+/// Deterministic JSON report (stable key order, fixed float formatting).
+[[nodiscard]] std::string to_json(const CampaignResult& r);
+
+}  // namespace dwt::explore

@@ -54,6 +54,42 @@ BuiltDatapath build_design(DesignId id) {
   return build_lifting_datapath(design_spec(id).config);
 }
 
+namespace {
+
+bool any_output_bit_registered(const rtl::Netlist& nl, const rtl::Bus& bus) {
+  for (const rtl::NetId n : bus.bits) {
+    const rtl::CellId driver = nl.net(n).driver;
+    if (driver != rtl::kNullCell &&
+        nl.cell(driver).kind == rtl::CellKind::kDff) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+BuiltDatapath harden_datapath(const BuiltDatapath& dp,
+                              rtl::HardeningStyle style,
+                              rtl::HardeningReport* report) {
+  BuiltDatapath out;
+  out.netlist = rtl::apply_hardening(dp.netlist, style, report);
+  out.in_even = out.netlist.find_input_bus("in_even");
+  out.in_odd = out.netlist.find_input_bus("in_odd");
+  out.out_low = out.netlist.output("low");
+  out.out_high = out.netlist.output("high");
+  out.info = dp.info;
+  out.config = dp.config;
+  if (style == rtl::HardeningStyle::kTmr &&
+      (any_output_bit_registered(dp.netlist, dp.out_low) ||
+       any_output_bit_registered(dp.netlist, dp.out_high))) {
+    // Registered port bits are now majority-voter (combinational) nets: the
+    // harness samples them one settle after the flip-flops they vote on.
+    out.info.latency += 1;
+  }
+  return out;
+}
+
 std::vector<PaperTable3Row> paper_table3() {
   return {
       {"Design 1", 781, 16.6, 310.0, 8},

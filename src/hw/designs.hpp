@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hw/lifting_datapath.hpp"
+#include "rtl/harden.hpp"
 
 namespace dwt::hw {
 
@@ -30,6 +31,14 @@ struct DesignSpec {
 
 /// Elaborates the design's netlist.
 [[nodiscard]] BuiltDatapath build_design(DesignId id);
+
+/// Applies a hardening transform to an elaborated datapath and rebinds the
+/// streaming ports.  TMR replaces registered output ports with combinational
+/// voter nets; the zero-delay harness observes those one settle later than a
+/// flip-flop output, so the reported stream latency grows by one cycle.
+[[nodiscard]] BuiltDatapath harden_datapath(const BuiltDatapath& dp,
+                                            rtl::HardeningStyle style,
+                                            rtl::HardeningReport* report);
 
 /// Paper Table 3 published values, for side-by-side reporting.
 struct PaperTable3Row {

@@ -17,6 +17,13 @@ StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
   if (x.empty() || x.size() % 2 != 0) {
     throw std::invalid_argument("run_stream: even non-empty signal required");
   }
+  if (in_even.bits.empty() || in_odd.bits.empty() || out_low.bits.empty() ||
+      out_high.bits.empty()) {
+    throw std::invalid_argument("run_stream: datapath port bus is empty");
+  }
+  if (latency < 0) {
+    throw std::invalid_argument("run_stream: negative latency");
+  }
   const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(x.size() / 2);
   StreamResult out;
   out.low.assign(x.size() / 2, 0);
@@ -70,6 +77,21 @@ StreamResult run_stream_mapped(const BuiltDatapath& dp,
                                std::span<const std::int64_t> x) {
   return run_impl(dp.in_even, dp.in_odd, dp.out_low, dp.out_high,
                   dp.info.latency, sim, x);
+}
+
+StreamResult run_stream_faulty(const BuiltDatapath& dp, rtl::FaultInjector& inj,
+                               std::span<const std::int64_t> x) {
+  return run_impl(dp.in_even, dp.in_odd, dp.out_low, dp.out_high,
+                  dp.info.latency, inj, x);
+}
+
+std::uint64_t stream_cycle_count(const BuiltDatapath& dp, std::size_t n) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument(
+        "stream_cycle_count: even non-empty signal required");
+  }
+  return static_cast<std::uint64_t>(n / 2 + 2 * kGuardPairs +
+                                    static_cast<std::size_t>(dp.info.latency));
 }
 
 StreamResult run_stream53(const BuiltDatapath53& dp, rtl::Simulator& sim,

@@ -13,6 +13,7 @@
 #include "hw/lifting53_datapath.hpp"
 #include "hw/lifting_datapath.hpp"
 #include "rtl/activity_sim.hpp"
+#include "rtl/fault.hpp"
 #include "rtl/simulator.hpp"
 
 namespace dwt::hw {
@@ -43,6 +44,19 @@ inline constexpr int kGuardPairs = 4;
 [[nodiscard]] StreamResult run_stream_mapped(const BuiltDatapath& dp,
                                              fpga::MappedActivitySim& sim,
                                              std::span<const std::int64_t> x);
+
+/// Same, through a fault-injection overlay: armed faults strike mid-stream
+/// at their scheduled cycles (cycle 0 is the first fed pair, guards
+/// included).  With no faults armed this is bit-identical to run_stream.
+[[nodiscard]] StreamResult run_stream_faulty(const BuiltDatapath& dp,
+                                             rtl::FaultInjector& inj,
+                                             std::span<const std::int64_t> x);
+
+/// Cycles one call to run_stream/run_stream_faulty consumes for an
+/// `n`-sample signal on `dp` (payload + guards + flush); campaign schedulers
+/// use it to draw in-range injection cycles.
+[[nodiscard]] std::uint64_t stream_cycle_count(const BuiltDatapath& dp,
+                                               std::size_t n);
 
 /// Streaming harness for the reversible 5/3 core.
 [[nodiscard]] StreamResult run_stream53(const BuiltDatapath53& dp,

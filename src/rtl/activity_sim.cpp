@@ -39,6 +39,9 @@ void ActivitySim::set_input(NetId net, bool value) {
 }
 
 void ActivitySim::set_bus(const Bus& bus, std::int64_t value) {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("ActivitySim::set_bus: empty bus");
+  }
   const int w = bus.width();
   if (w < 64) {
     const std::int64_t lo = -(std::int64_t{1} << (w - 1));
@@ -88,23 +91,33 @@ void ActivitySim::bump(NetId net, bool new_value,
   }
 }
 
-void ActivitySim::cycle() {
-  auto settle = [this](std::vector<CellId>& frontier) {
-    std::size_t guard = 0;
-    const std::size_t guard_limit = (nl_.cell_count() + 2) * 64;
-    while (!frontier.empty()) {
-      std::vector<CellId> next;
-      for (const CellId id : frontier) in_frontier_[id] = 0;
-      for (const CellId id : frontier) {
-        const Cell& c = nl_.cell(id);
-        bump(c.out, eval_cell(c), next);
-      }
-      frontier = std::move(next);
-      if (++guard > guard_limit) {
-        throw std::logic_error("ActivitySim::cycle: failed to settle");
-      }
+void ActivitySim::settle(std::vector<CellId>& frontier) {
+  std::size_t guard = 0;
+  const std::size_t guard_limit = (nl_.cell_count() + 2) * 64;
+  while (!frontier.empty()) {
+    std::vector<CellId> next;
+    for (const CellId id : frontier) in_frontier_[id] = 0;
+    for (const CellId id : frontier) {
+      const Cell& c = nl_.cell(id);
+      bump(c.out, eval_cell(c), next);
     }
-  };
+    frontier = std::move(next);
+    if (++guard > guard_limit) {
+      throw std::logic_error("ActivitySim::cycle: failed to settle");
+    }
+  }
+}
+
+void ActivitySim::inject_flip(NetId net) {
+  if (net >= values_.size()) {
+    throw std::invalid_argument("ActivitySim::inject_flip: net out of range");
+  }
+  std::vector<CellId> frontier;
+  bump(net, values_[net] == 0, frontier);
+  settle(frontier);
+}
+
+void ActivitySim::cycle() {
   // 1. Scheduled primary-input changes take effect and propagate (they are
   //    the upstream registers' outputs, clocked by the same edge).
   std::vector<CellId> frontier;
@@ -126,8 +139,14 @@ void ActivitySim::cycle() {
 }
 
 std::int64_t ActivitySim::read_bus(const Bus& bus) const {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("ActivitySim::read_bus: empty bus");
+  }
   std::int64_t v = 0;
   for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    if (bus.bits[i] >= values_.size()) {
+      throw std::invalid_argument("ActivitySim::read_bus: net out of range");
+    }
     if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
   }
   const int w = bus.width();

@@ -39,7 +39,13 @@ class ActivitySim {
   /// settles under a unit-delay model while transitions are counted.
   void cycle();
 
+  /// SEU overlay for power workloads: forces `net` to the opposite of its
+  /// current value and lets the change ripple through the combinational
+  /// cloud, transition-counted like any other event.  Call between cycles.
+  void inject_flip(NetId net);
+
   [[nodiscard]] bool value(NetId net) const { return values_[net] != 0; }
+  /// Throws std::invalid_argument on an empty bus or out-of-range NetId.
   [[nodiscard]] std::int64_t read_bus(const Bus& bus) const;
 
   [[nodiscard]] const ActivityStats& stats() const { return stats_; }
@@ -48,6 +54,7 @@ class ActivitySim {
  private:
   [[nodiscard]] bool eval_cell(const Cell& c) const;
   void bump(NetId net, bool new_value, std::vector<CellId>& frontier);
+  void settle(std::vector<CellId>& frontier);
 
   const Netlist& nl_;
   std::vector<std::uint8_t> values_;

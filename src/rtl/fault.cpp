@@ -1,0 +1,148 @@
+#include "rtl/fault.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dwt::rtl {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSeuFlip: return "seu";
+    case FaultKind::kGlitch: return "glitch";
+    case FaultKind::kStuckAt0: return "sa0";
+    case FaultKind::kStuckAt1: return "sa1";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(const Netlist& nl, Simulator& sim)
+    : nl_(nl), sim_(sim), topo_(nl.topo_order()), pinned_(nl.net_count(), 0) {}
+
+void FaultInjector::arm(const Fault& f) {
+  if (f.net >= nl_.net_count()) {
+    throw std::invalid_argument("FaultInjector::arm: net out of range");
+  }
+  if (f.kind == FaultKind::kSeuFlip) {
+    const CellId drv = nl_.net(f.net).driver;
+    if (drv == kNullCell || nl_.cell(drv).kind != CellKind::kDff) {
+      throw std::invalid_argument(
+          "FaultInjector::arm: SEU target is not a DFF output: " +
+          nl_.net(f.net).name);
+    }
+  }
+  faults_.push_back(f);
+  fault_seen_.push_back(0);
+}
+
+void FaultInjector::watch(NetId net) {
+  if (net >= nl_.net_count()) {
+    throw std::invalid_argument("FaultInjector::watch: net out of range");
+  }
+  watched_.push_back(net);
+}
+
+void FaultInjector::settle_with_pins() {
+  for (const auto& [net, v] : active_pins_) {
+    pinned_[net] = 1;
+    sim_.poke(net, v);
+  }
+  // One extra dependency-ordered pass with the forced nets held: every
+  // un-pinned combinational output is recomputed, so downstream logic (and
+  // the DFF D inputs about to be sampled) see the forced values.
+  for (const CellId id : topo_) {
+    const Cell& c = nl_.cell(id);
+    if (!pinned_[c.out]) sim_.poke(c.out, sim_.eval_cell(c));
+  }
+  for (const auto& [net, v] : active_pins_) pinned_[net] = 0;
+}
+
+void FaultInjector::sample_watches() {
+  for (const NetId n : watched_) {
+    if (sim_.value(n)) {
+      watch_triggered_ = true;
+      return;
+    }
+  }
+}
+
+void FaultInjector::step() {
+  // Collect the forces active during this cycle's settle.
+  active_pins_.clear();
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const Fault& f = faults_[i];
+    bool active = false;
+    bool value = false;
+    switch (f.kind) {
+      case FaultKind::kGlitch:
+        active = f.cycle == cycle_;
+        value = f.glitch_value;
+        break;
+      case FaultKind::kStuckAt0:
+        active = cycle_ >= f.cycle;
+        value = false;
+        break;
+      case FaultKind::kStuckAt1:
+        active = cycle_ >= f.cycle;
+        value = true;
+        break;
+      case FaultKind::kSeuFlip:
+        break;  // struck after the edge, below
+    }
+    if (active) {
+      active_pins_.emplace_back(f.net, value);
+      if (!fault_seen_[i]) {
+        fault_seen_[i] = 1;
+        ++applied_;
+      }
+    }
+  }
+  sim_.eval();
+  if (!active_pins_.empty()) settle_with_pins();
+  sample_watches();
+  sim_.clock_edge();
+  // SEUs strike the freshly clocked state: the flip is visible to reads now
+  // and propagates through the combinational cloud at the next settle, until
+  // the following edge rewrites the FF.
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    const Fault& f = faults_[i];
+    if (f.kind == FaultKind::kSeuFlip && f.cycle == cycle_) {
+      sim_.poke(f.net, !sim_.value(f.net));
+      if (!fault_seen_[i]) {
+        fault_seen_[i] = 1;
+        ++applied_;
+      }
+    }
+  }
+  ++cycle_;
+}
+
+std::vector<NetId> seu_targets(const Netlist& nl) {
+  std::vector<NetId> out;
+  for (const Cell& c : nl.cells()) {
+    if (c.kind == CellKind::kDff) out.push_back(c.out);
+  }
+  return out;
+}
+
+std::vector<NetId> stuck_targets(const Netlist& nl) {
+  std::vector<NetId> out;
+  for (const Cell& c : nl.cells()) {
+    if (c.kind != CellKind::kConst0 && c.kind != CellKind::kConst1) {
+      out.push_back(c.out);
+    }
+  }
+  return out;
+}
+
+std::vector<NetId> glitch_targets(const Netlist& nl) {
+  std::vector<NetId> out;
+  for (const Cell& c : nl.cells()) {
+    if (c.kind != CellKind::kConst0 && c.kind != CellKind::kConst1 &&
+        c.kind != CellKind::kDff) {
+      out.push_back(c.out);
+    }
+  }
+  return out;
+}
+
+}  // namespace dwt::rtl

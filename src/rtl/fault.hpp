@@ -1,0 +1,101 @@
+// Fault model and injection overlay for soft-error campaigns.
+//
+// Faults are applied as a sparse overlay on top of the zero-delay
+// Simulator -- its hot eval()/step() loops are untouched; the injector
+// re-settles the combinational cloud itself only while a fault is active.
+// Semantics per kind:
+//  * kSeuFlip      -- single-event upset: a DFF output bit flips right after
+//                     the clock edge of the scheduled cycle; the corrupted
+//                     state propagates at the next settle and is overwritten
+//                     (or recirculated) by the following edge, exactly like a
+//                     real FF upset.
+//  * kGlitch       -- transient pulse: a net is forced to a value for the
+//                     scheduled cycle only, in time to be captured by the
+//                     registers clocked at the end of that cycle.
+//  * kStuckAt0/1   -- permanent defect: the net is forced from the scheduled
+//                     cycle onwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+#include "rtl/simulator.hpp"
+
+namespace dwt::rtl {
+
+enum class FaultKind : std::uint8_t {
+  kSeuFlip,   ///< bit flip in a DFF (target must be a DFF output net)
+  kGlitch,    ///< transient forced value on any net, one cycle
+  kStuckAt0,  ///< net forced to 0 from the scheduled cycle onwards
+  kStuckAt1,  ///< net forced to 1 from the scheduled cycle onwards
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct Fault {
+  FaultKind kind = FaultKind::kSeuFlip;
+  NetId net = kNullNet;
+  std::uint64_t cycle = 0;   ///< injection cycle (FaultInjector::step count)
+  bool glitch_value = true;  ///< forced value for kGlitch
+};
+
+/// Wraps a Simulator with a fault overlay.  Exposes the same streaming
+/// surface (set_bus / step / read_bus / value) so the hw stream runners can
+/// drive a faulted design unchanged (hw::run_stream_faulty).
+class FaultInjector {
+ public:
+  FaultInjector(const Netlist& nl, Simulator& sim);
+
+  /// Schedules a fault.  Throws std::invalid_argument if the target net is
+  /// out of range or an SEU targets a net not driven by a DFF.
+  void arm(const Fault& f);
+
+  /// Monitors a net (e.g. a parity error flag): `watch_triggered()` latches
+  /// true if the net is ever high after a settle.
+  void watch(NetId net);
+  [[nodiscard]] bool watch_triggered() const { return watch_triggered_; }
+
+  // Simulator-compatible streaming surface -------------------------------
+  void set_bus(const Bus& bus, std::int64_t value) { sim_.set_bus(bus, value); }
+  void set_input(NetId net, bool value) { sim_.set_input(net, value); }
+  /// One clock cycle with the overlay applied: settle (with active forces
+  /// pinned), sample watches, clock edge, then strike scheduled SEUs.
+  void step();
+  [[nodiscard]] std::int64_t read_bus(const Bus& bus) const {
+    return sim_.read_bus(bus);
+  }
+  [[nodiscard]] bool value(NetId net) const { return sim_.value(net); }
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  /// Number of armed faults whose scheduled cycle has been reached.
+  [[nodiscard]] std::size_t faults_applied() const { return applied_; }
+
+ private:
+  void settle_with_pins();
+  void sample_watches();
+
+  const Netlist& nl_;
+  Simulator& sim_;
+  std::vector<CellId> topo_;
+  std::vector<Fault> faults_;
+  std::vector<std::uint8_t> fault_seen_;            // applied_ bookkeeping
+  std::vector<std::pair<NetId, bool>> active_pins_;  // forces for this cycle
+  std::vector<std::uint8_t> pinned_;                 // per-net scratch flag
+  std::vector<NetId> watched_;
+  bool watch_triggered_ = false;
+  std::uint64_t cycle_ = 0;
+  std::size_t applied_ = 0;
+};
+
+/// Deterministic fault-site enumeration for campaigns (index order follows
+/// cell creation order, so a seeded Rng draws reproducible targets).
+/// DFF output nets -- the SEU population.
+[[nodiscard]] std::vector<NetId> seu_targets(const Netlist& nl);
+/// Non-constant cell output nets -- the stuck-at population.
+[[nodiscard]] std::vector<NetId> stuck_targets(const Netlist& nl);
+/// Combinational (non-DFF, non-constant) cell outputs -- the glitch
+/// population.
+[[nodiscard]] std::vector<NetId> glitch_targets(const Netlist& nl);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,236 @@
+#include "rtl/harden.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dwt::rtl {
+namespace {
+
+/// Identity clone of the combinational cloud: resolves cell inputs through
+/// `remap`, preserving chain tags and placement clusters.  DFBs must already
+/// be pre-mapped by the caller (they are sequential sources).
+void clone_comb_cells(const Netlist& in, Netlist& out,
+                      std::vector<NetId>& remap) {
+  for (const CellId id : in.topo_order()) {
+    const Cell& c = in.cell(id);
+    if (c.kind == CellKind::kConst0) {
+      remap[c.out] = out.const0();
+      continue;
+    }
+    if (c.kind == CellKind::kConst1) {
+      remap[c.out] = out.const1();
+      continue;
+    }
+    NetId a = kNullNet, b = kNullNet, s = kNullNet;
+    if (input_count(c.kind) > 0) a = remap[c.in[0]];
+    if (input_count(c.kind) > 1) b = remap[c.in[1]];
+    if (input_count(c.kind) > 2) s = remap[c.in[2]];
+    if (c.chain_id >= 0) {
+      remap[c.out] = out.add_chain_cell(c.kind, a, b, s, c.chain_id,
+                                        c.chain_bit, in.net(c.out).name);
+    } else {
+      remap[c.out] = out.add_cell(c.kind, a, b, s, in.net(c.out).name);
+    }
+    if (c.cluster_id >= 0) out.set_cluster(remap[c.out], c.cluster_id);
+  }
+}
+
+void bind_cloned_outputs(const Netlist& in, Netlist& out,
+                         const std::vector<NetId>& remap) {
+  for (const auto& [name, bus] : in.outputs()) {
+    Bus nb;
+    nb.bits.reserve(bus.bits.size());
+    for (const NetId b : bus.bits) nb.bits.push_back(remap[b]);
+    out.bind_output(name, std::move(nb));
+  }
+}
+
+/// Balanced XOR reduction; requires a non-empty list.
+NetId xor_tree(Netlist& out, std::vector<NetId> nets, const std::string& name,
+               std::size_t* gates) {
+  if (nets.empty()) throw std::logic_error("xor_tree: empty");
+  int level = 0;
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((nets.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < nets.size(); i += 2) {
+      next.push_back(out.add_cell(
+          CellKind::kXor2, nets[i], nets[i + 1], kNullNet,
+          name + ".x" + std::to_string(level) + "_" + std::to_string(i / 2)));
+      if (gates) ++*gates;
+    }
+    if (nets.size() % 2 != 0) next.push_back(nets.back());
+    nets = std::move(next);
+    ++level;
+  }
+  return nets.front();
+}
+
+/// Register-bank key for a DFF output net: "acc[3]" -> "acc".
+std::string group_key(const std::string& net_name) {
+  const std::size_t open = net_name.rfind('[');
+  if (open != std::string::npos && net_name.back() == ']' && open > 0) {
+    return net_name.substr(0, open);
+  }
+  return net_name.empty() ? std::string("regs") : net_name;
+}
+
+}  // namespace
+
+const char* to_string(HardeningStyle s) {
+  switch (s) {
+    case HardeningStyle::kNone: return "none";
+    case HardeningStyle::kTmr: return "tmr";
+    case HardeningStyle::kParity: return "parity";
+  }
+  return "?";
+}
+
+Netlist apply_tmr(const Netlist& in, HardeningReport* report) {
+  in.validate();
+  Netlist out;
+  std::vector<NetId> remap(in.net_count(), kNullNet);
+  for (const NetId pi : in.primary_inputs()) {
+    remap[pi] = out.add_input(in.net(pi).name);
+  }
+  HardeningReport rep;
+  // Replicate every DFF three ways and vote.  The voter output takes the
+  // original Q name, so downstream loads, output ports and waveform probes
+  // all see the voted (masked) value.
+  struct Replica {
+    CellId old_cell;
+    CellId new_cells[3];
+  };
+  std::vector<Replica> dffs;
+  const NetId c0 = out.const0();
+  for (CellId id = 0; id < in.cells().size(); ++id) {
+    const Cell& c = in.cell(id);
+    if (c.kind != CellKind::kDff) continue;
+    const std::string& q_name = in.net(c.out).name;
+    Replica r;
+    r.old_cell = id;
+    NetId q[3];
+    for (int k = 0; k < 3; ++k) {
+      q[k] = out.add_cell(CellKind::kDff, c0, kNullNet, kNullNet,
+                          q_name + ".tmr" + std::to_string(k));
+      r.new_cells[k] = out.net(q[k]).driver;
+    }
+    // majority(q0, q1, q2) = (q0&q1) | (q0&q2) | (q1&q2)
+    const NetId ab =
+        out.add_cell(CellKind::kAnd2, q[0], q[1], kNullNet, q_name + ".vab");
+    const NetId ac =
+        out.add_cell(CellKind::kAnd2, q[0], q[2], kNullNet, q_name + ".vac");
+    const NetId bc =
+        out.add_cell(CellKind::kAnd2, q[1], q[2], kNullNet, q_name + ".vbc");
+    const NetId o1 =
+        out.add_cell(CellKind::kOr2, ab, ac, kNullNet, q_name + ".vor");
+    remap[c.out] = out.add_cell(CellKind::kOr2, o1, bc, kNullNet, q_name);
+    dffs.push_back(r);
+    ++rep.protected_ffs;
+    rep.added_ffs += 2;
+    rep.added_gates += 5;
+  }
+  clone_comb_cells(in, out, remap);
+  for (const Replica& r : dffs) {
+    const NetId d = remap[in.cell(r.old_cell).in[0]];
+    for (const CellId nc : r.new_cells) out.rewire_input(nc, 0, d);
+  }
+  bind_cloned_outputs(in, out, remap);
+  out.validate();
+  if (report) *report = rep;
+  return out;
+}
+
+Netlist apply_parity(const Netlist& in, HardeningReport* report) {
+  in.validate();
+  Netlist out;
+  std::vector<NetId> remap(in.net_count(), kNullNet);
+  for (const NetId pi : in.primary_inputs()) {
+    remap[pi] = out.add_input(in.net(pi).name);
+  }
+  HardeningReport rep;
+  const NetId c0 = out.const0();
+  // One-to-one DFF clone (placeholder D, patched after the comb pass),
+  // grouped into words by register-bank name.
+  std::vector<std::pair<CellId, CellId>> dff_patch;  // (old cell, new cell)
+  std::map<std::string, std::vector<CellId>> groups;  // key -> old DFF cells
+  for (CellId id = 0; id < in.cells().size(); ++id) {
+    const Cell& c = in.cell(id);
+    if (c.kind != CellKind::kDff) continue;
+    const NetId q = out.add_cell(CellKind::kDff, c0, kNullNet, kNullNet,
+                                 in.net(c.out).name);
+    remap[c.out] = q;
+    dff_patch.emplace_back(id, out.net(q).driver);
+    groups[group_key(in.net(c.out).name)].push_back(id);
+    ++rep.protected_ffs;
+  }
+  clone_comb_cells(in, out, remap);
+  for (const auto& [old_id, new_id] : dff_patch) {
+    out.rewire_input(new_id, 0, remap[in.cell(old_id).in[0]]);
+  }
+  // Per word: predicted parity (XOR of the D cone, registered alongside the
+  // data) checked against the actual parity of the stored word.
+  std::vector<NetId> mismatches;
+  for (const auto& [key, members] : groups) {
+    std::vector<NetId> d_nets;
+    std::vector<NetId> q_nets;
+    for (const CellId id : members) {
+      d_nets.push_back(remap[in.cell(id).in[0]]);
+      q_nets.push_back(remap[in.cell(id).out]);
+    }
+    const NetId par_d = xor_tree(out, d_nets, key + ".pgen", &rep.added_gates);
+    const NetId par_q = out.add_cell(CellKind::kDff, par_d, kNullNet, kNullNet,
+                                     key + ".par");
+    q_nets.push_back(par_q);
+    mismatches.push_back(
+        xor_tree(out, q_nets, key + ".pchk", &rep.added_gates));
+    ++rep.added_ffs;
+    ++rep.parity_groups;
+  }
+  // OR-reduce the per-word mismatch bits into the error flag port.
+  NetId flag;
+  if (mismatches.empty()) {
+    flag = out.const0();
+  } else {
+    int level = 0;
+    while (mismatches.size() > 1) {
+      std::vector<NetId> next;
+      next.reserve((mismatches.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < mismatches.size(); i += 2) {
+        next.push_back(out.add_cell(CellKind::kOr2, mismatches[i],
+                                    mismatches[i + 1], kNullNet,
+                                    "par_err.o" + std::to_string(level) + "_" +
+                                        std::to_string(i / 2)));
+        ++rep.added_gates;
+      }
+      if (mismatches.size() % 2 != 0) next.push_back(mismatches.back());
+      mismatches = std::move(next);
+      ++level;
+    }
+    flag = mismatches.front();
+  }
+  bind_cloned_outputs(in, out, remap);
+  out.bind_output(kErrorFlagPort, Bus{{flag}});
+  out.validate();
+  if (report) *report = rep;
+  return out;
+}
+
+Netlist apply_hardening(const Netlist& in, HardeningStyle style,
+                        HardeningReport* report) {
+  switch (style) {
+    case HardeningStyle::kNone: {
+      if (report) *report = HardeningReport{};
+      in.validate();
+      return in;  // copy
+    }
+    case HardeningStyle::kTmr: return apply_tmr(in, report);
+    case HardeningStyle::kParity: return apply_parity(in, report);
+  }
+  throw std::invalid_argument("apply_hardening: unknown style");
+}
+
+}  // namespace dwt::rtl

@@ -1,0 +1,56 @@
+// Netlist-to-netlist hardening transforms.  Hardened netlists are ordinary
+// netlists built from the existing primitive cells, so they flow unchanged
+// through simplify(), the APEX technology mapper, static timing and the
+// power model -- the LE / f_max / mW *cost of hardening* is reported by the
+// same machinery as the paper's Table 3.
+//
+//  * TMR: every DFF is triplicated (the replicas share the original D cone)
+//    and its output replaced by a majority voter built from kAnd2/kOr2
+//    gates.  Any single SEU in a state bit is masked.
+//  * Parity: DFFs are grouped into words by register-bank name; each group
+//    gets one extra parity DFF fed by an XOR tree over the group's D inputs,
+//    and a combinational checker compares the stored parity against the
+//    group's outputs.  Any single SEU in a protected word raises the
+//    "fault_detected" output flag (detection, not correction).
+#pragma once
+
+#include <cstddef>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+enum class HardeningStyle {
+  kNone,
+  kTmr,
+  kParity,
+};
+
+[[nodiscard]] const char* to_string(HardeningStyle s);
+
+/// Name of the single-bit error-flag output port added by parity hardening.
+inline constexpr const char* kErrorFlagPort = "fault_detected";
+
+/// Structural accounting of a hardening transform.
+struct HardeningReport {
+  std::size_t protected_ffs = 0;  ///< DFFs of the source netlist covered
+  std::size_t added_ffs = 0;      ///< replica / parity DFFs created
+  std::size_t added_gates = 0;    ///< voter / parity-tree gates created
+  std::size_t parity_groups = 0;  ///< words protected by one parity bit each
+};
+
+/// Triple-modular redundancy on the state: functionally identical netlist
+/// whose every DFF is triplicated and voted.  Port names are preserved.
+[[nodiscard]] Netlist apply_tmr(const Netlist& in,
+                                HardeningReport* report = nullptr);
+
+/// Per-word parity prediction/checking with a `fault_detected` output port.
+/// Port names are preserved; the flag port is added.
+[[nodiscard]] Netlist apply_parity(const Netlist& in,
+                                   HardeningReport* report = nullptr);
+
+/// Dispatch on style; kNone returns an unmodified copy.
+[[nodiscard]] Netlist apply_hardening(const Netlist& in, HardeningStyle style,
+                                      HardeningReport* report = nullptr);
+
+}  // namespace dwt::rtl

@@ -5,7 +5,12 @@
 namespace dwt::rtl {
 
 Simulator::Simulator(const Netlist& nl)
-    : nl_(nl), topo_(nl.topo_order()), values_(nl.net_count(), 0) {}
+    : nl_(nl), topo_(nl.topo_order()), values_(nl.net_count(), 0) {
+  for (const Cell& c : nl.cells()) {
+    if (c.kind == CellKind::kDff) dffs_.emplace_back(c.out, c.in[0]);
+  }
+  dff_scratch_.reserve(dffs_.size());
+}
 
 void Simulator::set_input(NetId net, bool value) {
   if (net >= values_.size() || !nl_.net(net).is_primary_input) {
@@ -15,21 +20,14 @@ void Simulator::set_input(NetId net, bool value) {
 }
 
 void Simulator::set_bus(const Bus& bus, std::int64_t value) {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("Simulator::set_bus: empty bus");
+  }
   for (std::size_t i = 0; i < bus.bits.size(); ++i) {
     set_input(bus.bits[i], ((value >> i) & 1) != 0);
   }
   // Verify the value actually fits the bus (two's complement).
-  const std::int64_t readback = [&] {
-    std::int64_t v = 0;
-    for (std::size_t i = 0; i < bus.bits.size(); ++i) {
-      if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
-    }
-    const int w = bus.width();
-    if (w < 64 && (v & (std::int64_t{1} << (w - 1)))) {
-      v -= std::int64_t{1} << w;
-    }
-    return v;
-  }();
+  const std::int64_t readback = read_bus(bus);
   if (readback != value) {
     throw std::invalid_argument("Simulator::set_bus: value does not fit bus");
   }
@@ -63,22 +61,36 @@ void Simulator::eval() {
   }
 }
 
+void Simulator::clock_edge() {
+  // Sample all D inputs, then update outputs (two-phase, race-free).
+  dff_scratch_.clear();
+  for (const auto& [q, d] : dffs_) dff_scratch_.push_back(values_[d]);
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    values_[dffs_[i].first] = dff_scratch_[i];
+  }
+}
+
 void Simulator::step() {
   eval();
-  // Sample all D inputs, then update outputs (two-phase, race-free).
-  std::vector<std::pair<NetId, std::uint8_t>> updates;
-  for (CellId id = 0; id < nl_.cells().size(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (c.kind == CellKind::kDff) {
-      updates.emplace_back(c.out, values_[c.in[0]]);
-    }
+  clock_edge();
+}
+
+void Simulator::poke(NetId net, bool value) {
+  if (net >= values_.size()) {
+    throw std::invalid_argument("Simulator::poke: net out of range");
   }
-  for (const auto& [net, v] : updates) values_[net] = v;
+  values_[net] = value ? 1 : 0;
 }
 
 std::int64_t Simulator::read_bus(const Bus& bus) const {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("Simulator::read_bus: empty bus");
+  }
   std::int64_t v = 0;
   for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    if (bus.bits[i] >= values_.size()) {
+      throw std::invalid_argument("Simulator::read_bus: net out of range");
+    }
     if (values_[bus.bits[i]]) v |= std::int64_t{1} << i;
   }
   const int w = bus.width();

@@ -23,22 +23,37 @@ class Simulator {
   /// Settles the combinational logic for the current inputs/state.
   void eval();
 
-  /// eval() then clock edge: every DFF output takes its D value.
+  /// eval() then clock_edge().
   void step();
 
+  /// Clock edge only: every DFF output takes its currently settled D value
+  /// (two-phase, race-free).  Exposed separately so fault-injection overlays
+  /// can corrupt state between the edge and the next settle.
+  void clock_edge();
+
+  /// Raw overwrite of any net's current value, bypassing the drive rules.
+  /// This is the fault-injection hook: it does NOT propagate -- callers
+  /// re-settle downstream logic themselves (see rtl::FaultInjector).
+  void poke(NetId net, bool value);
+
+  /// Combinational function of one cell under the current net values.
+  /// Throws std::logic_error for DFFs (they are sequential, not evaluated).
+  [[nodiscard]] bool eval_cell(const Cell& c) const;
+
   [[nodiscard]] bool value(NetId net) const { return values_[net] != 0; }
-  /// Reads a bus as a signed two's complement integer.
+  /// Reads a bus as a signed two's complement integer.  Throws
+  /// std::invalid_argument on an empty bus or an out-of-range NetId.
   [[nodiscard]] std::int64_t read_bus(const Bus& bus) const;
 
   /// Resets all state and nets to 0.
   void reset();
 
  private:
-  [[nodiscard]] bool eval_cell(const Cell& c) const;
-
   const Netlist& nl_;
   std::vector<CellId> topo_;
-  std::vector<std::uint8_t> values_;  // per net
+  std::vector<std::pair<NetId, NetId>> dffs_;  // (Q net, D net) per DFF
+  std::vector<std::uint8_t> values_;           // per net
+  std::vector<std::uint8_t> dff_scratch_;      // sampled D values per edge
 };
 
 }  // namespace dwt::rtl

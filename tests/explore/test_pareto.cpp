@@ -44,6 +44,22 @@ TEST(Pareto, EmptyInput) {
   EXPECT_TRUE(pareto_front({}).empty());
 }
 
+TEST(Pareto, SdcRateIsAFourthObjective) {
+  // Hardened variant: strictly worse area/speed but strictly safer -- the
+  // resilience axis must keep it on the front.
+  const TradeoffPoint plain{"d3", 989, 7.5, 105, 0.35};
+  const TradeoffPoint tmr{"d3+tmr", 4076, 11.4, 105, 0.0};
+  EXPECT_FALSE(plain.dominates(tmr));
+  EXPECT_FALSE(tmr.dominates(plain));
+  const auto front = pareto_front({plain, tmr});
+  EXPECT_EQ(front.size(), 2u);
+
+  // With equal sdc_rate the classic three-objective ordering is unchanged.
+  const TradeoffPoint safer_same{"d3+free", 989, 7.5, 105, 0.0};
+  EXPECT_TRUE(safer_same.dominates(plain));
+  EXPECT_FALSE(plain.dominates(safer_same));
+}
+
 TEST(Pareto, AreaPowerPerMhz) {
   const TradeoffPoint p{"p", 480, 1000.0 / 44.0, 248};
   EXPECT_NEAR(area_power_per_mhz(p), 480.0 * 248.0 / 44.0, 1e-9);

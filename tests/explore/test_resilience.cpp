@@ -1,0 +1,84 @@
+#include "explore/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwt::explore {
+namespace {
+
+ResilienceOptions small_campaign(hw::DesignId design,
+                                 rtl::HardeningStyle harden) {
+  ResilienceOptions opt;
+  opt.design = design;
+  opt.kinds = {rtl::FaultKind::kSeuFlip};
+  opt.trials = 12;
+  opt.seed = 99;
+  opt.samples = 16;
+  opt.harden = harden;
+  return opt;
+}
+
+TEST(Resilience, CampaignIsDeterministic) {
+  const ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone);
+  const CampaignResult a = run_campaign(opt);
+  const CampaignResult b = run_campaign(opt);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(a.trials_run, opt.trials);
+  EXPECT_EQ(a.masked + a.detected + a.sdc, a.trials_run);
+  EXPECT_EQ(a.detected, 0u);  // no detection logic without hardening
+}
+
+TEST(Resilience, TmrDesign1MasksEverySampledSeu) {
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign1, rtl::HardeningStyle::kTmr);
+  opt.trials = 20;
+  const CampaignResult r = run_campaign(opt);
+  EXPECT_EQ(r.masked, r.trials_run);
+  EXPECT_EQ(r.sdc, 0u);
+  EXPECT_EQ(r.corrupted, 0u);
+  for (const FaultTrial& t : r.trials) {
+    EXPECT_EQ(t.outcome, FaultOutcome::kMasked);
+    EXPECT_EQ(t.max_abs_error, 0);  // bit-identical output
+    EXPECT_TRUE(std::isinf(t.psnr_db));
+  }
+  // The hardening cost is priced by the same mapper/STA as Table 3.
+  EXPECT_GT(r.hardened.logic_elements, r.baseline.logic_elements);
+  EXPECT_EQ(r.harden_report.added_ffs, 2 * r.harden_report.protected_ffs);
+}
+
+TEST(Resilience, ParityDetectsEverySampledSeu) {
+  const CampaignResult r = run_campaign(
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kParity));
+  EXPECT_EQ(r.detected, r.trials_run);  // detection, not correction
+  EXPECT_EQ(r.sdc, 0u);
+  EXPECT_GT(r.harden_report.parity_groups, 0u);
+  EXPECT_GT(r.hardened.ff_count, r.baseline.ff_count);
+}
+
+TEST(Resilience, PointCarriesSdcAxisIntoTradeoffSpace) {
+  const CampaignResult r = run_campaign(
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone));
+  const TradeoffPoint p = resilience_point(r);
+  EXPECT_GT(p.area_les, 0.0);
+  EXPECT_GT(p.period_ns, 0.0);
+  EXPECT_DOUBLE_EQ(p.sdc_rate, r.sdc_rate());
+}
+
+TEST(Resilience, RejectsDegenerateOptions) {
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone);
+  opt.trials = 0;
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);
+  opt.trials = 1;
+  opt.samples = 7;
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);
+  opt.samples = 16;
+  opt.kinds.clear();
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::explore

@@ -1,0 +1,145 @@
+#include "rtl/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dwt::rtl {
+namespace {
+
+/// Tiny registered datapath: x -> reg -> NOT -> reg -> y, plus a toggler so
+/// the state is never all-zero.
+struct Pipe {
+  Netlist nl;
+  NetId x, q1, inv, q2, tog;
+  Pipe() {
+    x = nl.add_input("x");
+    q1 = nl.add_cell(CellKind::kDff, x);
+    inv = nl.add_cell(CellKind::kNot, q1);
+    q2 = nl.add_cell(CellKind::kDff, inv);
+    tog = nl.add_cell(CellKind::kDff, kNullNet);
+    const NetId ntog = nl.add_cell(CellKind::kNot, tog);
+    nl.rewire_input(nl.net(tog).driver, 0, ntog);
+    nl.bind_output("y", Bus{{q2}});
+  }
+};
+
+TEST(FaultInjector, ZeroFaultsMatchesPlainSimulator) {
+  Pipe p;
+  Simulator ref(p.nl);
+  Simulator sim(p.nl);
+  FaultInjector inj(p.nl, sim);
+  for (int t = 0; t < 16; ++t) {
+    const bool in = (t % 3) == 0;
+    ref.set_input(p.x, in);
+    inj.set_input(p.x, in);
+    ref.step();
+    inj.step();
+    EXPECT_EQ(inj.value(p.q2), ref.value(p.q2)) << t;
+    EXPECT_EQ(inj.value(p.tog), ref.value(p.tog)) << t;
+  }
+  EXPECT_EQ(inj.faults_applied(), 0u);
+  EXPECT_EQ(inj.cycle(), 16u);
+}
+
+TEST(FaultInjector, SeuFlipsStateForExactlyOneCycle) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_cell(CellKind::kDff, d);
+  Simulator sim(nl);
+  FaultInjector inj(nl, sim);
+  inj.arm({FaultKind::kSeuFlip, q, 2, true});
+  inj.set_input(d, false);
+  inj.step();  // cycle 0
+  inj.step();  // cycle 1
+  EXPECT_FALSE(inj.value(q));
+  inj.step();  // cycle 2: upset strikes after the edge
+  EXPECT_TRUE(inj.value(q));
+  EXPECT_EQ(inj.faults_applied(), 1u);
+  inj.step();  // next edge recaptures the clean D
+  EXPECT_FALSE(inj.value(q));
+}
+
+TEST(FaultInjector, GlitchForcesNetForOneCycle) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellKind::kNot, a);
+  const NetId q = nl.add_cell(CellKind::kDff, y);
+  Simulator sim(nl);
+  FaultInjector inj(nl, sim);
+  inj.arm({FaultKind::kGlitch, y, 1, false});
+  inj.set_input(a, false);  // y settles to 1
+  inj.step();               // cycle 0
+  EXPECT_TRUE(inj.value(q));
+  inj.step();  // cycle 1: y pinned low, captured by q
+  EXPECT_FALSE(inj.value(q));
+  inj.step();  // cycle 2: pulse gone
+  EXPECT_TRUE(inj.value(q));
+  EXPECT_EQ(inj.faults_applied(), 1u);
+}
+
+TEST(FaultInjector, StuckAtPersistsFromScheduledCycle) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellKind::kNot, a);
+  const NetId q = nl.add_cell(CellKind::kDff, y);
+  Simulator sim(nl);
+  FaultInjector inj(nl, sim);
+  inj.arm({FaultKind::kStuckAt0, y, 2, true});
+  inj.set_input(a, false);  // y wants to be 1
+  inj.step();               // cycle 0
+  inj.step();               // cycle 1
+  EXPECT_TRUE(inj.value(q));
+  for (int t = 0; t < 4; ++t) {
+    inj.step();  // cycles 2..5: defect active
+    EXPECT_FALSE(inj.value(q)) << t;
+  }
+  EXPECT_EQ(inj.faults_applied(), 1u);
+}
+
+TEST(FaultInjector, WatchLatchesDetection) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_cell(CellKind::kNot, a);
+  Simulator sim(nl);
+  FaultInjector inj(nl, sim);
+  inj.watch(y);
+  inj.set_input(a, true);  // y low
+  inj.step();
+  EXPECT_FALSE(inj.watch_triggered());
+  inj.set_input(a, false);  // y high for one cycle
+  inj.step();
+  inj.set_input(a, true);
+  inj.step();
+  EXPECT_TRUE(inj.watch_triggered());  // latched
+}
+
+TEST(FaultInjector, ArmValidatesTargets) {
+  Pipe p;
+  Simulator sim(p.nl);
+  FaultInjector inj(p.nl, sim);
+  EXPECT_THROW(inj.arm({FaultKind::kSeuFlip, p.inv, 0, true}),
+               std::invalid_argument);  // SEU needs a DFF output
+  EXPECT_THROW(
+      inj.arm({FaultKind::kGlitch, static_cast<NetId>(100000), 0, true}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(inj.arm({FaultKind::kSeuFlip, p.q1, 0, true}));
+}
+
+TEST(FaultTargets, PopulationsFollowCellKinds) {
+  Pipe p;
+  const auto seu = seu_targets(p.nl);
+  const auto stuck = stuck_targets(p.nl);
+  const auto glitch = glitch_targets(p.nl);
+  EXPECT_EQ(seu.size(), 3u);  // q1, q2, tog
+  for (const NetId n : seu) {
+    EXPECT_EQ(p.nl.cell(p.nl.net(n).driver).kind, CellKind::kDff);
+  }
+  for (const NetId n : glitch) {
+    EXPECT_NE(p.nl.cell(p.nl.net(n).driver).kind, CellKind::kDff);
+  }
+  EXPECT_EQ(stuck.size(), seu.size() + glitch.size());
+}
+
+}  // namespace
+}  // namespace dwt::rtl

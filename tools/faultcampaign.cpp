@@ -1,0 +1,137 @@
+// faultcampaign -- deterministic soft-error campaigns over the five DWT
+// architectures, with optional TMR / parity hardening.
+//
+//   faultcampaign --design 1..5 [--faults seu,glitch,sa0,sa1] [--trials N]
+//                 [--seed S] [--harden none|tmr|parity] [--samples N]
+//                 [--no-trial-list] [--out report.json]
+//
+// Emits a JSON report (stdout by default).  Identical arguments produce
+// byte-identical output, so reports diff cleanly across revisions.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "explore/resilience.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  faultcampaign --design 1..5 [--faults seu,glitch,sa0,sa1]\n"
+      "                [--trials N] [--seed S] [--harden none|tmr|parity]\n"
+      "                [--samples N] [--no-trial-list] [--out report.json]\n");
+  return 2;
+}
+
+bool parse_kinds(const std::string& arg,
+                 std::vector<dwt::rtl::FaultKind>& kinds) {
+  kinds.clear();
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string tok = arg.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (tok == "seu") {
+      kinds.push_back(dwt::rtl::FaultKind::kSeuFlip);
+    } else if (tok == "glitch") {
+      kinds.push_back(dwt::rtl::FaultKind::kGlitch);
+    } else if (tok == "sa0") {
+      kinds.push_back(dwt::rtl::FaultKind::kStuckAt0);
+    } else if (tok == "sa1") {
+      kinds.push_back(dwt::rtl::FaultKind::kStuckAt1);
+    } else {
+      return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !kinds.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dwt::explore::ResilienceOptions opt;
+  opt.seed = 42;
+  std::string out_path;
+  bool design_set = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--design") == 0) {
+      const char* v = need_value("--design");
+      if (v == nullptr) return usage();
+      const int n = std::atoi(v);
+      if (n < 1 || n > 5) return usage();
+      opt.design = static_cast<dwt::hw::DesignId>(n - 1);
+      design_set = true;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      const char* v = need_value("--faults");
+      if (v == nullptr || !parse_kinds(v, opt.kinds)) return usage();
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      const char* v = need_value("--trials");
+      if (v == nullptr) return usage();
+      opt.trials = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need_value("--seed");
+      if (v == nullptr) return usage();
+      opt.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--samples") == 0) {
+      const char* v = need_value("--samples");
+      if (v == nullptr) return usage();
+      opt.samples = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--harden") == 0) {
+      const char* v = need_value("--harden");
+      if (v == nullptr) return usage();
+      if (std::strcmp(v, "none") == 0) {
+        opt.harden = dwt::rtl::HardeningStyle::kNone;
+      } else if (std::strcmp(v, "tmr") == 0) {
+        opt.harden = dwt::rtl::HardeningStyle::kTmr;
+      } else if (std::strcmp(v, "parity") == 0) {
+        opt.harden = dwt::rtl::HardeningStyle::kParity;
+      } else {
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--no-trial-list") == 0) {
+      opt.keep_trials = false;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = need_value("--out");
+      if (v == nullptr) return usage();
+      out_path = v;
+    } else {
+      return usage();
+    }
+  }
+  if (!design_set) return usage();
+
+  try {
+    const dwt::explore::CampaignResult result =
+        dwt::explore::run_campaign(opt);
+    const std::string json = dwt::explore::to_json(result);
+    if (out_path.empty()) {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+        return 1;
+      }
+      out << json;
+      std::fprintf(stderr, "%s: %zu trials written\n", out_path.c_str(),
+                   result.trials_run);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
