@@ -4,6 +4,7 @@
 // and runs faster, but is limited to lossless/lower-gain coding.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "explore/explorer.hpp"
 #include "fpga/device.hpp"
 #include "fpga/tech_mapper.hpp"
@@ -12,7 +13,8 @@
 #include "hw/lifting53_datapath.hpp"
 #include "rtl/simplify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_53_vs_97", argc, argv);
   std::printf("Extension: reversible 5/3 cores vs the paper's 9/7 designs.\n\n");
   std::printf("%-38s %8s %12s %9s\n", "Core", "LEs", "fmax (MHz)", "latency");
 
@@ -36,8 +38,12 @@ int main() {
     const auto mapped = dwt::fpga::map_to_apex(opt);
     dwt::fpga::TimingAnalyzer sta(mapped,
                                   dwt::fpga::ApexDeviceParams::apex20ke());
+    const auto timing = sta.analyze();
     std::printf("%-38s %8zu %12.1f %9d\n", v.label, mapped.le_count(),
-                sta.analyze().fmax_mhz, dp.latency);
+                timing.fmax_mhz, dp.latency);
+    json.add(v.label, "area", static_cast<double>(mapped.le_count()), "LEs");
+    json.add(v.label, "fmax", timing.fmax_mhz, "MHz");
+    json.add(v.label, "latency", dp.latency, "cycles");
   }
 
   dwt::explore::Explorer explorer;
@@ -48,10 +54,15 @@ int main() {
                 (eval.spec.name + " (9/7)").c_str(),
                 eval.report.logic_elements, eval.report.fmax_mhz,
                 eval.info.latency);
+    json.add(eval.spec.name + " (9/7)", "area",
+             static_cast<double>(eval.report.logic_elements), "LEs");
+    json.add(eval.spec.name + " (9/7)", "fmax", eval.report.fmax_mhz, "MHz");
+    json.add(eval.spec.name + " (9/7)", "latency", eval.info.latency,
+             "cycles");
   }
   std::printf(
       "\nA combined 5/3 + 9/7 codec (JPEG2000 lossless + lossy) adds only\n"
       "the small 5/3 datapath on top of the 9/7 core, as reference [6]\n"
       "exploits.\n");
-  return 0;
+  return json.exit_code();
 }

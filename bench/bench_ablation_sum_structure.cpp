@@ -3,10 +3,12 @@
 // similar area.  Compares both schedules for designs 2-5.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "explore/explorer.hpp"
 #include "hw/designs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_ablation_sum_structure", argc, argv);
   dwt::explore::Explorer explorer;
   std::printf("Ablation: sequential (paper) vs balanced-tree summation.\n\n");
   std::printf("%-10s %-12s %8s %12s %14s %9s\n", "Design", "structure", "LEs",
@@ -19,17 +21,23 @@ int main() {
       dwt::hw::DesignSpec spec = dwt::hw::design_spec(id);
       spec.config.sum_structure = structure;
       const auto eval = explorer.evaluate(spec);
+      const char* sname = structure == dwt::rtl::SumStructure::kSequential
+                              ? "sequential"
+                              : "tree";
       std::printf("%-10s %-12s %8zu %12.1f %14.1f %9d\n", spec.name.c_str(),
-                  structure == dwt::rtl::SumStructure::kSequential
-                      ? "sequential"
-                      : "tree",
-                  eval.report.logic_elements, eval.report.fmax_mhz,
+                  sname, eval.report.logic_elements, eval.report.fmax_mhz,
                   eval.report.power_mw, eval.info.latency);
+      const std::string scenario = spec.name + " " + sname;
+      json.add(scenario, "area", static_cast<double>(eval.report.logic_elements),
+               "LEs");
+      json.add(scenario, "fmax", eval.report.fmax_mhz, "MHz");
+      json.add(scenario, "power_at_15mhz", eval.report.power_mw, "mW");
+      json.add(scenario, "latency", eval.info.latency, "cycles");
     }
   }
   std::printf(
       "\nTrees shorten the pipelined designs' latency (fewer stages, fewer\n"
       "shim registers) while the one-add-per-stage fmax stays similar: a\n"
       "cheap improvement over the paper's figure-8 schedule.\n");
-  return 0;
+  return json.exit_code();
 }

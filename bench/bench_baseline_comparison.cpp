@@ -4,6 +4,7 @@
 // design 3 matches the area and doubles the frequency.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "explore/explorer.hpp"
 #include "explore/pareto.hpp"
 #include "fpga/tech_mapper.hpp"
@@ -11,7 +12,8 @@
 #include "hw/filterbank_core.hpp"
 #include "rtl/simplify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_baseline_comparison", argc, argv);
   dwt::explore::Explorer explorer;
   const auto evals = explorer.evaluate_all();
   const auto baseline = dwt::hw::paper_baseline();
@@ -31,10 +33,19 @@ int main() {
   std::printf("%-34s %8zu %12.1f   (our elaboration)\n",
               "filter-bank core (figure 2)", fb_mapped.le_count(),
               sta.analyze().fmax_mhz);
+  json.add("[5] filter bank", "area", baseline.area_les, "LEs");
+  json.add("[5] filter bank", "fmax", baseline.fmax_mhz, "MHz");
+  json.add("filter-bank core (figure 2)", "area",
+           static_cast<double>(fb_mapped.le_count()), "LEs");
+  json.add("filter-bank core (figure 2)", "fmax", sta.analyze().fmax_mhz,
+           "MHz");
 
   for (const std::size_t i : {1u, 2u}) {
     std::printf("%-34s %8zu %12.1f\n", evals[i].spec.name.c_str(),
                 evals[i].report.logic_elements, evals[i].report.fmax_mhz);
+    json.add(evals[i].spec.name, "area",
+             static_cast<double>(evals[i].report.logic_elements), "LEs");
+    json.add(evals[i].spec.name, "fmax", evals[i].report.fmax_mhz, "MHz");
   }
 
   const double area_ratio_d2 =
@@ -48,6 +59,10 @@ int main() {
       "fmax).\nDesign 3 vs [5]: %.2fx area, %.2fx fmax (paper: ~1.0x area, "
       "~2.0x fmax).\n",
       area_ratio_d2, fmax_ratio_d2, area_ratio_d3, fmax_ratio_d3);
+  json.add("Design 2 vs [5]", "area_ratio", area_ratio_d2, "ratio");
+  json.add("Design 2 vs [5]", "fmax_ratio", fmax_ratio_d2, "ratio");
+  json.add("Design 3 vs [5]", "area_ratio", area_ratio_d3, "ratio");
+  json.add("Design 3 vs [5]", "fmax_ratio", fmax_ratio_d3, "ratio");
   std::printf(
       "\nThroughput note: the lifting cores consume a sample *pair* per\n"
       "cycle, so at equal fmax they deliver twice the sample rate of the\n"
@@ -63,7 +78,8 @@ int main() {
   std::printf("\nPareto-optimal designs in the (area, period, power) space:");
   for (const std::size_t i : dwt::explore::pareto_front(points)) {
     std::printf(" %s;", points[i].name.c_str());
+    json.add(points[i].name, "pareto_optimal", 1.0, "bool");
   }
   std::printf("\n");
-  return 0;
+  return json.exit_code();
 }

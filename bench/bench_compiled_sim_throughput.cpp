@@ -1,0 +1,157 @@
+// Gate-level simulation throughput: interpreted rtl::Simulator vs the
+// compiled bit-parallel engine (rtl/compiled), single-threaded and sharded
+// across a thread pool, in stimulus vectors per second on all five Table 3
+// designs.  One "vector" is one clock cycle of fresh randomized primary
+// inputs; the compiled engine advances 64 vectors per tape pass.
+//
+// `--smoke` runs a fast correctness pass (differential equivalence of the
+// compiled tape against the interpreted engine on every design) plus a tiny
+// measurement loop -- the CI entry point.  `--json <path>` emits the
+// bench/schema.md record set.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "hw/designs.hpp"
+#include "rtl/compiled/compiled_simulator.hpp"
+#include "rtl/compiled/equivalence.hpp"
+#include "rtl/compiled/tape.hpp"
+#include "rtl/simulator.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// One cycle of interpreted simulation with fresh random inputs; returns a
+// checksum so the work cannot be optimized away.
+std::int64_t interpreted_vectors_per_sec(const dwt::hw::BuiltDatapath& dp,
+                                         std::uint64_t cycles,
+                                         std::uint64_t seed, double* vps) {
+  dwt::rtl::Simulator sim(dp.netlist);
+  dwt::common::Rng rng(seed);
+  std::int64_t checksum = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    sim.set_bus(dp.in_even, rng.uniform(-128, 127));
+    sim.set_bus(dp.in_odd, rng.uniform(-128, 127));
+    sim.step();
+    checksum += sim.read_bus(dp.out_low) ^ sim.read_bus(dp.out_high);
+  }
+  *vps = static_cast<double>(cycles) / seconds_since(t0);
+  return checksum;
+}
+
+// Same workload on the compiled engine: 64 independent vector streams per
+// pass, each lane drawing its own stimulus.
+std::int64_t compiled_vectors_per_sec(
+    const std::shared_ptr<const dwt::rtl::compiled::Tape>& tape,
+    const dwt::hw::BuiltDatapath& dp, std::uint64_t cycles,
+    std::uint64_t seed, double* vps) {
+  dwt::rtl::compiled::CompiledSimulator sim(tape);
+  dwt::common::Rng rng(seed);
+  std::int64_t checksum = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (unsigned lane = 0; lane < dwt::rtl::compiled::kLanes; ++lane) {
+      sim.set_bus(dp.in_even, lane, rng.uniform(-128, 127));
+      sim.set_bus(dp.in_odd, lane, rng.uniform(-128, 127));
+    }
+    sim.step();
+    checksum += sim.read_bus(dp.out_low, 0) ^ sim.read_bus(dp.out_high, 63);
+  }
+  *vps = static_cast<double>(cycles * dwt::rtl::compiled::kLanes) /
+         seconds_since(t0);
+  return checksum;
+}
+
+// Thread-pool shard: each worker owns a CompiledSimulator over the shared
+// tape and runs an independent stream; aggregate vectors/s is measured over
+// the slowest worker (wall clock of the join).
+void threaded_vectors_per_sec(
+    const std::shared_ptr<const dwt::rtl::compiled::Tape>& tape,
+    const dwt::hw::BuiltDatapath& dp, std::uint64_t cycles,
+    std::uint64_t seed, unsigned threads, double* vps) {
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      double ignored = 0.0;
+      compiled_vectors_per_sec(tape, dp, cycles, seed + t, &ignored);
+    });
+  }
+  for (auto& th : pool) th.join();
+  *vps = static_cast<double>(cycles * dwt::rtl::compiled::kLanes * threads) /
+         seconds_since(t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_compiled_sim_throughput", argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::uint64_t interp_cycles = smoke ? 64 : 4096;
+  const std::uint64_t compiled_cycles = smoke ? 64 : 4096;
+  const std::uint64_t equiv_cycles = smoke ? 24 : 48;
+  unsigned threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  std::printf("Gate-level simulation throughput: interpreted vs compiled "
+              "bit-parallel engine%s.\n\n", smoke ? " (smoke)" : "");
+  std::printf("%-10s %8s %16s %16s %16s %9s\n", "Design", "equiv",
+              "interp (vec/s)", "compiled (vec/s)",
+              ("x" + std::to_string(threads) + " thr (vec/s)").c_str(),
+              "speedup");
+
+  bool all_ok = true;
+  for (const dwt::hw::DesignSpec& spec : dwt::hw::all_designs()) {
+    const dwt::hw::BuiltDatapath dp = dwt::hw::build_design(spec.id);
+    const auto report = dwt::rtl::compiled::check_equivalence(
+        dp.netlist, equiv_cycles, /*seed=*/2005, /*lanes_to_check=*/2);
+    if (!report.ok) {
+      all_ok = false;
+      std::printf("%-10s MISMATCH: %s\n", spec.name.c_str(),
+                  report.mismatch.c_str());
+      continue;
+    }
+
+    const auto tape = dwt::rtl::compiled::compile(dp.netlist);
+    double interp_vps = 0.0, compiled_vps = 0.0, threaded_vps = 0.0;
+    interpreted_vectors_per_sec(dp, interp_cycles, /*seed=*/7, &interp_vps);
+    compiled_vectors_per_sec(tape, dp, compiled_cycles, /*seed=*/7,
+                             &compiled_vps);
+    threaded_vectors_per_sec(tape, dp, compiled_cycles, /*seed=*/7, threads,
+                             &threaded_vps);
+    const double speedup = compiled_vps / interp_vps;
+    std::printf("%-10s %8s %16.0f %16.0f %16.0f %8.1fx\n", spec.name.c_str(),
+                "ok", interp_vps, compiled_vps, threaded_vps, speedup);
+    json.add(spec.name, "interpreted_throughput", interp_vps, "vectors/s");
+    json.add(spec.name, "compiled_throughput", compiled_vps, "vectors/s");
+    json.add(spec.name, "threaded_throughput", threaded_vps, "vectors/s");
+    json.add(spec.name, "compiled_speedup", speedup, "ratio");
+    json.add(spec.name, "tape_instructions",
+             static_cast<double>(tape->instrs().size()), "count");
+  }
+
+  std::printf(
+      "\nOne compiled tape pass advances 64 packed vectors, so the compiled\n"
+      "engine's advantage tracks the word width; threads shard further\n"
+      "(independent simulators over one shared tape).  Wall-clock numbers\n"
+      "vary by host; the equivalence column is deterministic.\n");
+  if (!all_ok) {
+    std::fprintf(stderr, "equivalence check FAILED\n");
+    return 1;
+  }
+  return json.exit_code();
+}

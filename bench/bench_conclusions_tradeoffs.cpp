@@ -3,11 +3,13 @@
 // structural descriptions cost ~30-46% more area at lower fmax.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "explore/explorer.hpp"
 #include "explore/pareto.hpp"
 #include "explore/tradeoffs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_conclusions_tradeoffs", argc, argv);
   dwt::explore::Explorer explorer;
   const auto evals = explorer.evaluate_all();
   const dwt::explore::TradeoffAnalysis analysis =
@@ -18,6 +20,8 @@ int main() {
   for (const dwt::explore::RatioClaim& c : analysis.claims()) {
     std::printf("%-50s %8.2f %10.2f\n", c.description.c_str(), c.paper_value,
                 c.measured_value);
+    json.add(c.description, "paper_ratio", c.paper_value, "ratio");
+    json.add(c.description, "measured_ratio", c.measured_value, "ratio");
   }
 
   std::printf("\nArea-power per MHz (the paper's informal figure of merit; "
@@ -28,10 +32,12 @@ int main() {
         1000.0 / e.report.fmax_mhz, e.report.power_mw};
     std::printf("  %-10s %12.0f\n", e.spec.name.c_str(),
                 dwt::explore::area_power_per_mhz(p));
+    json.add(e.spec.name, "area_power_per_mhz",
+             dwt::explore::area_power_per_mhz(p), "LEs*mW/MHz");
   }
   std::printf(
       "\nHeadline shape: the pipelined designs (3, 5) dominate this figure\n"
       "of merit, \"the descriptions with pipelined operators provide the\n"
       "best area-power-operating frequency trade-off\".\n");
-  return 0;
+  return json.exit_code();
 }

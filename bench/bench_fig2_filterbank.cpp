@@ -3,6 +3,7 @@
 // paper's schematic) and the synthesized cost of our elaboration of it.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "dsp/dwt97_fir.hpp"
 #include "fpga/device.hpp"
 #include "fpga/tech_mapper.hpp"
@@ -11,7 +12,8 @@
 #include "rtl/simplify.hpp"
 #include "rtl/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_fig2_filterbank", argc, argv);
   const auto cost = dwt::dsp::fir97_architecture_cost();
   std::printf("Figure 2. DWT by 9/7 taps Daubechies FIR filter.\n\n");
   std::printf("Schematic operator inventory (paper): %d multipliers, %d "
@@ -40,10 +42,14 @@ int main() {
     const auto timing = sta.analyze();
     std::printf("%-36s %12d %8zu %12.1f %8d\n", v.label, fb.multiplier_blocks,
                 mapped.le_count(), timing.fmax_mhz, fb.latency);
+    json.add(v.label, "multipliers", fb.multiplier_blocks, "count");
+    json.add(v.label, "area", static_cast<double>(mapped.le_count()), "LEs");
+    json.add(v.label, "fmax", timing.fmax_mhz, "MHz");
+    json.add(v.label, "latency", fb.latency, "cycles");
   }
   std::printf(
       "\nNote: one sample/cycle enters the filter bank (one output pair per\n"
       "two cycles after decimation), whereas the lifting cores of figure 5\n"
       "consume an even/odd *pair* per cycle.\n");
-  return 0;
+  return json.exit_code();
 }

@@ -3,11 +3,13 @@
 // the per-stage register ranges, and the netlist statistics per design.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "hw/designs.hpp"
 #include "rtl/shiftadd_plan.hpp"
 #include "rtl/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_fig5_lifting_structure", argc, argv);
   std::printf("Figure 5. Lifting 1D-DWT architecture.\n\n");
   std::printf(
       "Operator inventory of the lifting datapath (figure 3/5): 6 constant\n"
@@ -22,6 +24,8 @@ int main() {
   std::printf("Shift-add realization: the 6 multiplier blocks expand to %d "
               "adders in total (section 3.2 accounting).\n\n",
               total_mult_adders);
+  json.add("lifting datapath", "multiplier_adders", total_mult_adders,
+           "count");
 
   std::printf("%-10s %34s %10s %8s %9s\n", "Design", "description", "cells",
               "regs", "latency");
@@ -31,6 +35,10 @@ int main() {
     std::printf("%-10s %34.34s %10zu %8zu %9d\n", spec.name.c_str(),
                 spec.description.c_str(), st.cells, st.register_bits,
                 dp.info.latency);
+    json.add(spec.name, "cells", static_cast<double>(st.cells), "count");
+    json.add(spec.name, "register_bits",
+             static_cast<double>(st.register_bits), "bits");
+    json.add(spec.name, "latency", dp.info.latency, "cycles");
   }
 
   std::printf("\nStage register ranges used for sizing (design 2):\n");
@@ -41,5 +49,5 @@ int main() {
                 static_cast<long long>(r.range.lo),
                 static_cast<long long>(r.range.hi), r.bits);
   }
-  return 0;
+  return json.exit_code();
 }

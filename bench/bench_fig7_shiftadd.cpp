@@ -3,9 +3,11 @@
 // reports (alpha 6, beta 8->7 with reuse, gamma 5, delta 5, -k 4, 1/k 2).
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "rtl/shiftadd_plan.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_fig7_shiftadd", argc, argv);
   std::printf("Figure 7 / section 3.2: shift-add multiplier decompositions.\n\n");
   const int paper_counts[6] = {6, 7, 5, 5, 4, 2};
   const auto with_reuse =
@@ -18,6 +20,10 @@ int main() {
     std::printf("%-8s %7lld/256 %14d %14d %8d\n", with_reuse[i].name.c_str(),
                 static_cast<long long>(with_reuse[i].constant),
                 plain[i].total(), with_reuse[i].total(), paper_counts[i]);
+    json.add(with_reuse[i].name, "adders_plain", plain[i].total(), "count");
+    json.add(with_reuse[i].name, "adders_reuse", with_reuse[i].total(),
+             "count");
+    json.add(with_reuse[i].name, "adders_paper", paper_counts[i], "count");
   }
 
   std::printf("\nDecompositions (two's complement binary recoding):\n");
@@ -34,6 +40,8 @@ int main() {
         dwt::rtl::make_shiftadd_plan(m.constant, dwt::rtl::Recoding::kCsd);
     std::printf("  %-6s %zu terms: %s\n", m.name.c_str(), plan.terms.size(),
                 plan.to_string().c_str());
+    json.add(m.name, "csd_terms", static_cast<double>(plan.terms.size()),
+             "count");
   }
-  return 0;
+  return json.exit_code();
 }

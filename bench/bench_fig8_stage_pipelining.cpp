@@ -4,6 +4,7 @@
 // roughly one adder.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "fpga/tech_mapper.hpp"
 #include "fpga/timing.hpp"
 #include "rtl/multipliers.hpp"
@@ -48,7 +49,8 @@ StageResult build_alpha_stage(bool pipelined, dwt::rtl::AdderStyle style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_fig8_stage_pipelining", argc, argv);
   std::printf("Figure 8. Arithmetic stage structure of the alpha "
               "multiplication.\n\n");
   std::printf("%-44s %10s %10s %8s %8s\n", "Variant", "crit (ns)",
@@ -73,6 +75,10 @@ int main() {
     const StageResult r = build_alpha_stage(c.pipelined, c.style);
     std::printf("%-44s %10.2f %10.1f %8zu %8d\n", c.label, r.critical_ns,
                 r.fmax_mhz, r.les, r.latency);
+    json.add(c.label, "critical_path", r.critical_ns, "ns");
+    json.add(c.label, "fmax", r.fmax_mhz, "MHz");
+    json.add(c.label, "area", static_cast<double>(r.les), "LEs");
+    json.add(c.label, "stages", r.latency, "count");
     if (!c.pipelined && c.style == dwt::rtl::AdderStyle::kCarryChain) {
       flat_ns = r.critical_ns;
     }
@@ -84,5 +90,7 @@ int main() {
               "path %.1fx\n(\"reduces the worst delay path between "
               "registers\", section 3.3).\n",
               flat_ns / piped_ns);
-  return 0;
+  json.add("behavioral alpha stage", "pipelining_speedup", flat_ns / piped_ns,
+           "ratio");
+  return json.exit_code();
 }

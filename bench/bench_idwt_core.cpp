@@ -4,6 +4,7 @@
 // multiplier blocks, reversed order), so its cost tracks the forward core.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "explore/explorer.hpp"
 #include "fpga/device.hpp"
 #include "fpga/tech_mapper.hpp"
@@ -11,7 +12,8 @@
 #include "hw/inverse_lifting_datapath.hpp"
 #include "rtl/simplify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_idwt_core", argc, argv);
   std::printf("Extension: inverse (IDWT) cores vs forward designs.\n\n");
   std::printf("%-36s %8s %12s %9s\n", "Core", "LEs", "fmax (MHz)", "latency");
 
@@ -35,8 +37,12 @@ int main() {
     const auto mapped = dwt::fpga::map_to_apex(opt);
     dwt::fpga::TimingAnalyzer sta(mapped,
                                   dwt::fpga::ApexDeviceParams::apex20ke());
+    const auto timing = sta.analyze();
     std::printf("%-36s %8zu %12.1f %9d\n", v.label, mapped.le_count(),
-                sta.analyze().fmax_mhz, dp.latency);
+                timing.fmax_mhz, dp.latency);
+    json.add(v.label, "area", static_cast<double>(mapped.le_count()), "LEs");
+    json.add(v.label, "fmax", timing.fmax_mhz, "MHz");
+    json.add(v.label, "latency", dp.latency, "cycles");
   }
 
   dwt::explore::Explorer explorer;
@@ -48,11 +54,17 @@ int main() {
                 (eval.spec.name + " (forward)").c_str(),
                 eval.report.logic_elements, eval.report.fmax_mhz,
                 eval.info.latency);
+    json.add(eval.spec.name + " (forward)", "area",
+             static_cast<double>(eval.report.logic_elements), "LEs");
+    json.add(eval.spec.name + " (forward)", "fmax", eval.report.fmax_mhz,
+             "MHz");
+    json.add(eval.spec.name + " (forward)", "latency", eval.info.latency,
+             "cycles");
   }
   std::printf(
       "\nThe inverse costs roughly the forward core's area (same six\n"
       "multiplier blocks run in reverse), so a full codec datapath is about\n"
       "twice one direction -- consistent with reference [4]'s combined\n"
       "DWT+IDWT implementation.\n");
-  return 0;
+  return json.exit_code();
 }

@@ -3,12 +3,15 @@
 // identical; the difference is where coefficients live while the octave is
 // in flight.
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "dsp/dwt2d.hpp"
 #include "dsp/image_gen.hpp"
 #include "hw/line_based_dwt2d.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_line_based_memory", argc, argv);
   std::printf("Extension: full-frame (figure 4) vs line-based (ref [6]) "
               "memory.\n\n");
   std::printf("%-12s %16s %18s %8s %10s\n", "tile", "frame (words)",
@@ -22,15 +25,23 @@ int main() {
         dwt::hw::line_based_forward_octave(img);
     dwt::dsp::dwt2d_forward_octave(dwt::dsp::Method::kLiftingFixed, batch, n,
                                    n);
+    const double ratio = static_cast<double>(stats.frame_memory_words) /
+                         static_cast<double>(stats.line_buffer_words);
     std::printf("%4zux%-7zu %16zu %18zu %7.1fx %10s\n", n, n,
-                stats.frame_memory_words, stats.line_buffer_words,
-                static_cast<double>(stats.frame_memory_words) /
-                    static_cast<double>(stats.line_buffer_words),
+                stats.frame_memory_words, stats.line_buffer_words, ratio,
                 img.data() == batch.data() ? "yes" : "NO");
+    const std::string tile = std::to_string(n) + "x" + std::to_string(n);
+    json.add(tile, "frame_memory",
+             static_cast<double>(stats.frame_memory_words), "words");
+    json.add(tile, "line_buffer",
+             static_cast<double>(stats.line_buffer_words), "words");
+    json.add(tile, "memory_ratio", ratio, "ratio");
+    json.add(tile, "bit_equal", img.data() == batch.data() ? 1.0 : 0.0,
+             "bool");
   }
   std::printf(
       "\nThe line-based organization replaces the W*H frame memory with ~7\n"
       "lines of on-chip buffer (two transformed rows + five state words per\n"
       "column engine), growing the advantage linearly with image height.\n");
-  return 0;
+  return json.exit_code();
 }

@@ -3,10 +3,13 @@
 // design 3 at the same frequency (paper: ~15% lower).
 #include <cmath>
 #include <cstdio>
+#include <string>
 
+#include "bench_json.hpp"
 #include "explore/explorer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_power_sweep", argc, argv);
   dwt::explore::Explorer explorer;
   const auto& device = explorer.options().device;
   const auto evals = explorer.evaluate_all();
@@ -28,8 +31,10 @@ int main() {
   std::printf("Section 4 power points (measured vs paper).\n\n");
   std::printf("%-22s %14s %12s\n", "Operating point", "power (mW)", "paper");
   for (const Point& p : points) {
-    std::printf("%-22s %14.1f %12.1f\n", p.label,
-                p.eval->power_at(p.mhz, device).total_mw(), p.paper_mw);
+    const double mw = p.eval->power_at(p.mhz, device).total_mw();
+    std::printf("%-22s %14.1f %12.1f\n", p.label, mw, p.paper_mw);
+    json.add(p.label, "power", mw, "mW");
+    json.add(p.label, "paper_power", p.paper_mw, "mW");
   }
 
   std::printf("\nFrequency sweep (total mW):\n%-10s", "f (MHz)");
@@ -38,7 +43,11 @@ int main() {
   for (const double f : {15.0, 25.0, 40.0, 60.0, 95.0, 128.0}) {
     std::printf("%-10.0f", f);
     for (const auto& e : evals) {
-      std::printf(" %10.1f", e.power_at(f, device).total_mw());
+      const double mw = e.power_at(f, device).total_mw();
+      std::printf(" %10.1f", mw);
+      json.add(e.spec.name,
+               "power_at_" + std::to_string(static_cast<int>(f)) + "mhz", mw,
+               "mW");
     }
     std::printf("\n");
   }
@@ -49,5 +58,6 @@ int main() {
       "\nDesign 5 vs design 3 at the same 95 MHz: %.0f%% %s (paper: 15%% "
       "less).\n",
       std::abs(1.0 - iso) * 100.0, iso < 1.0 ? "less" : "more");
-  return 0;
+  json.add("Design 5 vs 3 @ 95 MHz", "power_ratio", iso, "ratio");
+  return json.exit_code();
 }

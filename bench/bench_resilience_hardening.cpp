@@ -6,10 +6,12 @@
 // and static-timing model as Table 3.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "explore/resilience.hpp"
 #include "hw/designs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_resilience_hardening", argc, argv);
   std::printf(
       "Extension: SEU campaigns and hardening costs across Table 3.\n\n");
   std::printf("%-22s %8s %12s %8s %9s %6s %9s\n", "Design", "LEs",
@@ -37,11 +39,18 @@ int main() {
       std::printf("%-22s %8zu %12.1f %8zu %9zu %6zu %9.2f\n", label,
                   r.hardened.logic_elements, r.hardened.fmax_mhz, r.masked,
                   r.detected, r.sdc, r.sdc_rate());
+      json.add(label, "area",
+               static_cast<double>(r.hardened.logic_elements), "LEs");
+      json.add(label, "fmax", r.hardened.fmax_mhz, "MHz");
+      json.add(label, "masked", static_cast<double>(r.masked), "count");
+      json.add(label, "detected", static_cast<double>(r.detected), "count");
+      json.add(label, "sdc", static_cast<double>(r.sdc), "count");
+      json.add(label, "sdc_rate", r.sdc_rate(), "ratio");
     }
     std::printf("\n");
   }
   std::printf(
       "TMR masks every sampled upset at ~3-4x the LEs; parity converts\n"
       "silent corruptions into detections for a fraction of that area.\n");
-  return 0;
+  return json.exit_code();
 }

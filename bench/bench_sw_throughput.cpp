@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "dsp/dwt2d.hpp"
 #include "dsp/image_gen.hpp"
@@ -82,4 +85,27 @@ BENCHMARK(BM_GateLevelSimulation)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so this binary honours the repo-wide `--json <path>` bench
+// convention (bench/schema.md): the flag is rewritten into google-benchmark's
+// own JSON output options, so the document shape is google-benchmark's.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+      args.push_back("--benchmark_out=" + std::string(argv[i + 1]));
+      args.push_back("--benchmark_out_format=json");
+      ++i;
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,9 +2,11 @@
 // point values, integer-rounded n/256 ratios, and two's complement binary.
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "dsp/lifting_coeffs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_table1_coefficients", argc, argv);
   std::printf("Table 1. Lifting coefficients constants.\n");
   std::printf("%-8s %16s %10s %14s\n", "Coeff", "Floating point",
               "Integer", "Binary (Q2.8)");
@@ -12,11 +14,14 @@ int main() {
     std::printf("%-8s %16.9f %7lld/256 %14s\n", row.name.c_str(),
                 row.floating_value, static_cast<long long>(row.integer_rounded),
                 row.binary.c_str());
+    json.add(row.name, "floating_value", row.floating_value, "ratio");
+    json.add(row.name, "integer_rounded",
+             static_cast<double>(row.integer_rounded), "1/256");
   }
   std::printf(
       "\nPaper values: alpha -406, beta -14, gamma 226, delta 114, 1/k 208.\n"
       "For -k the paper's integer column prints -314 while its own binary\n"
       "column (10.11000101) encodes -315; correct rounding of\n"
       "-1.230174105*256 = -314.9 also gives -315, which this library uses.\n");
-  return 0;
+  return json.exit_code();
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "dsp/dwt2d.hpp"
 #include "dsp/image_gen.hpp"
 #include "dsp/metrics.hpp"
@@ -27,7 +28,8 @@ double table2_psnr(dwt::dsp::Method method, const dwt::dsp::Image& original,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_table2_psnr", argc, argv);
   const dwt::dsp::Image tile = dwt::dsp::make_still_tone_image(128, 128, 2005);
   const int octaves = 3;
   struct Row {
@@ -52,6 +54,8 @@ int main() {
   for (const Row& row : rows) {
     const double p = table2_psnr(row.method, tile, octaves);
     std::printf("%-60s %12.3f %12.3f\n", row.label, p, row.paper_db);
+    json.add(row.label, "psnr", p, "dB");
+    json.add(row.label, "paper_psnr", row.paper_db, "dB");
     if (row.method == dwt::dsp::Method::kFirHwFloat) fir_float = p;
     if (row.method == dwt::dsp::Method::kFirFixed) fir_fixed = p;
     if (row.method == dwt::dsp::Method::kLiftingHwFloat) lift_float = p;
@@ -64,5 +68,9 @@ int main() {
       fir_float - fir_fixed, lift_float - lift_fixed,
       std::max({fir_float, fir_fixed, lift_float, lift_fixed}) -
           std::min({fir_float, fir_fixed, lift_float, lift_fixed}));
-  return 0;
+  json.add("shape check", "fir_rounding_penalty", fir_float - fir_fixed,
+           "dB");
+  json.add("shape check", "lifting_rounding_penalty",
+           lift_float - lift_fixed, "dB");
+  return json.exit_code();
 }

@@ -1,11 +1,15 @@
 #include "explore/resilience.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/rng.hpp"
@@ -15,6 +19,7 @@
 #include "fpga/tech_mapper.hpp"
 #include "fpga/timing.hpp"
 #include "hw/stream_runner.hpp"
+#include "rtl/compiled/batch_fault.hpp"
 #include "rtl/simplify.hpp"
 #include "rtl/simulator.hpp"
 
@@ -91,7 +96,36 @@ void append_json_number(std::string& out, double v) {
   out += buf;
 }
 
+/// Outcome/PSNR classification of one trial -- shared by both engines so a
+/// trial's record depends only on its coefficient stream and watch flag.
+FaultTrial classify_trial(const rtl::Fault& fault, const std::string& net_name,
+                          const hw::StreamResult& got,
+                          const hw::StreamResult& golden, bool watch_hit) {
+  FaultTrial trial;
+  trial.fault = fault;
+  trial.net_name = net_name;
+  const bool corrupted = got.low != golden.low || got.high != golden.high;
+  if (watch_hit) {
+    trial.outcome = FaultOutcome::kDetected;
+  } else if (corrupted) {
+    trial.outcome = FaultOutcome::kSilentCorruption;
+  } else {
+    trial.outcome = FaultOutcome::kMasked;
+  }
+  trial.psnr_db = coeff_psnr(got, golden);
+  trial.max_abs_error = max_abs_error(got, golden);
+  return trial;
+}
+
 }  // namespace
+
+const char* to_string(CampaignEngine e) {
+  switch (e) {
+    case CampaignEngine::kInterpreted: return "interpreted";
+    case CampaignEngine::kCompiled: return "compiled";
+  }
+  return "?";
+}
 
 const char* to_string(FaultOutcome o) {
   switch (o) {
@@ -134,28 +168,47 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   const std::vector<std::int64_t> stimulus =
       image_stimulus(options.samples, options.seed);
 
-  // Golden references: the unhardened design defines correctness; the
-  // hardened one must reproduce it fault-free (a transform bug fails loudly
-  // here rather than skewing the campaign).
-  hw::StreamResult golden;
-  {
-    rtl::Simulator sim(built.netlist);
-    golden = hw::run_stream(built, sim, stimulus);
-  }
   const rtl::NetId flag_net =
       options.harden == rtl::HardeningStyle::kParity
           ? dut.netlist.output(rtl::kErrorFlagPort).bits.front()
           : rtl::kNullNet;
+  const bool compiled = options.engine == CampaignEngine::kCompiled;
+  std::shared_ptr<const rtl::compiled::Tape> tape;
+  if (compiled) tape = rtl::compiled::compile(dut.netlist);
+
+  // Golden references: the unhardened design defines correctness; the
+  // hardened one must reproduce it fault-free (a transform bug fails loudly
+  // here rather than skewing the campaign).  Each engine produces its own
+  // golden -- they are bit-exact, so the reports stay byte-identical.
+  hw::StreamResult golden;
+  if (compiled) {
+    rtl::compiled::BatchFaultSession sess(
+        rtl::compiled::compile(built.netlist));
+    golden = std::move(hw::run_stream_batch(built, sess, stimulus, 1).front());
+  } else {
+    rtl::Simulator sim(built.netlist);
+    golden = hw::run_stream(built, sim, stimulus);
+  }
   {
-    rtl::Simulator sim(dut.netlist);
-    rtl::FaultInjector clean(dut.netlist, sim);
-    if (flag_net != rtl::kNullNet) clean.watch(flag_net);
-    const hw::StreamResult check = hw::run_stream_faulty(dut, clean, stimulus);
+    hw::StreamResult check;
+    bool flagged = false;
+    if (compiled) {
+      rtl::compiled::BatchFaultSession clean(tape);
+      if (flag_net != rtl::kNullNet) clean.watch(flag_net);
+      check = std::move(hw::run_stream_batch(dut, clean, stimulus, 1).front());
+      flagged = clean.watch_mask() != 0;
+    } else {
+      rtl::Simulator sim(dut.netlist);
+      rtl::FaultInjector clean(dut.netlist, sim);
+      if (flag_net != rtl::kNullNet) clean.watch(flag_net);
+      check = hw::run_stream_faulty(dut, clean, stimulus);
+      flagged = clean.watch_triggered();
+    }
     if (check.low != golden.low || check.high != golden.high) {
       throw std::logic_error(
           "run_campaign: hardened netlist diverges without faults");
     }
-    if (clean.watch_triggered()) {
+    if (flagged) {
       throw std::logic_error(
           "run_campaign: parity flag raised without faults");
     }
@@ -167,11 +220,13 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   const std::uint64_t total_cycles =
       hw::stream_cycle_count(dut, stimulus.size());
 
+  // Pre-draw the whole fault schedule.  The rng stream is consumed in trial
+  // order exactly as the sequential runner always did, so seeds reproduce
+  // identical campaigns on both engines and any thread count.
   common::Rng rng(options.seed);
-  double psnr_sum = 0.0;
-  double psnr_min = std::numeric_limits<double>::infinity();
+  std::vector<rtl::Fault> faults(options.trials);
   for (std::size_t t = 0; t < options.trials; ++t) {
-    rtl::Fault fault;
+    rtl::Fault& fault = faults[t];
     fault.kind = options.kinds[static_cast<std::size_t>(rng.uniform(
         0, static_cast<std::int64_t>(options.kinds.size()) - 1))];
     const std::vector<rtl::NetId>* pool = nullptr;
@@ -192,31 +247,84 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
     fault.cycle = static_cast<std::uint64_t>(
         rng.uniform(0, static_cast<std::int64_t>(total_cycles) - 2));
     fault.glitch_value = rng.uniform(0, 1) != 0;
+  }
 
-    rtl::Simulator sim(dut.netlist);
-    rtl::FaultInjector inj(dut.netlist, sim);
-    inj.arm(fault);
-    if (flag_net != rtl::kNullNet) inj.watch(flag_net);
-    const hw::StreamResult got = hw::run_stream_faulty(dut, inj, stimulus);
-
-    FaultTrial trial;
-    trial.fault = fault;
-    trial.net_name = dut.netlist.net(fault.net).name;
-    const bool corrupted =
-        got.low != golden.low || got.high != golden.high;
-    if (inj.watch_triggered()) {
-      trial.outcome = FaultOutcome::kDetected;
-      ++result.detected;
-    } else if (corrupted) {
-      trial.outcome = FaultOutcome::kSilentCorruption;
-      ++result.sdc;
+  std::vector<FaultTrial> trials(options.trials);
+  if (compiled) {
+    // 64 fault trials per tape pass, batches sharded across a worker pool.
+    // Every batch writes only its own slice of `trials`, so the result is
+    // independent of scheduling.
+    const std::size_t n_batches =
+        (options.trials + rtl::compiled::kLanes - 1) / rtl::compiled::kLanes;
+    unsigned n_threads =
+        options.threads != 0 ? options.threads
+                             : std::max(1u, std::thread::hardware_concurrency());
+    n_threads = static_cast<unsigned>(
+        std::min<std::size_t>(n_threads, n_batches));
+    std::atomic<std::size_t> next_batch{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto worker = [&]() {
+      try {
+        for (std::size_t b = next_batch.fetch_add(1); b < n_batches;
+             b = next_batch.fetch_add(1)) {
+          const std::size_t t0 = b * rtl::compiled::kLanes;
+          const unsigned lanes = static_cast<unsigned>(
+              std::min<std::size_t>(rtl::compiled::kLanes,
+                                    options.trials - t0));
+          rtl::compiled::BatchFaultSession sess(tape);
+          for (unsigned l = 0; l < lanes; ++l) sess.arm(l, faults[t0 + l]);
+          if (flag_net != rtl::kNullNet) sess.watch(flag_net);
+          const std::vector<hw::StreamResult> got =
+              hw::run_stream_batch(dut, sess, stimulus, lanes);
+          const std::uint64_t watch = sess.watch_mask();
+          for (unsigned l = 0; l < lanes; ++l) {
+            trials[t0 + l] = classify_trial(
+                faults[t0 + l], dut.netlist.net(faults[t0 + l].net).name,
+                got[l], golden, ((watch >> l) & 1) != 0);
+          }
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    if (n_threads <= 1) {
+      worker();
     } else {
-      trial.outcome = FaultOutcome::kMasked;
-      ++result.masked;
+      std::vector<std::thread> pool;
+      pool.reserve(n_threads);
+      for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+      for (std::thread& th : pool) th.join();
     }
-    trial.psnr_db = coeff_psnr(got, golden);
-    trial.max_abs_error = max_abs_error(got, golden);
-    if (corrupted) {
+    if (first_error) std::rethrow_exception(first_error);
+  } else {
+    for (std::size_t t = 0; t < options.trials; ++t) {
+      rtl::Simulator sim(dut.netlist);
+      rtl::FaultInjector inj(dut.netlist, sim);
+      inj.arm(faults[t]);
+      if (flag_net != rtl::kNullNet) inj.watch(flag_net);
+      const hw::StreamResult got = hw::run_stream_faulty(dut, inj, stimulus);
+      trials[t] = classify_trial(faults[t],
+                                 dut.netlist.net(faults[t].net).name, got,
+                                 golden, inj.watch_triggered());
+    }
+  }
+
+  // Accumulate summaries in trial order (identical floating-point summation
+  // order on every engine and thread count).
+  double psnr_sum = 0.0;
+  double psnr_min = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    FaultTrial& trial = trials[t];
+    switch (trial.outcome) {
+      case FaultOutcome::kMasked: ++result.masked; break;
+      case FaultOutcome::kDetected: ++result.detected; break;
+      case FaultOutcome::kSilentCorruption: ++result.sdc; break;
+    }
+    // A trial is corrupted iff its stream differs from golden anywhere,
+    // i.e. the worst absolute coefficient error is nonzero.
+    if (trial.max_abs_error != 0) {
       ++result.corrupted;
       psnr_sum += trial.psnr_db;
       psnr_min = std::min(psnr_min, trial.psnr_db);

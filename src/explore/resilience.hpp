@@ -17,6 +17,17 @@
 
 namespace dwt::explore {
 
+/// Execution backend for a campaign.  Both engines are bit-exact: identical
+/// options produce identical CampaignResults (and identical JSON) on either,
+/// which the test suite asserts.  The compiled engine packs 64 fault trials
+/// into one bit-parallel pass and shards batches across a worker pool.
+enum class CampaignEngine {
+  kInterpreted,  ///< scalar rtl::Simulator + rtl::FaultInjector, one trial at a time
+  kCompiled,     ///< rtl::compiled batch engine, 64 trials per tape pass
+};
+
+[[nodiscard]] const char* to_string(CampaignEngine e);
+
 struct ResilienceOptions {
   hw::DesignId design = hw::DesignId::kDesign1;
   std::vector<rtl::FaultKind> kinds = {rtl::FaultKind::kSeuFlip};
@@ -28,6 +39,11 @@ struct ResilienceOptions {
   /// Keep every per-trial record in CampaignResult::trials (the summary
   /// counters are always filled).
   bool keep_trials = true;
+  CampaignEngine engine = CampaignEngine::kCompiled;
+  /// Worker threads for the compiled engine's batch shards; 0 = one per
+  /// hardware thread.  Ignored by the interpreted engine.  Results are
+  /// deterministic regardless of the thread count.
+  unsigned threads = 0;
 };
 
 enum class FaultOutcome {

@@ -85,6 +85,123 @@ StreamResult run_stream_faulty(const BuiltDatapath& dp, rtl::FaultInjector& inj,
                   dp.info.latency, inj, x);
 }
 
+std::vector<StreamResult> run_stream_batch(const BuiltDatapath& dp,
+                                           rtl::compiled::BatchFaultSession& session,
+                                           std::span<const std::int64_t> x,
+                                           unsigned lanes) {
+  if (x.empty() || x.size() % 2 != 0) {
+    throw std::invalid_argument(
+        "run_stream_batch: even non-empty signal required");
+  }
+  if (lanes == 0 || lanes > rtl::compiled::kLanes) {
+    throw std::invalid_argument("run_stream_batch: bad lane count");
+  }
+  const int latency = dp.info.latency;
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(x.size() / 2);
+  std::vector<StreamResult> out(lanes);
+  for (StreamResult& r : out) {
+    r.low.assign(x.size() / 2, 0);
+    r.high.assign(x.size() / 2, 0);
+  }
+  auto x_ext = [&x](std::ptrdiff_t pos) {
+    return x[dsp::mirror_index(pos, x.size())];
+  };
+  // Same feed schedule as run_impl; every lane sees the same samples, and
+  // the per-lane overlays inside the session produce the divergence.
+  const std::ptrdiff_t total_cycles = half + 2 * kGuardPairs + latency;
+  for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
+    const std::ptrdiff_t t = c - kGuardPairs;
+    const std::ptrdiff_t feed =
+        t < half + kGuardPairs ? t : half + kGuardPairs - 1;
+    session.set_bus(dp.in_even, x_ext(2 * feed));
+    session.set_bus(dp.in_odd, x_ext(2 * feed + 1));
+    session.step();
+    const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
+    if (i >= 0 && i < half) {
+      for (unsigned l = 0; l < lanes; ++l) {
+        out[l].low[static_cast<std::size_t>(i)] =
+            session.read_bus(dp.out_low, l);
+        out[l].high[static_cast<std::size_t>(i)] =
+            session.read_bus(dp.out_high, l);
+      }
+    }
+  }
+  for (StreamResult& r : out) r.cycles = static_cast<std::uint64_t>(total_cycles);
+  return out;
+}
+
+LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,
+                                  rtl::compiled::CompiledSimulator& sim,
+                                  std::span<const std::int64_t> x) {
+  if (x.empty() || x.size() % 2 != 0) {
+    throw std::invalid_argument(
+        "run_stream_lanes: even non-empty signal required");
+  }
+  const std::size_t pairs = x.size() / 2;
+  const std::size_t chunk_pairs =
+      (pairs + rtl::compiled::kLanes - 1) / rtl::compiled::kLanes;
+  const unsigned lanes =
+      static_cast<unsigned>((pairs + chunk_pairs - 1) / chunk_pairs);
+  const int latency = dp.info.latency;
+
+  LaneStreamResult out;
+  out.lanes.resize(lanes);
+  std::vector<std::size_t> lane_pairs(lanes);
+  for (unsigned l = 0; l < lanes; ++l) {
+    lane_pairs[l] = std::min(chunk_pairs, pairs - l * chunk_pairs);
+    out.lanes[l].low.assign(lane_pairs[l], 0);
+    out.lanes[l].high.assign(lane_pairs[l], 0);
+  }
+
+  // Each lane mirror-extends its own chunk, exactly like run_impl does for
+  // the whole signal.
+  const auto lane_sample = [&](unsigned l, std::ptrdiff_t pos) {
+    const std::size_t n = 2 * lane_pairs[l];
+    const std::size_t base = 2 * l * chunk_pairs;
+    return x[base + dsp::mirror_index(pos, n)];
+  };
+  std::vector<std::uint64_t> bits;
+  const auto drive = [&](const rtl::Bus& bus, std::ptrdiff_t t, int parity) {
+    const std::size_t width = bus.bits.size();
+    bits.assign(width, 0);
+    for (unsigned l = 0; l < lanes; ++l) {
+      const std::ptrdiff_t lane_half = static_cast<std::ptrdiff_t>(lane_pairs[l]);
+      const std::ptrdiff_t feed =
+          t < lane_half + kGuardPairs ? t : lane_half + kGuardPairs - 1;
+      const std::int64_t v = lane_sample(l, 2 * feed + parity);
+      for (std::size_t b = 0; b < width; ++b) {
+        bits[b] |= static_cast<std::uint64_t>((v >> b) & 1) << l;
+      }
+    }
+    for (std::size_t b = 0; b < width; ++b) {
+      sim.set_input_mask(bus.bits[b], bits[b]);
+    }
+  };
+
+  const std::ptrdiff_t total_cycles =
+      static_cast<std::ptrdiff_t>(chunk_pairs) + 2 * kGuardPairs + latency;
+  for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
+    const std::ptrdiff_t t = c - kGuardPairs;
+    drive(dp.in_even, t, 0);
+    drive(dp.in_odd, t, 1);
+    sim.step();
+    const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
+    for (unsigned l = 0; l < lanes; ++l) {
+      if (i >= 0 && i < static_cast<std::ptrdiff_t>(lane_pairs[l])) {
+        out.lanes[l].low[static_cast<std::size_t>(i)] =
+            sim.read_bus(dp.out_low, l);
+        out.lanes[l].high[static_cast<std::size_t>(i)] =
+            sim.read_bus(dp.out_high, l);
+      }
+    }
+  }
+  out.cycles = static_cast<std::uint64_t>(total_cycles);
+  for (unsigned l = 0; l < lanes; ++l) {
+    out.lanes[l].cycles = out.cycles;
+  }
+  return out;
+}
+
 std::uint64_t stream_cycle_count(const BuiltDatapath& dp, std::size_t n) {
   if (n == 0 || n % 2 != 0) {
     throw std::invalid_argument(

@@ -13,6 +13,8 @@
 #include "hw/lifting53_datapath.hpp"
 #include "hw/lifting_datapath.hpp"
 #include "rtl/activity_sim.hpp"
+#include "rtl/compiled/batch_fault.hpp"
+#include "rtl/compiled/compiled_simulator.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/simulator.hpp"
 
@@ -51,6 +53,30 @@ inline constexpr int kGuardPairs = 4;
 [[nodiscard]] StreamResult run_stream_faulty(const BuiltDatapath& dp,
                                              rtl::FaultInjector& inj,
                                              std::span<const std::int64_t> x);
+
+/// Batched equivalent of run_stream_faulty on the compiled bit-parallel
+/// engine: every lane streams the same extended signal while the session
+/// applies each lane's armed fault overlay, so one call carries up to 64
+/// independent fault trials.  Returns the per-lane coefficient windows for
+/// the first `lanes` lanes; with no faults armed every lane is bit-identical
+/// to run_stream.
+[[nodiscard]] std::vector<StreamResult> run_stream_batch(
+    const BuiltDatapath& dp, rtl::compiled::BatchFaultSession& session,
+    std::span<const std::int64_t> x, unsigned lanes);
+
+/// Batched activity path: partitions an even-length signal into up to 64
+/// contiguous even-length chunks, one per lane, and streams them all in one
+/// compiled pass (each chunk is mirror-extended independently, so sub-band
+/// values near chunk seams differ from the single-stream transform -- fine
+/// for switching-activity workloads, not for codec output).  Enable the
+/// simulator's activity counters first to harvest toggle statistics.
+struct LaneStreamResult {
+  std::vector<StreamResult> lanes;  ///< per-lane chunk transforms
+  std::uint64_t cycles = 0;         ///< batch cycles (all lanes in parallel)
+};
+[[nodiscard]] LaneStreamResult run_stream_lanes(
+    const BuiltDatapath& dp, rtl::compiled::CompiledSimulator& sim,
+    std::span<const std::int64_t> x);
 
 /// Cycles one call to run_stream/run_stream_faulty consumes for an
 /// `n`-sample signal on `dp` (payload + guards + flush); campaign schedulers

@@ -1,0 +1,66 @@
+#include "rtl/compiled/batch_fault.hpp"
+
+#include <stdexcept>
+
+namespace dwt::rtl::compiled {
+
+BatchFaultSession::BatchFaultSession(std::shared_ptr<const Tape> tape)
+    : sim_(std::move(tape)) {}
+
+void BatchFaultSession::arm(unsigned lane, const Fault& f) {
+  if (lane >= kLanes) {
+    throw std::invalid_argument("BatchFaultSession::arm: bad lane");
+  }
+  if (f.net >= sim_.tape().net_count()) {
+    throw std::invalid_argument("BatchFaultSession::arm: net out of range");
+  }
+  if (f.kind == FaultKind::kSeuFlip && !sim_.tape().is_dff_output(f.net)) {
+    throw std::invalid_argument(
+        "BatchFaultSession::arm: SEU target is not a DFF output");
+  }
+  faults_.push_back({lane, f});
+}
+
+void BatchFaultSession::watch(NetId net) {
+  if (net >= sim_.tape().net_count()) {
+    throw std::invalid_argument("BatchFaultSession::watch: net out of range");
+  }
+  watched_.push_back(net);
+}
+
+void BatchFaultSession::step() {
+  // Activate this cycle's pins.  Stuck forces persist once applied; glitch
+  // forces live for exactly this settle+edge and are released below.
+  for (const Armed& a : faults_) {
+    const std::uint64_t bit = std::uint64_t{1} << a.lane;
+    switch (a.fault.kind) {
+      case FaultKind::kGlitch:
+        if (a.fault.cycle == cycle_) {
+          sim_.force(a.fault.net, bit, a.fault.glitch_value ? bit : 0);
+        }
+        break;
+      case FaultKind::kStuckAt0:
+        if (a.fault.cycle == cycle_) sim_.force(a.fault.net, bit, 0);
+        break;
+      case FaultKind::kStuckAt1:
+        if (a.fault.cycle == cycle_) sim_.force(a.fault.net, bit, bit);
+        break;
+      case FaultKind::kSeuFlip:
+        break;  // struck after the edge, below
+    }
+  }
+  sim_.eval();
+  for (const NetId n : watched_) watch_mask_ |= sim_.lane_mask(n);
+  sim_.clock_edge();
+  for (const Armed& a : faults_) {
+    const std::uint64_t bit = std::uint64_t{1} << a.lane;
+    if (a.fault.kind == FaultKind::kSeuFlip && a.fault.cycle == cycle_) {
+      sim_.flip_state(a.fault.net, bit);
+    } else if (a.fault.kind == FaultKind::kGlitch && a.fault.cycle == cycle_) {
+      sim_.release(a.fault.net, bit);
+    }
+  }
+  ++cycle_;
+}
+
+}  // namespace dwt::rtl::compiled

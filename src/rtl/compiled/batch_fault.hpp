@@ -1,0 +1,60 @@
+// Batched fault overlay for the compiled engine: one fault per lane, so a
+// single tape pass carries 64 independent fault trials of a campaign.
+//
+// Per-cycle semantics replicate rtl::FaultInjector::step() exactly, lane by
+// lane: glitch/stuck forces pin their net during the settle of the scheduled
+// cycles, watches are sampled after the settle, the clock edge samples the
+// pinned D values, and SEUs strike the freshly clocked state.  A lane with
+// no armed fault behaves as the plain simulator, which is what makes the
+// differential checks (compiled-vs-interpreted, hardened-vs-golden) exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtl/compiled/compiled_simulator.hpp"
+#include "rtl/fault.hpp"
+
+namespace dwt::rtl::compiled {
+
+class BatchFaultSession {
+ public:
+  explicit BatchFaultSession(std::shared_ptr<const Tape> tape);
+
+  /// Schedules `f` on one lane.  Throws std::invalid_argument on a bad
+  /// lane/net, or an SEU whose target is not a DFF output.
+  void arm(unsigned lane, const Fault& f);
+
+  /// Monitors a net (e.g. the parity error flag) on every lane: bit L of
+  /// watch_mask() latches 1 if lane L ever sees the net high after a settle.
+  void watch(NetId net);
+  [[nodiscard]] std::uint64_t watch_mask() const { return watch_mask_; }
+
+  // Batched streaming surface --------------------------------------------
+  /// Drives every lane with the same value (campaign trials share stimulus).
+  void set_bus(const Bus& bus, std::int64_t value) {
+    sim_.set_bus_all(bus, value);
+  }
+  /// One clock cycle for all lanes with each lane's overlay applied.
+  void step();
+  [[nodiscard]] std::int64_t read_bus(const Bus& bus, unsigned lane) const {
+    return sim_.read_bus(bus, lane);
+  }
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] CompiledSimulator& sim() { return sim_; }
+
+ private:
+  CompiledSimulator sim_;
+  struct Armed {
+    unsigned lane;
+    Fault fault;
+  };
+  std::vector<Armed> faults_;
+  std::vector<NetId> watched_;
+  std::uint64_t watch_mask_ = 0;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace dwt::rtl::compiled

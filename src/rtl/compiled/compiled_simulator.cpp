@@ -1,0 +1,271 @@
+#include "rtl/compiled/compiled_simulator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dwt::rtl::compiled {
+
+CompiledSimulator::CompiledSimulator(const Netlist& nl)
+    : CompiledSimulator(compile(nl)) {}
+
+CompiledSimulator::CompiledSimulator(std::shared_ptr<const Tape> tape)
+    : tape_(std::move(tape)) {
+  if (!tape_) {
+    throw std::invalid_argument("CompiledSimulator: null tape");
+  }
+  state_.assign(tape_->slot_count(), 0);
+  force_keep_.assign(tape_->slot_count(), ~std::uint64_t{0});
+  force_val_.assign(tape_->slot_count(), 0);
+  forced_.assign(tape_->slot_count(), 0);
+  dff_scratch_.resize(tape_->dffs().size());
+  for (const Slot s : tape_->const1_slots()) state_[s] = ~std::uint64_t{0};
+}
+
+Slot CompiledSimulator::checked_slot(NetId net) const {
+  if (net >= tape_->net_count()) {
+    throw std::invalid_argument("CompiledSimulator: net out of range");
+  }
+  return tape_->slot_of(net);
+}
+
+void CompiledSimulator::set_input(NetId net, unsigned lane, bool value) {
+  if (lane >= kLanes) {
+    throw std::invalid_argument("CompiledSimulator::set_input: bad lane");
+  }
+  const Slot s = checked_slot(net);
+  if (!tape_->is_primary_input(net)) {
+    throw std::invalid_argument(
+        "CompiledSimulator::set_input: not a primary input");
+  }
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  state_[s] = value ? (state_[s] | bit) : (state_[s] & ~bit);
+}
+
+void CompiledSimulator::set_input_mask(NetId net, std::uint64_t lanes) {
+  const Slot s = checked_slot(net);
+  if (!tape_->is_primary_input(net)) {
+    throw std::invalid_argument(
+        "CompiledSimulator::set_input_mask: not a primary input");
+  }
+  state_[s] = lanes;
+}
+
+void CompiledSimulator::set_bus(const Bus& bus, unsigned lane,
+                                std::int64_t value) {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("CompiledSimulator::set_bus: empty bus");
+  }
+  const int w = bus.width();
+  if (w < 64) {
+    // Two's complement fit check, same contract as Simulator::set_bus.
+    const std::int64_t hi = value >> (w - 1);
+    if (hi != 0 && hi != -1) {
+      throw std::invalid_argument(
+          "CompiledSimulator::set_bus: value does not fit bus");
+    }
+  }
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    set_input(bus.bits[i], lane, ((value >> i) & 1) != 0);
+  }
+}
+
+void CompiledSimulator::set_bus_all(const Bus& bus, std::int64_t value) {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("CompiledSimulator::set_bus_all: empty bus");
+  }
+  const int w = bus.width();
+  if (w < 64) {
+    const std::int64_t hi = value >> (w - 1);
+    if (hi != 0 && hi != -1) {
+      throw std::invalid_argument(
+          "CompiledSimulator::set_bus_all: value does not fit bus");
+    }
+  }
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    set_input_mask(bus.bits[i],
+                   ((value >> i) & 1) != 0 ? ~std::uint64_t{0} : 0);
+  }
+}
+
+void CompiledSimulator::apply_forces() {
+  // Source slots (primary inputs, DFF outputs, constants) are never written
+  // by tape instructions; pin them up front.  Instruction outputs are
+  // re-pinned as they are computed, inside eval()'s forced loop.
+  for (const Slot s : forced_slots_) {
+    state_[s] = (state_[s] & force_keep_[s]) | force_val_[s];
+  }
+}
+
+void CompiledSimulator::eval() {
+  std::uint64_t* const s = state_.data();
+  const Instr* const tape = tape_->instrs().data();
+  const std::size_t n = tape_->instrs().size();
+  if (forced_slots_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Instr& it = tape[i];
+      const std::uint64_t a = s[it.a];
+      const std::uint64_t b = s[it.b];
+      const std::uint64_t c = s[it.c];
+      std::uint64_t v = 0;
+      switch (it.op) {
+        case Op::kNot: v = ~a; break;
+        case Op::kAnd: v = a & b; break;
+        case Op::kOr: v = a | b; break;
+        case Op::kXor: v = a ^ b; break;
+        case Op::kMux: v = (c & b) | (~c & a); break;
+        case Op::kAddSum: v = a ^ b ^ c; break;
+        case Op::kAddCarry: v = (a & b) | (c & (a ^ b)); break;
+      }
+      s[it.out] = v;
+    }
+    return;
+  }
+  apply_forces();
+  const std::uint8_t* const forced = forced_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& it = tape[i];
+    const std::uint64_t a = s[it.a];
+    const std::uint64_t b = s[it.b];
+    const std::uint64_t c = s[it.c];
+    std::uint64_t v = 0;
+    switch (it.op) {
+      case Op::kNot: v = ~a; break;
+      case Op::kAnd: v = a & b; break;
+      case Op::kOr: v = a | b; break;
+      case Op::kXor: v = a ^ b; break;
+      case Op::kMux: v = (c & b) | (~c & a); break;
+      case Op::kAddSum: v = a ^ b ^ c; break;
+      case Op::kAddCarry: v = (a & b) | (c & (a ^ b)); break;
+    }
+    if (forced[it.out]) {
+      v = (v & force_keep_[it.out]) | force_val_[it.out];
+    }
+    s[it.out] = v;
+  }
+}
+
+void CompiledSimulator::clock_edge() {
+  const std::vector<DffSlots>& dffs = tape_->dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    dff_scratch_[i] = state_[dffs[i].d];
+  }
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[dffs[i].q] = dff_scratch_[i];
+  }
+}
+
+void CompiledSimulator::step() {
+  eval();
+  clock_edge();
+  ++cycles_;
+  if (activity_on_) {
+    const std::size_t n = state_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      toggles_[i] += static_cast<std::uint64_t>(
+          std::popcount((state_[i] ^ prev_state_[i]) & activity_lanes_));
+      prev_state_[i] = state_[i];
+    }
+  }
+}
+
+bool CompiledSimulator::value(NetId net, unsigned lane) const {
+  if (lane >= kLanes) {
+    throw std::invalid_argument("CompiledSimulator::value: bad lane");
+  }
+  return ((state_[checked_slot(net)] >> lane) & 1) != 0;
+}
+
+std::uint64_t CompiledSimulator::lane_mask(NetId net) const {
+  return state_[checked_slot(net)];
+}
+
+std::int64_t CompiledSimulator::read_bus(const Bus& bus, unsigned lane) const {
+  if (bus.bits.empty()) {
+    throw std::invalid_argument("CompiledSimulator::read_bus: empty bus");
+  }
+  if (lane >= kLanes) {
+    throw std::invalid_argument("CompiledSimulator::read_bus: bad lane");
+  }
+  std::int64_t v = 0;
+  for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+    if ((state_[checked_slot(bus.bits[i])] >> lane) & 1) {
+      v |= std::int64_t{1} << i;
+    }
+  }
+  const int w = bus.width();
+  if (w < 64 && (v & (std::int64_t{1} << (w - 1)))) {
+    v -= std::int64_t{1} << w;
+  }
+  return v;
+}
+
+void CompiledSimulator::force(NetId net, std::uint64_t lanes,
+                              std::uint64_t values) {
+  const Slot s = checked_slot(net);
+  if (!forced_[s]) {
+    forced_[s] = 1;
+    forced_slots_.push_back(s);
+  }
+  force_keep_[s] &= ~lanes;
+  force_val_[s] = (force_val_[s] & ~lanes) | (values & lanes);
+}
+
+void CompiledSimulator::release(NetId net, std::uint64_t lanes) {
+  const Slot s = checked_slot(net);
+  if (!forced_[s]) return;
+  force_keep_[s] |= lanes;
+  force_val_[s] &= ~lanes;
+  if (force_keep_[s] == ~std::uint64_t{0}) {
+    forced_[s] = 0;
+    for (std::size_t i = 0; i < forced_slots_.size(); ++i) {
+      if (forced_slots_[i] == s) {
+        forced_slots_[i] = forced_slots_.back();
+        forced_slots_.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void CompiledSimulator::flip_state(NetId net, std::uint64_t lanes) {
+  if (net >= tape_->net_count() || !tape_->is_dff_output(net)) {
+    throw std::invalid_argument(
+        "CompiledSimulator::flip_state: not a DFF output");
+  }
+  state_[tape_->slot_of(net)] ^= lanes;
+}
+
+void CompiledSimulator::enable_activity(std::uint64_t lane_mask) {
+  activity_on_ = true;
+  activity_lanes_ = lane_mask;
+  prev_state_ = state_;
+  toggles_.assign(state_.size(), 0);
+}
+
+ActivityStats CompiledSimulator::activity_stats() const {
+  if (!activity_on_) {
+    throw std::logic_error(
+        "CompiledSimulator::activity_stats: activity not enabled");
+  }
+  ActivityStats stats;
+  stats.cycles =
+      cycles_ * static_cast<std::uint64_t>(std::popcount(activity_lanes_));
+  stats.toggles.assign(tape_->net_count(), 0);
+  for (Slot s = 0; s < state_.size(); ++s) {
+    stats.toggles[tape_->net_of(s)] = toggles_[s];
+    stats.total_toggles += toggles_[s];
+  }
+  return stats;
+}
+
+void CompiledSimulator::reset() {
+  state_.assign(state_.size(), 0);
+  for (const Slot s : tape_->const1_slots()) state_[s] = ~std::uint64_t{0};
+  if (activity_on_) {
+    prev_state_ = state_;
+    toggles_.assign(state_.size(), 0);
+  }
+  cycles_ = 0;
+}
+
+}  // namespace dwt::rtl::compiled

@@ -1,0 +1,112 @@
+// Bit-parallel batch simulator: evaluates a compiled Tape with 64
+// independent test vectors packed into one std::uint64_t "lane word" per
+// signal slot.  Bit L of every word belongs to lane L, so one pass over the
+// instruction tape advances all 64 vectors by one settle -- the machinery
+// behind the compiled campaign runner and the batched activity path.
+//
+// Semantics match the scalar zero-delay rtl::Simulator lane-for-lane:
+//   * eval() settles the combinational cloud (dependency-ordered tape pass);
+//   * clock_edge() moves every DFF's settled D word into its Q word
+//     (two-phase, race-free);
+//   * step() = eval() + clock_edge();
+//   * all state resets to 0, constants excepted.
+//
+// Fault overlays are lane masks: force() pins chosen lanes of a net to
+// chosen values during eval (the compiled analogue of FaultInjector's
+// settle-with-pins), flip_state() XORs freshly clocked DFF lanes (SEU).
+//
+// Optional per-slot toggle counters accumulate popcount(new ^ old) across
+// cycles; activity_stats() exports them as rtl::ActivityStats (indexed by
+// NetId) so fpga::estimate_power consumes batched runs directly.  Zero-delay
+// toggles exclude combinational glitches -- a fast screening lower bound,
+// not a replacement for the unit-delay simulators.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtl/activity_sim.hpp"
+#include "rtl/compiled/tape.hpp"
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl::compiled {
+
+inline constexpr unsigned kLanes = 64;
+
+class CompiledSimulator {
+ public:
+  /// Compiles `nl` privately.  For many simulators over one design (e.g.
+  /// thread-sharded campaigns) compile once and use the shared-tape ctor.
+  explicit CompiledSimulator(const Netlist& nl);
+  explicit CompiledSimulator(std::shared_ptr<const Tape> tape);
+
+  [[nodiscard]] const Tape& tape() const { return *tape_; }
+
+  // Input drive -----------------------------------------------------------
+  /// Drives one lane of a primary input.
+  void set_input(NetId net, unsigned lane, bool value);
+  /// Drives all 64 lanes of a primary input from a packed mask.
+  void set_input_mask(NetId net, std::uint64_t lanes);
+  /// Drives one lane of an input bus with a signed value (two's complement).
+  void set_bus(const Bus& bus, unsigned lane, std::int64_t value);
+  /// Drives every lane of an input bus with the same signed value.
+  void set_bus_all(const Bus& bus, std::int64_t value);
+
+  // Clocking --------------------------------------------------------------
+  void eval();
+  void clock_edge();
+  void step();
+
+  // Observation -----------------------------------------------------------
+  [[nodiscard]] bool value(NetId net, unsigned lane) const;
+  /// All 64 lanes of a net, packed (bit L = lane L).
+  [[nodiscard]] std::uint64_t lane_mask(NetId net) const;
+  /// Reads one lane of a bus as a signed two's complement integer.
+  [[nodiscard]] std::int64_t read_bus(const Bus& bus, unsigned lane) const;
+
+  // Fault overlay ---------------------------------------------------------
+  /// Pins lanes of `net`: wherever `lanes` has a bit set, the net is held at
+  /// the corresponding bit of `values` through every subsequent eval() until
+  /// release()d.  Pins compose across calls (later calls win on overlap).
+  void force(NetId net, std::uint64_t lanes, std::uint64_t values);
+  /// Removes the pin on the given lanes of `net`.
+  void release(NetId net, std::uint64_t lanes);
+  /// XORs the given lanes of a DFF output -- the SEU strike.  Call between
+  /// clock_edge() and the next eval(); throws if `net` is not a DFF output.
+  void flip_state(NetId net, std::uint64_t lanes);
+
+  // Activity --------------------------------------------------------------
+  /// Starts counting per-slot toggles on the lanes of `lane_mask` (default
+  /// all).  Counting costs one extra pass over the state per step().
+  void enable_activity(std::uint64_t lane_mask = ~std::uint64_t{0});
+  /// Toggle totals summed over counted lanes, as ActivityStats indexed by
+  /// NetId; `cycles` is steps * popcount(counted lanes) -- each lane is one
+  /// simulated vector stream.
+  [[nodiscard]] ActivityStats activity_stats() const;
+
+  /// Clears all state (and toggle counters) back to power-on zero.
+  void reset();
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  void apply_forces();
+  [[nodiscard]] Slot checked_slot(NetId net) const;
+
+  std::shared_ptr<const Tape> tape_;
+  std::vector<std::uint64_t> state_;      // per slot, one bit per lane
+  std::vector<std::uint64_t> force_keep_;  // per slot: ~forced-lanes mask
+  std::vector<std::uint64_t> force_val_;   // per slot: pinned values
+  std::vector<std::uint8_t> forced_;       // per slot flag
+  std::vector<Slot> forced_slots_;         // slots with any active pin
+  std::vector<std::uint64_t> dff_scratch_;
+
+  bool activity_on_ = false;
+  std::uint64_t activity_lanes_ = ~std::uint64_t{0};
+  std::vector<std::uint64_t> prev_state_;  // per slot, for toggle XOR
+  std::vector<std::uint64_t> toggles_;     // per slot
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace dwt::rtl::compiled

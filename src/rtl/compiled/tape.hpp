@@ -1,0 +1,97 @@
+// One-time netlist compiler for the bit-parallel simulation engine.
+//
+// compile() topologically levelizes a Netlist into a flat instruction tape:
+// every net is assigned a dense *slot* (constants, then primary inputs, then
+// DFF outputs, then combinational outputs in evaluation order), and every
+// combinational cell becomes one fixed-width instruction over those slots.
+// A CompiledSimulator evaluates the tape once per clock cycle with 64
+// independent test vectors packed into one std::uint64_t per slot, so a
+// single linear pass over the tape simulates 64 vectors -- the classic
+// bit-parallel (PPSFP-style) speedup over the scalar rtl::Simulator.
+//
+// The tape is immutable after compile() and carries no pointers back into
+// the source Netlist, so one compiled tape can be shared (via
+// std::shared_ptr<const Tape>) by many simulator instances across threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl::compiled {
+
+using Slot = std::uint32_t;
+inline constexpr Slot kNullSlot = 0xFFFFFFFFu;
+
+/// Tape opcodes: the combinational subset of CellKind.  Constants are not
+/// instructions -- their slots are pre-filled at reset and never rewritten.
+enum class Op : std::uint8_t {
+  kNot,       ///< out = ~a
+  kAnd,       ///< out = a & b
+  kOr,        ///< out = a | b
+  kXor,       ///< out = a ^ b
+  kMux,       ///< out = (c & b) | (~c & a)
+  kAddSum,    ///< out = a ^ b ^ c
+  kAddCarry,  ///< out = (a & b) | (c & (a ^ b))
+};
+
+struct Instr {
+  Slot a = kNullSlot;
+  Slot b = kNullSlot;
+  Slot c = kNullSlot;
+  Slot out = kNullSlot;
+  Op op = Op::kNot;
+};
+
+/// (Q, D) slot pair of one flip-flop, in cell-creation order.
+struct DffSlots {
+  Slot q = kNullSlot;
+  Slot d = kNullSlot;
+};
+
+class Tape {
+ public:
+  [[nodiscard]] std::size_t slot_count() const { return net_of_slot_.size(); }
+  [[nodiscard]] std::size_t net_count() const { return slot_of_net_.size(); }
+  [[nodiscard]] const std::vector<Instr>& instrs() const { return instrs_; }
+  [[nodiscard]] const std::vector<DffSlots>& dffs() const { return dffs_; }
+
+  [[nodiscard]] Slot slot_of(NetId net) const { return slot_of_net_.at(net); }
+  [[nodiscard]] NetId net_of(Slot slot) const { return net_of_slot_.at(slot); }
+
+  [[nodiscard]] bool is_primary_input(NetId net) const {
+    return pi_flag_.at(net) != 0;
+  }
+  [[nodiscard]] bool is_dff_output(NetId net) const {
+    return dff_q_flag_.at(net) != 0;
+  }
+
+  /// Slots holding constant 1 (kConst1 cells); pre-set to all-ones lanes.
+  [[nodiscard]] const std::vector<Slot>& const1_slots() const {
+    return const1_slots_;
+  }
+
+  /// Longest combinational path in instructions (levelization depth).
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+ private:
+  friend std::shared_ptr<const Tape> compile(const Netlist& nl);
+
+  std::vector<Instr> instrs_;
+  std::vector<DffSlots> dffs_;
+  std::vector<Slot> slot_of_net_;       // NetId -> slot
+  std::vector<NetId> net_of_slot_;      // slot -> NetId
+  std::vector<std::uint8_t> pi_flag_;   // per NetId
+  std::vector<std::uint8_t> dff_q_flag_;  // per NetId
+  std::vector<Slot> const1_slots_;
+  std::size_t depth_ = 0;
+};
+
+/// Levelizes `nl` into a tape.  Instruction order follows
+/// Netlist::topo_order(), so evaluation is dependency-safe; output slots are
+/// assigned in that same order, making the inner loop's writes sequential.
+[[nodiscard]] std::shared_ptr<const Tape> compile(const Netlist& nl);
+
+}  // namespace dwt::rtl::compiled

@@ -67,6 +67,41 @@ TEST(Resilience, PointCarriesSdcAxisIntoTradeoffSpace) {
   EXPECT_DOUBLE_EQ(p.sdc_rate, r.sdc_rate());
 }
 
+TEST(Resilience, CompiledAndInterpretedEnginesProduceIdenticalReports) {
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign3, rtl::HardeningStyle::kParity);
+  opt.kinds = {rtl::FaultKind::kSeuFlip, rtl::FaultKind::kStuckAt0,
+               rtl::FaultKind::kGlitch};
+  opt.keep_trials = true;
+  opt.engine = CampaignEngine::kCompiled;
+  const CampaignResult compiled = run_campaign(opt);
+  opt.engine = CampaignEngine::kInterpreted;
+  const CampaignResult interpreted = run_campaign(opt);
+  EXPECT_EQ(to_json(compiled), to_json(interpreted));
+  EXPECT_EQ(compiled.masked, interpreted.masked);
+  EXPECT_EQ(compiled.detected, interpreted.detected);
+  EXPECT_EQ(compiled.sdc, interpreted.sdc);
+  ASSERT_EQ(compiled.trials.size(), interpreted.trials.size());
+  for (std::size_t i = 0; i < compiled.trials.size(); ++i) {
+    EXPECT_EQ(compiled.trials[i].outcome, interpreted.trials[i].outcome) << i;
+    EXPECT_EQ(compiled.trials[i].max_abs_error,
+              interpreted.trials[i].max_abs_error)
+        << i;
+  }
+}
+
+TEST(Resilience, ThreadCountDoesNotChangeCompiledCampaign) {
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone);
+  opt.trials = 70;  // spills into a second 64-lane batch
+  opt.engine = CampaignEngine::kCompiled;
+  opt.threads = 1;
+  const CampaignResult serial = run_campaign(opt);
+  opt.threads = 4;
+  const CampaignResult pooled = run_campaign(opt);
+  EXPECT_EQ(to_json(serial), to_json(pooled));
+}
+
 TEST(Resilience, RejectsDegenerateOptions) {
   ResilienceOptions opt =
       small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone);
