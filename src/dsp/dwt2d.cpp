@@ -6,12 +6,15 @@
 namespace dwt::dsp {
 namespace {
 
-void require_even(std::size_t w, std::size_t h, const char* who) {
-  if (w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0) {
+void require_nonzero(std::size_t w, std::size_t h, const char* who) {
+  if (w == 0 || h == 0) {
     throw std::invalid_argument(std::string(who) +
-                                ": region must have even non-zero sides");
+                                ": region must have non-zero sides");
   }
 }
+
+/// Low-pass side of the ceil/floor split an N-sample line produces.
+std::size_t low_size(std::size_t n) { return (n + 1) / 2; }
 
 // Packs subbands (low first, then high) into a single line.
 std::vector<double> pack(const Subbands1d& s) {
@@ -26,26 +29,28 @@ std::vector<double> pack(const Subbands1d& s) {
 
 SubbandRect subband_rect(std::size_t w, std::size_t h, int octave, Band band) {
   if (octave < 1) throw std::invalid_argument("subband_rect: octave < 1");
+  require_nonzero(w, h, "subband_rect");
+  // Dimensions of the LL region the requested octave decomposes: each
+  // octave keeps the ceil(n/2) low-pass samples of the previous one.
   std::size_t cw = w, ch = h;
-  for (int i = 0; i < octave; ++i) {
-    if (cw % 2 != 0 || ch % 2 != 0 || cw == 0 || ch == 0) {
-      throw std::invalid_argument("subband_rect: dimensions not divisible");
-    }
-    cw /= 2;
-    ch /= 2;
+  for (int i = 0; i < octave - 1; ++i) {
+    cw = low_size(cw);
+    ch = low_size(ch);
   }
+  const std::size_t lw = low_size(cw), lh = low_size(ch);
+  const std::size_t hw = cw - lw, hh = ch - lh;  // floor(cw/2), floor(ch/2)
   switch (band) {
-    case Band::kLL: return {0, 0, cw, ch};
-    case Band::kHL: return {cw, 0, cw, ch};
-    case Band::kLH: return {0, ch, cw, ch};
-    case Band::kHH: return {cw, ch, cw, ch};
+    case Band::kLL: return {0, 0, lw, lh};
+    case Band::kHL: return {lw, 0, hw, lh};
+    case Band::kLH: return {0, lh, lw, hh};
+    case Band::kHH: return {lw, lh, hw, hh};
   }
   throw std::invalid_argument("subband_rect: unknown band");
 }
 
 void dwt2d_forward_octave(Method m, Image& plane, std::size_t w, std::size_t h,
                           int frac_bits) {
-  require_even(w, h, "dwt2d_forward_octave");
+  require_nonzero(w, h, "dwt2d_forward_octave");
   for (std::size_t y = 0; y < h; ++y) {
     plane.set_row(y, pack(dwt1d_forward(m, plane.row(y, w), frac_bits)));
   }
@@ -56,17 +61,19 @@ void dwt2d_forward_octave(Method m, Image& plane, std::size_t w, std::size_t h,
 
 void dwt2d_inverse_octave(Method m, Image& plane, std::size_t w, std::size_t h,
                           int frac_bits) {
-  require_even(w, h, "dwt2d_inverse_octave");
+  require_nonzero(w, h, "dwt2d_inverse_octave");
+  const auto lh = static_cast<std::ptrdiff_t>(low_size(h));
   for (std::size_t x = 0; x < w; ++x) {
     const std::vector<double> c = plane.col(x, h);
-    const std::vector<double> low(c.begin(), c.begin() + h / 2);
-    const std::vector<double> high(c.begin() + h / 2, c.end());
+    const std::vector<double> low(c.begin(), c.begin() + lh);
+    const std::vector<double> high(c.begin() + lh, c.end());
     plane.set_col(x, dwt1d_inverse(m, low, high, frac_bits));
   }
+  const auto lw = static_cast<std::ptrdiff_t>(low_size(w));
   for (std::size_t y = 0; y < h; ++y) {
     const std::vector<double> r = plane.row(y, w);
-    const std::vector<double> low(r.begin(), r.begin() + w / 2);
-    const std::vector<double> high(r.begin() + w / 2, r.end());
+    const std::vector<double> low(r.begin(), r.begin() + lw);
+    const std::vector<double> high(r.begin() + lw, r.end());
     plane.set_row(y, dwt1d_inverse(m, low, high, frac_bits));
   }
 }
@@ -77,8 +84,8 @@ void dwt2d_forward(Method m, Image& plane, int octaves, int frac_bits) {
   std::size_t h = plane.height();
   for (int o = 0; o < octaves; ++o) {
     dwt2d_forward_octave(m, plane, w, h, frac_bits);
-    w /= 2;
-    h /= 2;
+    w = low_size(w);
+    h = low_size(h);
   }
 }
 
@@ -90,8 +97,8 @@ void dwt2d_inverse(Method m, Image& plane, int octaves, int frac_bits) {
   std::vector<std::pair<std::size_t, std::size_t>> sizes;
   for (int o = 0; o < octaves; ++o) {
     sizes.emplace_back(w, h);
-    w /= 2;
-    h /= 2;
+    w = low_size(w);
+    h = low_size(h);
   }
   for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
     dwt2d_inverse_octave(m, plane, it->first, it->second, frac_bits);

@@ -25,14 +25,16 @@ struct SubbandRect {
                                        int octave, Band band);
 
 /// In-place one-octave forward transform of the top-left region w x h of
-/// `plane` (w, h even).
+/// `plane` (any non-zero w, h; odd lines split as ceil(n/2) low /
+/// floor(n/2) high with (1,1) symmetric extension).
 void dwt2d_forward_octave(Method m, Image& plane, std::size_t w, std::size_t h,
                           int frac_bits = kDefaultFracBits);
 void dwt2d_inverse_octave(Method m, Image& plane, std::size_t w, std::size_t h,
                           int frac_bits = kDefaultFracBits);
 
-/// Full multi-octave transform of the whole plane.  Requires the plane
-/// dimensions to stay even for all requested octaves.
+/// Full multi-octave transform of the whole plane.  Dimensions are
+/// arbitrary: every octave recurses on the ceil(w/2) x ceil(h/2) LL region
+/// (a 1 x 1 LL is a fixed point, so any octave count is legal).
 void dwt2d_forward(Method m, Image& plane, int octaves,
                    int frac_bits = kDefaultFracBits);
 void dwt2d_inverse(Method m, Image& plane, int octaves,

@@ -5,18 +5,21 @@
 namespace dwt::dsp {
 namespace {
 
-void require_even_nonempty(std::size_t n, const char* who) {
-  if (n == 0 || n % 2 != 0) {
-    throw std::invalid_argument(std::string(who) +
-                                ": signal length must be even and non-zero");
-  }
-}
-
+// Whole-sample symmetric extension on the polyphase arrays (s = ceil(N/2)
+// even samples, d = floor(N/2) odd samples): x[-1] = x[1] gives d[-1] = d[0];
+// x[N] = x[N-2] gives s[ns] = s[ns-1] for even N and d[nd] = d[nd-1] for odd
+// N -- the JPEG2000 (1,1) extension, valid for any N >= 2.
 std::int64_t s_at(std::span<const std::int64_t> s, std::size_t i) {
   return i < s.size() ? s[i] : s[s.size() - 1];
 }
-std::int64_t d_before(std::span<const std::int64_t> d, std::size_t i) {
-  return i == 0 ? d[0] : d[i - 1];
+std::int64_t d_at(std::span<const std::int64_t> d, std::ptrdiff_t i) {
+  if (i < 0) return d.front();
+  if (i >= static_cast<std::ptrdiff_t>(d.size())) return d.back();
+  return d[static_cast<std::size_t>(i)];
+}
+std::int64_t d_pair(std::span<const std::int64_t> d, std::size_t i) {
+  return d_at(d, static_cast<std::ptrdiff_t>(i) - 1) +
+         d_at(d, static_cast<std::ptrdiff_t>(i));
 }
 
 /// Floor division by a power of two (arithmetic shift).
@@ -25,43 +28,48 @@ std::int64_t floor_div_pow2(std::int64_t v, int k) { return v >> k; }
 }  // namespace
 
 LiftSubbands53 lifting53_forward(std::span<const std::int64_t> x) {
-  require_even_nonempty(x.size(), "lifting53_forward");
-  const std::size_t half = x.size() / 2;
-  std::vector<std::int64_t> s(half);
-  std::vector<std::int64_t> d(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    s[i] = x[2 * i];
-    d[i] = x[2 * i + 1];
+  if (x.empty()) {
+    throw std::invalid_argument("lifting53_forward: empty signal");
   }
-  for (std::size_t i = 0; i < half; ++i) {
+  if (x.size() == 1) {
+    // JPEG2000 single-sample rule: an even-indexed singleton passes through.
+    return {{x[0]}, {}};
+  }
+  const std::size_t ns = (x.size() + 1) / 2;
+  const std::size_t nd = x.size() / 2;
+  std::vector<std::int64_t> s(ns);
+  std::vector<std::int64_t> d(nd);
+  for (std::size_t i = 0; i < ns; ++i) s[i] = x[2 * i];
+  for (std::size_t i = 0; i < nd; ++i) d[i] = x[2 * i + 1];
+  for (std::size_t i = 0; i < nd; ++i) {
     d[i] -= floor_div_pow2(s[i] + s_at(s, i + 1), 1);
   }
-  for (std::size_t i = 0; i < half; ++i) {
-    s[i] += floor_div_pow2(d_before(d, i) + d[i] + 2, 2);
+  for (std::size_t i = 0; i < ns; ++i) {
+    s[i] += floor_div_pow2(d_pair(d, i) + 2, 2);
   }
   return {std::move(s), std::move(d)};
 }
 
 std::vector<std::int64_t> lifting53_inverse(std::span<const std::int64_t> low,
                                             std::span<const std::int64_t> high) {
-  if (low.size() != high.size()) {
-    throw std::invalid_argument("lifting53_inverse: subband size mismatch");
+  const std::size_t ns = low.size();
+  const std::size_t nd = high.size();
+  if (ns == 0 || (nd != ns && nd + 1 != ns)) {
+    throw std::invalid_argument(
+        "lifting53_inverse: subband sizes must satisfy ceil/floor split");
   }
-  const std::size_t half = low.size();
-  if (half == 0) throw std::invalid_argument("lifting53_inverse: empty input");
+  if (ns == 1 && nd == 0) return {low[0]};
   std::vector<std::int64_t> s(low.begin(), low.end());
   std::vector<std::int64_t> d(high.begin(), high.end());
-  for (std::size_t i = 0; i < half; ++i) {
-    s[i] -= floor_div_pow2(d_before(d, i) + d[i] + 2, 2);
+  for (std::size_t i = 0; i < ns; ++i) {
+    s[i] -= floor_div_pow2(d_pair(d, i) + 2, 2);
   }
-  for (std::size_t i = 0; i < half; ++i) {
+  for (std::size_t i = 0; i < nd; ++i) {
     d[i] += floor_div_pow2(s[i] + s_at(s, i + 1), 1);
   }
-  std::vector<std::int64_t> x(2 * half);
-  for (std::size_t i = 0; i < half; ++i) {
-    x[2 * i] = s[i];
-    x[2 * i + 1] = d[i];
-  }
+  std::vector<std::int64_t> x(ns + nd);
+  for (std::size_t i = 0; i < ns; ++i) x[2 * i] = s[i];
+  for (std::size_t i = 0; i < nd; ++i) x[2 * i + 1] = d[i];
   return x;
 }
 

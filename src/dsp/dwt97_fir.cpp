@@ -6,16 +6,23 @@
 namespace dwt::dsp {
 namespace {
 
-void require_even_nonempty(std::size_t n, const char* who) {
-  if (n == 0 || n % 2 != 0) {
-    throw std::invalid_argument(std::string(who) +
-                                ": signal length must be even and non-zero");
+void require_nonempty(std::size_t n, const char* who) {
+  if (n == 0) {
+    throw std::invalid_argument(std::string(who) + ": empty signal");
+  }
+}
+
+void require_subband_split(std::size_t ns, std::size_t nd, const char* who) {
+  if (ns == 0 || (nd != ns && nd + 1 != ns)) {
+    throw std::invalid_argument(
+        std::string(who) + ": subband sizes must satisfy ceil/floor split");
   }
 }
 
 /// Interleaved-subband sample with WSS mirroring in the upsampled domain.
-/// The low band occupies even positions, the high band odd positions; the
-/// mirror period 2N-2 is even, so mirroring preserves the phase parity.
+/// The low band occupies the ceil(n/2) even positions, the high band the
+/// floor(n/2) odd positions; the mirror period 2n-2 is even for any n, so
+/// mirroring preserves the phase parity.
 template <typename T>
 T interleaved_low(std::span<const T> low, std::ptrdiff_t pos, std::size_t n) {
   const std::size_t p = mirror_index(pos, n);
@@ -31,14 +38,21 @@ T interleaved_high(std::span<const T> high, std::ptrdiff_t pos, std::size_t n) {
 }  // namespace
 
 FirSubbands fir97_forward(std::span<const double> x) {
-  require_even_nonempty(x.size(), "fir97_forward");
+  require_nonempty(x.size(), "fir97_forward");
+  if (x.size() == 1) {
+    // JPEG2000 single-sample rule: an even-indexed singleton passes through.
+    return {{x[0]}, {}};
+  }
   const Dwt97FirCoeffs& c = Dwt97FirCoeffs::daubechies97();
-  const std::size_t half = x.size() / 2;
+  const std::size_t ns = (x.size() + 1) / 2;
+  const std::size_t nd = x.size() / 2;
   FirSubbands out;
-  out.low.resize(half);
-  out.high.resize(half);
-  for (std::size_t n = 0; n < half; ++n) {
+  out.low.resize(ns);
+  out.high.resize(nd);
+  for (std::size_t n = 0; n < ns; ++n) {
     out.low[n] = fir_at(x, static_cast<std::ptrdiff_t>(2 * n), c.analysis_low);
+  }
+  for (std::size_t n = 0; n < nd; ++n) {
     out.high[n] =
         fir_at(x, static_cast<std::ptrdiff_t>(2 * n + 1), c.analysis_high);
   }
@@ -47,12 +61,10 @@ FirSubbands fir97_forward(std::span<const double> x) {
 
 std::vector<double> fir97_inverse(std::span<const double> low,
                                   std::span<const double> high) {
-  if (low.size() != high.size()) {
-    throw std::invalid_argument("fir97_inverse: subband size mismatch");
-  }
+  require_subband_split(low.size(), high.size(), "fir97_inverse");
+  if (low.size() == 1 && high.empty()) return {low[0]};
   const Dwt97FirCoeffs& c = Dwt97FirCoeffs::daubechies97();
-  const std::size_t n = 2 * low.size();
-  require_even_nonempty(n, "fir97_inverse");
+  const std::size_t n = low.size() + high.size();
   std::vector<double> x(n);
   const std::ptrdiff_t cl = static_cast<std::ptrdiff_t>(c.synthesis_low.size()) / 2;
   const std::ptrdiff_t ch = static_cast<std::ptrdiff_t>(c.synthesis_high.size()) / 2;
@@ -75,14 +87,18 @@ std::vector<double> fir97_inverse(std::span<const double> low,
 
 FirSubbandsFixed fir97_forward_fixed(std::span<const std::int64_t> x,
                                      const Dwt97FirFixedCoeffs& coeffs) {
-  require_even_nonempty(x.size(), "fir97_forward_fixed");
-  const std::size_t half = x.size() / 2;
+  require_nonempty(x.size(), "fir97_forward_fixed");
+  if (x.size() == 1) return {{x[0]}, {}};
+  const std::size_t ns = (x.size() + 1) / 2;
+  const std::size_t nd = x.size() / 2;
   FirSubbandsFixed out;
-  out.low.resize(half);
-  out.high.resize(half);
-  for (std::size_t n = 0; n < half; ++n) {
+  out.low.resize(ns);
+  out.high.resize(nd);
+  for (std::size_t n = 0; n < ns; ++n) {
     out.low[n] = fir_at_fixed(x, static_cast<std::ptrdiff_t>(2 * n),
                               coeffs.analysis_low, coeffs.frac_bits);
+  }
+  for (std::size_t n = 0; n < nd; ++n) {
     out.high[n] = fir_at_fixed(x, static_cast<std::ptrdiff_t>(2 * n + 1),
                                coeffs.analysis_high, coeffs.frac_bits);
   }
@@ -92,11 +108,9 @@ FirSubbandsFixed fir97_forward_fixed(std::span<const std::int64_t> x,
 std::vector<std::int64_t> fir97_inverse_fixed(
     std::span<const std::int64_t> low, std::span<const std::int64_t> high,
     const Dwt97FirFixedCoeffs& coeffs) {
-  if (low.size() != high.size()) {
-    throw std::invalid_argument("fir97_inverse_fixed: subband size mismatch");
-  }
-  const std::size_t n = 2 * low.size();
-  require_even_nonempty(n, "fir97_inverse_fixed");
+  require_subband_split(low.size(), high.size(), "fir97_inverse_fixed");
+  if (low.size() == 1 && high.empty()) return {low[0]};
+  const std::size_t n = low.size() + high.size();
   std::vector<std::int64_t> x(n);
   const std::ptrdiff_t cl =
       static_cast<std::ptrdiff_t>(coeffs.synthesis_low.size()) / 2;
@@ -121,15 +135,19 @@ std::vector<std::int64_t> fir97_inverse_fixed(
 
 FirSubbandsFixed fir97_forward_hw(std::span<const std::int64_t> x,
                                   const Dwt97FirCoeffs& coeffs) {
-  require_even_nonempty(x.size(), "fir97_forward_hw");
+  require_nonempty(x.size(), "fir97_forward_hw");
+  if (x.size() == 1) return {{x[0]}, {}};
   std::vector<double> xd(x.begin(), x.end());
-  const std::size_t half = x.size() / 2;
+  const std::size_t ns = (x.size() + 1) / 2;
+  const std::size_t nd = x.size() / 2;
   FirSubbandsFixed out;
-  out.low.resize(half);
-  out.high.resize(half);
-  for (std::size_t n = 0; n < half; ++n) {
+  out.low.resize(ns);
+  out.high.resize(nd);
+  for (std::size_t n = 0; n < ns; ++n) {
     out.low[n] = static_cast<std::int64_t>(std::floor(
         fir_at(xd, static_cast<std::ptrdiff_t>(2 * n), coeffs.analysis_low)));
+  }
+  for (std::size_t n = 0; n < nd; ++n) {
     out.high[n] = static_cast<std::int64_t>(std::floor(fir_at(
         xd, static_cast<std::ptrdiff_t>(2 * n + 1), coeffs.analysis_high)));
   }
@@ -139,9 +157,7 @@ FirSubbandsFixed fir97_forward_hw(std::span<const std::int64_t> x,
 std::vector<std::int64_t> fir97_inverse_hw(std::span<const std::int64_t> low,
                                            std::span<const std::int64_t> high,
                                            const Dwt97FirCoeffs& coeffs) {
-  if (low.size() != high.size()) {
-    throw std::invalid_argument("fir97_inverse_hw: subband size mismatch");
-  }
+  require_subband_split(low.size(), high.size(), "fir97_inverse_hw");
   const std::vector<double> lowd(low.begin(), low.end());
   const std::vector<double> highd(high.begin(), high.end());
   (void)coeffs;

@@ -11,8 +11,8 @@
 
 namespace dwt::dsp {
 
-/// Analysis: x (length N, even) -> low (N/2, at even phase) and
-/// high (N/2, at odd phase).
+/// Analysis: x (length N >= 1, any parity) -> low (ceil(N/2), at even phase)
+/// and high (floor(N/2), at odd phase); N == 1 passes through.
 struct FirSubbands {
   std::vector<double> low;
   std::vector<double> high;

@@ -6,18 +6,39 @@
 namespace dwt::dsp {
 namespace {
 
-void require_even_nonempty(std::size_t n, const char* who) {
-  if (n == 0 || n % 2 != 0) {
-    throw std::invalid_argument(std::string(who) +
-                                ": signal length must be even and non-zero");
+void require_nonempty(std::size_t n, const char* who) {
+  if (n == 0) {
+    throw std::invalid_argument(std::string(who) + ": empty signal");
   }
 }
 
+void require_subband_split(std::size_t ns, std::size_t nd, const char* who) {
+  if (ns == 0 || (nd != ns && nd + 1 != ns)) {
+    throw std::invalid_argument(
+        std::string(who) + ": subband sizes must satisfy ceil/floor split");
+  }
+}
+
+// Whole-sample symmetric extension on the polyphase arrays (s = ceil(N/2)
+// even samples, d = floor(N/2) odd samples): x[-1] = x[1] gives d[-1] = d[0];
+// x[N] = x[N-2] gives s[ns] = s[ns-1] for even N and d[nd] = d[nd-1] for odd
+// N.  Every sweep below therefore computes the extended signal's lifting
+// restricted to the valid window, for any N >= 2.
 std::int64_t s_at(std::span<const std::int64_t> s, std::size_t i) {
   return i < s.size() ? s[i] : s[s.size() - 1];
 }
+std::int64_t d_at(std::span<const std::int64_t> d, std::ptrdiff_t i) {
+  if (i < 0) return d.front();
+  if (i >= static_cast<std::ptrdiff_t>(d.size())) return d.back();
+  return d[static_cast<std::size_t>(i)];
+}
+
 std::int64_t d_before(std::span<const std::int64_t> d, std::size_t i) {
-  return i == 0 ? d[0] : d[i - 1];
+  return d_at(d, static_cast<std::ptrdiff_t>(i) - 1);
+}
+
+std::int64_t d_pair(std::span<const std::int64_t> d, std::size_t i) {
+  return d_before(d, i) + d_at(d, static_cast<std::ptrdiff_t>(i));
 }
 
 }  // namespace
@@ -33,33 +54,41 @@ std::int64_t scale_step(std::int64_t value, const common::Fixed& coeff) {
 
 LiftingTrace lifting97_forward_fixed_trace(std::span<const std::int64_t> x,
                                            const LiftingFixedCoeffs& c) {
-  require_even_nonempty(x.size(), "lifting97_forward_fixed");
-  const std::size_t half = x.size() / 2;
+  require_nonempty(x.size(), "lifting97_forward_fixed");
   LiftingTrace t;
-  t.s0.resize(half);
-  t.d0.resize(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    t.s0[i] = x[2 * i];
-    t.d0[i] = x[2 * i + 1];
+  if (x.size() == 1) {
+    // JPEG2000 single-sample rule: an even-indexed singleton passes through.
+    t.s0 = {x[0]};
+    t.s1 = {x[0]};
+    t.s2 = {x[0]};
+    t.low = {x[0]};
+    return t;
   }
-  t.d1.resize(half);
-  for (std::size_t i = 0; i < half; ++i)
+  const std::size_t ns = (x.size() + 1) / 2;
+  const std::size_t nd = x.size() / 2;
+  t.s0.resize(ns);
+  t.d0.resize(nd);
+  for (std::size_t i = 0; i < ns; ++i) t.s0[i] = x[2 * i];
+  for (std::size_t i = 0; i < nd; ++i) t.d0[i] = x[2 * i + 1];
+  t.d1.resize(nd);
+  for (std::size_t i = 0; i < nd; ++i)
     t.d1[i] = lift_step(t.d0[i], t.s0[i], s_at(t.s0, i + 1), c.alpha);
-  t.s1.resize(half);
-  for (std::size_t i = 0; i < half; ++i)
-    t.s1[i] = lift_step(t.s0[i], d_before(t.d1, i), t.d1[i], c.beta);
-  t.d2.resize(half);
-  for (std::size_t i = 0; i < half; ++i)
+  t.s1.resize(ns);
+  for (std::size_t i = 0; i < ns; ++i)
+    t.s1[i] = lift_step(t.s0[i], d_before(t.d1, i),
+                        d_at(t.d1, static_cast<std::ptrdiff_t>(i)), c.beta);
+  t.d2.resize(nd);
+  for (std::size_t i = 0; i < nd; ++i)
     t.d2[i] = lift_step(t.d1[i], t.s1[i], s_at(t.s1, i + 1), c.gamma);
-  t.s2.resize(half);
-  for (std::size_t i = 0; i < half; ++i)
-    t.s2[i] = lift_step(t.s1[i], d_before(t.d2, i), t.d2[i], c.delta);
-  t.low.resize(half);
-  t.high.resize(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    t.low[i] = scale_step(t.s2[i], c.inv_k);
+  t.s2.resize(ns);
+  for (std::size_t i = 0; i < ns; ++i)
+    t.s2[i] = lift_step(t.s1[i], d_before(t.d2, i),
+                        d_at(t.d2, static_cast<std::ptrdiff_t>(i)), c.delta);
+  t.low.resize(ns);
+  t.high.resize(nd);
+  for (std::size_t i = 0; i < ns; ++i) t.low[i] = scale_step(t.s2[i], c.inv_k);
+  for (std::size_t i = 0; i < nd; ++i)
     t.high[i] = scale_step(t.d2[i], c.minus_k);
-  }
   return t;
 }
 
@@ -72,37 +101,33 @@ LiftSubbandsFixed lifting97_forward_fixed(std::span<const std::int64_t> x,
 std::vector<std::int64_t> lifting97_inverse_fixed(
     std::span<const std::int64_t> low, std::span<const std::int64_t> high,
     const LiftingFixedCoeffs& c) {
-  if (low.size() != high.size()) {
-    throw std::invalid_argument(
-        "lifting97_inverse_fixed: subband size mismatch");
+  const std::size_t ns = low.size();
+  const std::size_t nd = high.size();
+  require_subband_split(ns, nd, "lifting97_inverse_fixed");
+  if (ns == 1 && nd == 0) return {low[0]};
+  std::vector<std::int64_t> s(ns);
+  std::vector<std::int64_t> d(nd);
+  for (std::size_t i = 0; i < ns; ++i) {
+    s[i] = scale_step(low[i], c.k);  // undo 1/k (lossy in fixed point)
   }
-  const std::size_t half = low.size();
-  if (half == 0) {
-    throw std::invalid_argument("lifting97_inverse_fixed: empty input");
-  }
-  std::vector<std::int64_t> s(half);
-  std::vector<std::int64_t> d(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    s[i] = scale_step(low[i], c.k);            // undo 1/k (lossy in fixed point)
-    d[i] = scale_step(high[i], c.minus_inv_k); // undo -k  (lossy in fixed point)
+  for (std::size_t i = 0; i < nd; ++i) {
+    d[i] = scale_step(high[i], c.minus_inv_k);  // undo -k (lossy in fixed point)
   }
   // The lifting-step subtractions recompute the identical truncated update
   // term, so they invert the forward steps exactly; only the k scaling and
   // the coefficient rounding introduce error.
-  for (std::size_t i = 0; i < half; ++i)
-    s[i] -= common::mul_const_truncate(d_before(d, i) + d[i], c.delta);
-  for (std::size_t i = 0; i < half; ++i)
+  for (std::size_t i = 0; i < ns; ++i)
+    s[i] -= common::mul_const_truncate(d_pair(d, i), c.delta);
+  for (std::size_t i = 0; i < nd; ++i)
     d[i] -= common::mul_const_truncate(s[i] + s_at(s, i + 1), c.gamma);
-  for (std::size_t i = 0; i < half; ++i)
-    s[i] -= common::mul_const_truncate(d_before(d, i) + d[i], c.beta);
-  for (std::size_t i = 0; i < half; ++i)
+  for (std::size_t i = 0; i < ns; ++i)
+    s[i] -= common::mul_const_truncate(d_pair(d, i), c.beta);
+  for (std::size_t i = 0; i < nd; ++i)
     d[i] -= common::mul_const_truncate(s[i] + s_at(s, i + 1), c.alpha);
 
-  std::vector<std::int64_t> x(2 * half);
-  for (std::size_t i = 0; i < half; ++i) {
-    x[2 * i] = s[i];
-    x[2 * i + 1] = d[i];
-  }
+  std::vector<std::int64_t> x(ns + nd);
+  for (std::size_t i = 0; i < ns; ++i) x[2 * i] = s[i];
+  for (std::size_t i = 0; i < nd; ++i) x[2 * i + 1] = d[i];
   return x;
 }
 
@@ -116,61 +141,56 @@ std::int64_t floor_mul(double c, std::int64_t v) {
 
 LiftSubbandsFixed lifting97_forward_hw(std::span<const std::int64_t> x,
                                        const LiftingCoeffs& c) {
-  require_even_nonempty(x.size(), "lifting97_forward_hw");
-  const std::size_t half = x.size() / 2;
-  std::vector<std::int64_t> s(half);
-  std::vector<std::int64_t> d(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    s[i] = x[2 * i];
-    d[i] = x[2 * i + 1];
-  }
-  for (std::size_t i = 0; i < half; ++i)
+  require_nonempty(x.size(), "lifting97_forward_hw");
+  if (x.size() == 1) return {{x[0]}, {}};
+  const std::size_t ns = (x.size() + 1) / 2;
+  const std::size_t nd = x.size() / 2;
+  std::vector<std::int64_t> s(ns);
+  std::vector<std::int64_t> d(nd);
+  for (std::size_t i = 0; i < ns; ++i) s[i] = x[2 * i];
+  for (std::size_t i = 0; i < nd; ++i) d[i] = x[2 * i + 1];
+  for (std::size_t i = 0; i < nd; ++i)
     d[i] += floor_mul(c.alpha, s[i] + s_at(s, i + 1));
-  for (std::size_t i = 0; i < half; ++i)
-    s[i] += floor_mul(c.beta, d_before(d, i) + d[i]);
-  for (std::size_t i = 0; i < half; ++i)
+  for (std::size_t i = 0; i < ns; ++i)
+    s[i] += floor_mul(c.beta, d_pair(d, i));
+  for (std::size_t i = 0; i < nd; ++i)
     d[i] += floor_mul(c.gamma, s[i] + s_at(s, i + 1));
-  for (std::size_t i = 0; i < half; ++i)
-    s[i] += floor_mul(c.delta, d_before(d, i) + d[i]);
+  for (std::size_t i = 0; i < ns; ++i)
+    s[i] += floor_mul(c.delta, d_pair(d, i));
   LiftSubbandsFixed out;
-  out.low.resize(half);
-  out.high.resize(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    out.low[i] = floor_mul(1.0 / c.k, s[i]);
-    out.high[i] = floor_mul(-c.k, d[i]);
-  }
+  out.low.resize(ns);
+  out.high.resize(nd);
+  for (std::size_t i = 0; i < ns; ++i) out.low[i] = floor_mul(1.0 / c.k, s[i]);
+  for (std::size_t i = 0; i < nd; ++i) out.high[i] = floor_mul(-c.k, d[i]);
   return out;
 }
 
 std::vector<std::int64_t> lifting97_inverse_hw(
     std::span<const std::int64_t> low, std::span<const std::int64_t> high,
     const LiftingCoeffs& c) {
-  if (low.size() != high.size()) {
-    throw std::invalid_argument("lifting97_inverse_hw: subband size mismatch");
+  const std::size_t ns = low.size();
+  const std::size_t nd = high.size();
+  require_subband_split(ns, nd, "lifting97_inverse_hw");
+  if (ns == 1 && nd == 0) return {low[0]};
+  std::vector<std::int64_t> s(ns);
+  std::vector<std::int64_t> d(nd);
+  for (std::size_t i = 0; i < ns; ++i) {
+    s[i] = floor_mul(c.k, low[i]);  // undo 1/k (lossy)
   }
-  const std::size_t half = low.size();
-  if (half == 0) {
-    throw std::invalid_argument("lifting97_inverse_hw: empty input");
+  for (std::size_t i = 0; i < nd; ++i) {
+    d[i] = floor_mul(-1.0 / c.k, high[i]);  // undo -k (lossy)
   }
-  std::vector<std::int64_t> s(half);
-  std::vector<std::int64_t> d(half);
-  for (std::size_t i = 0; i < half; ++i) {
-    s[i] = floor_mul(c.k, low[i]);          // undo 1/k (lossy)
-    d[i] = floor_mul(-1.0 / c.k, high[i]);  // undo -k  (lossy)
-  }
-  for (std::size_t i = 0; i < half; ++i)
-    s[i] -= floor_mul(c.delta, d_before(d, i) + d[i]);
-  for (std::size_t i = 0; i < half; ++i)
+  for (std::size_t i = 0; i < ns; ++i)
+    s[i] -= floor_mul(c.delta, d_pair(d, i));
+  for (std::size_t i = 0; i < nd; ++i)
     d[i] -= floor_mul(c.gamma, s[i] + s_at(s, i + 1));
-  for (std::size_t i = 0; i < half; ++i)
-    s[i] -= floor_mul(c.beta, d_before(d, i) + d[i]);
-  for (std::size_t i = 0; i < half; ++i)
+  for (std::size_t i = 0; i < ns; ++i)
+    s[i] -= floor_mul(c.beta, d_pair(d, i));
+  for (std::size_t i = 0; i < nd; ++i)
     d[i] -= floor_mul(c.alpha, s[i] + s_at(s, i + 1));
-  std::vector<std::int64_t> x(2 * half);
-  for (std::size_t i = 0; i < half; ++i) {
-    x[2 * i] = s[i];
-    x[2 * i + 1] = d[i];
-  }
+  std::vector<std::int64_t> x(ns + nd);
+  for (std::size_t i = 0; i < ns; ++i) x[2 * i] = s[i];
+  for (std::size_t i = 0; i < nd; ++i) x[2 * i + 1] = d[i];
   return x;
 }
 

@@ -80,9 +80,14 @@ Image read_pgm(const std::string& path) {
     throw std::runtime_error("read_pgm: unsupported PGM magic in " + path);
   }
   auto next_token = [&in, &path]() -> long {
-    // Skip whitespace and '#' comment lines between header tokens.
+    // Skip whitespace and '#' comment lines between header tokens.  peek()
+    // returns EOF on a truncated header; bail instead of feeding it to
+    // isspace (undefined for out-of-range values).
     while (true) {
       const int c = in.peek();
+      if (c == std::char_traits<char>::eof()) {
+        throw std::runtime_error("read_pgm: truncated header in " + path);
+      }
       if (c == '#') {
         std::string line;
         std::getline(in, line);
@@ -100,8 +105,17 @@ Image read_pgm(const std::string& path) {
   const long w = next_token();
   const long h = next_token();
   const long maxval = next_token();
+  if (w == 0 || h == 0) {
+    throw std::runtime_error("read_pgm: zero image dimensions in " + path);
+  }
+  // The codec header (and any sane use of this library) caps dimensions at
+  // 16 bits; a larger header is corrupt or hostile, not an image.
+  if (w > 0xFFFF || h > 0xFFFF) {
+    throw std::runtime_error("read_pgm: dimensions exceed 65535 in " + path);
+  }
   if (maxval <= 0 || maxval > 255) {
-    throw std::runtime_error("read_pgm: only 8-bit PGM supported: " + path);
+    throw std::runtime_error("read_pgm: only 8-bit PGM supported (maxval " +
+                             std::to_string(maxval) + ") in " + path);
   }
   Image img(static_cast<std::size_t>(w), static_cast<std::size_t>(h));
   if (magic == "P5") {
@@ -118,6 +132,11 @@ Image read_pgm(const std::string& path) {
       long v = 0;
       in >> v;
       if (!in) throw std::runtime_error("read_pgm: truncated data in " + path);
+      if (v < 0 || v > maxval) {
+        throw std::runtime_error("read_pgm: sample " + std::to_string(v) +
+                                 " outside 0.." + std::to_string(maxval) +
+                                 " in " + path);
+      }
       px = static_cast<double>(v);
     }
   }

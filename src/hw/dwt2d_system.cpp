@@ -14,13 +14,8 @@ std::vector<std::int64_t> to_int_line(const std::vector<double>& v) {
   return out;
 }
 
-std::vector<double> to_double_line(const std::vector<std::int64_t>& low,
-                                   const std::vector<std::int64_t>& high) {
-  std::vector<double> out;
-  out.reserve(low.size() + high.size());
-  out.insert(out.end(), low.begin(), low.end());
-  out.insert(out.end(), high.begin(), high.end());
-  return out;
+std::vector<double> to_double_line(const std::vector<std::int64_t>& line) {
+  return {line.begin(), line.end()};
 }
 
 }  // namespace
@@ -62,31 +57,24 @@ Dwt2dRunStats Dwt2dSystem::transform(dsp::Image& plane, int octaves) {
   std::size_t w = plane.width();
   std::size_t h = plane.height();
   for (int o = 0; o < octaves; ++o) {
-    if (w % 2 != 0 || h % 2 != 0 || w == 0 || h == 0) {
-      throw std::invalid_argument("Dwt2dSystem: non-even octave dimensions");
+    if (w == 0 || h == 0) {
+      throw std::invalid_argument("Dwt2dSystem: empty octave dimensions");
     }
     // The memory controller addresses one row (then one column) at a time
-    // into the 1D core and writes the packed sub-bands back.
+    // into the 1D core and writes the packed sub-bands back; transform_line
+    // already leaves each line packed as ceil(n/2) low then floor(n/2) high.
     for (std::size_t y = 0; y < h; ++y) {
       std::vector<std::int64_t> line = to_int_line(plane.row(y, w));
       transform_line(line, stats);
-      std::vector<std::int64_t> low(line.begin(),
-                                    line.begin() + static_cast<std::ptrdiff_t>(w / 2));
-      std::vector<std::int64_t> high(line.begin() + static_cast<std::ptrdiff_t>(w / 2),
-                                     line.end());
-      plane.set_row(y, to_double_line(low, high));
+      plane.set_row(y, to_double_line(line));
     }
     for (std::size_t x = 0; x < w; ++x) {
       std::vector<std::int64_t> line = to_int_line(plane.col(x, h));
       transform_line(line, stats);
-      std::vector<std::int64_t> low(line.begin(),
-                                    line.begin() + static_cast<std::ptrdiff_t>(h / 2));
-      std::vector<std::int64_t> high(line.begin() + static_cast<std::ptrdiff_t>(h / 2),
-                                     line.end());
-      plane.set_col(x, to_double_line(low, high));
+      plane.set_col(x, to_double_line(line));
     }
-    w /= 2;
-    h /= 2;
+    w = (w + 1) / 2;
+    h = (h + 1) / 2;
   }
   return stats;
 }

@@ -35,9 +35,9 @@ std::vector<std::int64_t> row_transform(const dsp::Image& img,
 LineBasedStats line_based_forward_octave(dsp::Image& plane) {
   const std::size_t w = plane.width();
   const std::size_t h = plane.height();
-  if (w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0) {
+  if (w == 0 || h == 0) {
     throw std::invalid_argument(
-        "line_based_forward_octave: even non-zero dimensions required");
+        "line_based_forward_octave: non-zero dimensions required");
   }
   LineBasedStats stats;
   stats.frame_memory_words = w * h;
@@ -47,11 +47,26 @@ LineBasedStats line_based_forward_octave(dsp::Image& plane) {
   // transformed rows are written out.
   const dsp::Image source = plane;
 
-  // One streaming lifting engine per column.
-  std::vector<dsp::StreamingLifting97Fixed> columns(w);
-  const std::ptrdiff_t row_pairs = static_cast<std::ptrdiff_t>(h / 2);
+  if (h == 1) {
+    // Single-row plane: the vertical pass is the JPEG2000 single-sample
+    // pass-through, so only the row transform runs.
+    std::vector<double> row(w);
+    const std::vector<std::int64_t> packed = row_transform(source, 0);
+    for (std::size_t c = 0; c < w; ++c) row[c] = static_cast<double>(packed[c]);
+    plane.set_row(0, row);
+    stats.rows_processed = 1;
+    stats.line_buffer_words = 2 * w + 5 * w;
+    return stats;
+  }
 
-  for (std::ptrdiff_t t = -kGuardRowPairs; t < row_pairs + kGuardRowPairs;
+  // One streaming lifting engine per column.  h rows produce ceil(h/2) low
+  // rows and floor(h/2) high rows; for odd h the last fed pair's high row is
+  // the extension's phantom and is not written back.
+  std::vector<dsp::StreamingLifting97Fixed> columns(w);
+  const std::ptrdiff_t low_rows = static_cast<std::ptrdiff_t>((h + 1) / 2);
+  const std::ptrdiff_t high_rows = static_cast<std::ptrdiff_t>(h / 2);
+
+  for (std::ptrdiff_t t = -kGuardRowPairs; t < low_rows + kGuardRowPairs;
        ++t) {
     // Vertical whole-sample symmetric extension, as the paper's memory
     // controller provides.
@@ -65,14 +80,16 @@ LineBasedStats line_based_forward_octave(dsp::Image& plane) {
         t - dsp::StreamingLifting97Fixed::kDelayPairs;
     for (std::size_t c = 0; c < w; ++c) {
       const auto out = columns[c].push(even[c], odd[c]);
-      if (out.has_value() && emit >= 0 && emit < row_pairs) {
-        // Low rows fill the top half, high rows the bottom half -- but only
-        // write once all columns of the row are known (after the loop the
-        // whole row has been produced for this emit index).
+      if (out.has_value() && emit >= 0 && emit < low_rows) {
+        // Low rows fill the top ceil(h/2) rows, high rows the rest -- but
+        // only write once all columns of the row are known (after the loop
+        // the whole row has been produced for this emit index).
         plane.at(c, static_cast<std::size_t>(emit)) =
             static_cast<double>(out->first);
-        plane.at(c, static_cast<std::size_t>(emit) + h / 2) =
-            static_cast<double>(out->second);
+        if (emit < high_rows) {
+          plane.at(c, static_cast<std::size_t>(emit + low_rows)) =
+              static_cast<double>(out->second);
+        }
       }
     }
   }

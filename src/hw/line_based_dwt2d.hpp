@@ -21,7 +21,10 @@ struct LineBasedStats {
 
 /// One-octave forward transform of an integer-valued plane (pixels already
 /// DC-level-shifted), producing the packed LL|HL / LH|HH layout in place.
-/// Bit-identical to dwt2d_forward_octave(Method::kLiftingFixed, ...).
+/// Any non-zero dimensions are accepted: odd widths/heights split as
+/// ceil(n/2) low / floor(n/2) high rows and columns, and a single-row plane
+/// takes the JPEG2000 single-sample vertical pass-through.  Bit-identical to
+/// dwt2d_forward_octave(Method::kLiftingFixed, ...).
 LineBasedStats line_based_forward_octave(dsp::Image& plane);
 
 }  // namespace dwt::hw

@@ -8,14 +8,33 @@
 namespace dwt::hw {
 namespace {
 
-/// Feeds extended pairs t = -guard .. n/2-1+guard; pair t is
-/// (x_ext[2t], x_ext[2t+1]) with whole-sample symmetric extension.
+/// ceil(n/2) / floor(n/2): the low/high sub-band sizes an n-sample signal
+/// produces under the JPEG2000 (1,1) symmetric extension.
+std::size_t low_count(std::size_t n) { return (n + 1) / 2; }
+std::size_t high_count(std::size_t n) { return n / 2; }
+
+/// A single-sample stream passes through the controller untouched (the
+/// JPEG2000 single-sample rule); the datapath never runs, so the identity
+/// result is reported with the same cycle formula as a streamed pair.
+StreamResult single_sample_result(std::int64_t x0, int latency) {
+  StreamResult out;
+  out.low = {x0};
+  out.cycles = static_cast<std::uint64_t>(1 + 2 * kGuardPairs + latency);
+  return out;
+}
+
+/// Feeds extended pairs t = -guard .. ns-1+guard; pair t is
+/// (x_ext[2t], x_ext[2t+1]) with whole-sample symmetric extension.  For odd
+/// n the last fed pair's odd slot is the mirrored sample x[n-2]; the
+/// high-band value it produces is the extension's phantom d[nd] = d[nd-1]
+/// and is simply not captured, so n samples yield ceil(n/2) low and
+/// floor(n/2) high coefficients.
 template <typename Sim>
 StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
                       const rtl::Bus& out_low, const rtl::Bus& out_high,
                       int latency, Sim& sim, std::span<const std::int64_t> x) {
-  if (x.empty() || x.size() % 2 != 0) {
-    throw std::invalid_argument("run_stream: even non-empty signal required");
+  if (x.empty()) {
+    throw std::invalid_argument("run_stream: empty signal");
   }
   if (in_even.bits.empty() || in_odd.bits.empty() || out_low.bits.empty() ||
       out_high.bits.empty()) {
@@ -24,10 +43,12 @@ StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
   if (latency < 0) {
     throw std::invalid_argument("run_stream: negative latency");
   }
-  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(x.size() / 2);
+  if (x.size() == 1) return single_sample_result(x[0], latency);
+  const std::ptrdiff_t ns = static_cast<std::ptrdiff_t>(low_count(x.size()));
+  const std::ptrdiff_t nd = static_cast<std::ptrdiff_t>(high_count(x.size()));
   StreamResult out;
-  out.low.assign(x.size() / 2, 0);
-  out.high.assign(x.size() / 2, 0);
+  out.low.assign(static_cast<std::size_t>(ns), 0);
+  out.high.assign(static_cast<std::size_t>(nd), 0);
 
   auto x_ext = [&x](std::ptrdiff_t pos) {
     return x[dsp::mirror_index(pos, x.size())];
@@ -36,11 +57,10 @@ StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
   // Feed pairs; pair index t enters at cycle c = t + kGuardPairs, and the
   // coefficients for index i emerge `latency` cycles after pair i entered.
   const std::ptrdiff_t total_cycles =
-      half + 2 * kGuardPairs + latency;  // payload + guards + flush
+      ns + 2 * kGuardPairs + latency;  // payload + guards + flush
   for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
     const std::ptrdiff_t t = c - kGuardPairs;
-    const std::ptrdiff_t feed =
-        t < half + kGuardPairs ? t : half + kGuardPairs - 1;
+    const std::ptrdiff_t feed = t < ns + kGuardPairs ? t : ns + kGuardPairs - 1;
     sim.set_bus(in_even, x_ext(2 * feed));
     sim.set_bus(in_odd, x_ext(2 * feed + 1));
     if constexpr (requires { sim.step(); }) {
@@ -49,9 +69,11 @@ StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
       sim.cycle();
     }
     const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
-    if (i >= 0 && i < half) {
+    if (i >= 0 && i < ns) {
       out.low[static_cast<std::size_t>(i)] = sim.read_bus(out_low);
-      out.high[static_cast<std::size_t>(i)] = sim.read_bus(out_high);
+      if (i < nd) {
+        out.high[static_cast<std::size_t>(i)] = sim.read_bus(out_high);
+      }
     }
   }
   out.cycles = static_cast<std::uint64_t>(total_cycles);
@@ -89,40 +111,46 @@ std::vector<StreamResult> run_stream_batch(const BuiltDatapath& dp,
                                            rtl::compiled::BatchFaultSession& session,
                                            std::span<const std::int64_t> x,
                                            unsigned lanes) {
-  if (x.empty() || x.size() % 2 != 0) {
-    throw std::invalid_argument(
-        "run_stream_batch: even non-empty signal required");
+  if (x.empty()) {
+    throw std::invalid_argument("run_stream_batch: empty signal");
   }
   if (lanes == 0 || lanes > rtl::compiled::kLanes) {
     throw std::invalid_argument("run_stream_batch: bad lane count");
   }
   const int latency = dp.info.latency;
-  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(x.size() / 2);
+  if (x.size() == 1) {
+    // Pass-through stream: no datapath activity, so no fault can land.
+    return std::vector<StreamResult>(lanes,
+                                     single_sample_result(x[0], latency));
+  }
+  const std::ptrdiff_t ns = static_cast<std::ptrdiff_t>(low_count(x.size()));
+  const std::ptrdiff_t nd = static_cast<std::ptrdiff_t>(high_count(x.size()));
   std::vector<StreamResult> out(lanes);
   for (StreamResult& r : out) {
-    r.low.assign(x.size() / 2, 0);
-    r.high.assign(x.size() / 2, 0);
+    r.low.assign(static_cast<std::size_t>(ns), 0);
+    r.high.assign(static_cast<std::size_t>(nd), 0);
   }
   auto x_ext = [&x](std::ptrdiff_t pos) {
     return x[dsp::mirror_index(pos, x.size())];
   };
   // Same feed schedule as run_impl; every lane sees the same samples, and
   // the per-lane overlays inside the session produce the divergence.
-  const std::ptrdiff_t total_cycles = half + 2 * kGuardPairs + latency;
+  const std::ptrdiff_t total_cycles = ns + 2 * kGuardPairs + latency;
   for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
     const std::ptrdiff_t t = c - kGuardPairs;
-    const std::ptrdiff_t feed =
-        t < half + kGuardPairs ? t : half + kGuardPairs - 1;
+    const std::ptrdiff_t feed = t < ns + kGuardPairs ? t : ns + kGuardPairs - 1;
     session.set_bus(dp.in_even, x_ext(2 * feed));
     session.set_bus(dp.in_odd, x_ext(2 * feed + 1));
     session.step();
     const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
-    if (i >= 0 && i < half) {
+    if (i >= 0 && i < ns) {
       for (unsigned l = 0; l < lanes; ++l) {
         out[l].low[static_cast<std::size_t>(i)] =
             session.read_bus(dp.out_low, l);
-        out[l].high[static_cast<std::size_t>(i)] =
-            session.read_bus(dp.out_high, l);
+        if (i < nd) {
+          out[l].high[static_cast<std::size_t>(i)] =
+              session.read_bus(dp.out_high, l);
+        }
       }
     }
   }
@@ -133,11 +161,13 @@ std::vector<StreamResult> run_stream_batch(const BuiltDatapath& dp,
 LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,
                                   rtl::compiled::CompiledSimulator& sim,
                                   std::span<const std::int64_t> x) {
-  if (x.empty() || x.size() % 2 != 0) {
-    throw std::invalid_argument(
-        "run_stream_lanes: even non-empty signal required");
+  if (x.empty()) {
+    throw std::invalid_argument("run_stream_lanes: empty signal");
   }
-  const std::size_t pairs = x.size() / 2;
+  // Chunk in fed pairs so no trailing sample is dropped: an odd signal's
+  // final chunk covers an odd number of samples and is mirror-extended
+  // like any other odd stream.
+  const std::size_t pairs = low_count(x.size());
   const std::size_t chunk_pairs =
       (pairs + rtl::compiled::kLanes - 1) / rtl::compiled::kLanes;
   const unsigned lanes =
@@ -146,19 +176,21 @@ LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,
 
   LaneStreamResult out;
   out.lanes.resize(lanes);
-  std::vector<std::size_t> lane_pairs(lanes);
+  std::vector<std::size_t> lane_samples(lanes);  // chunk length, may be odd
+  std::vector<std::size_t> lane_pairs(lanes);    // fed pairs = ceil(len/2)
   for (unsigned l = 0; l < lanes; ++l) {
-    lane_pairs[l] = std::min(chunk_pairs, pairs - l * chunk_pairs);
-    out.lanes[l].low.assign(lane_pairs[l], 0);
-    out.lanes[l].high.assign(lane_pairs[l], 0);
+    const std::size_t base = 2 * l * chunk_pairs;
+    lane_samples[l] = std::min(2 * chunk_pairs, x.size() - base);
+    lane_pairs[l] = low_count(lane_samples[l]);
+    out.lanes[l].low.assign(low_count(lane_samples[l]), 0);
+    out.lanes[l].high.assign(high_count(lane_samples[l]), 0);
   }
 
   // Each lane mirror-extends its own chunk, exactly like run_impl does for
   // the whole signal.
   const auto lane_sample = [&](unsigned l, std::ptrdiff_t pos) {
-    const std::size_t n = 2 * lane_pairs[l];
     const std::size_t base = 2 * l * chunk_pairs;
-    return x[base + dsp::mirror_index(pos, n)];
+    return x[base + dsp::mirror_index(pos, lane_samples[l])];
   };
   std::vector<std::uint64_t> bits;
   const auto drive = [&](const rtl::Bus& bus, std::ptrdiff_t t, int parity) {
@@ -187,12 +219,21 @@ LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,
     sim.step();
     const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
     for (unsigned l = 0; l < lanes; ++l) {
-      if (i >= 0 && i < static_cast<std::ptrdiff_t>(lane_pairs[l])) {
+      if (i >= 0 && i < static_cast<std::ptrdiff_t>(out.lanes[l].low.size())) {
         out.lanes[l].low[static_cast<std::size_t>(i)] =
             sim.read_bus(dp.out_low, l);
-        out.lanes[l].high[static_cast<std::size_t>(i)] =
-            sim.read_bus(dp.out_high, l);
+        if (i < static_cast<std::ptrdiff_t>(out.lanes[l].high.size())) {
+          out.lanes[l].high[static_cast<std::size_t>(i)] =
+              sim.read_bus(dp.out_high, l);
+        }
       }
+    }
+  }
+  // Single-sample chunks pass through (the JPEG2000 single-sample rule, as
+  // run_stream applies); overwrite whatever the constant-fed core produced.
+  for (unsigned l = 0; l < lanes; ++l) {
+    if (lane_samples[l] == 1) {
+      out.lanes[l].low[0] = x[2 * l * chunk_pairs];
     }
   }
   out.cycles = static_cast<std::uint64_t>(total_cycles);
@@ -203,11 +244,10 @@ LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,
 }
 
 std::uint64_t stream_cycle_count(const BuiltDatapath& dp, std::size_t n) {
-  if (n == 0 || n % 2 != 0) {
-    throw std::invalid_argument(
-        "stream_cycle_count: even non-empty signal required");
+  if (n == 0) {
+    throw std::invalid_argument("stream_cycle_count: empty signal");
   }
-  return static_cast<std::uint64_t>(n / 2 + 2 * kGuardPairs +
+  return static_cast<std::uint64_t>(low_count(n) + 2 * kGuardPairs +
                                     static_cast<std::size_t>(dp.info.latency));
 }
 
@@ -221,30 +261,41 @@ InverseStreamResult run_stream_inverse(const BuiltInverseDatapath& dp,
                                        rtl::Simulator& sim,
                                        std::span<const std::int64_t> low,
                                        std::span<const std::int64_t> high) {
-  if (low.empty() || low.size() != high.size()) {
+  const std::size_t ns = low.size();
+  const std::size_t nd = high.size();
+  if (ns == 0 || (nd != ns && nd + 1 != ns)) {
     throw std::invalid_argument("run_stream_inverse: bad sub-band sizes");
   }
-  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(low.size());
   const int latency = dp.latency;
   InverseStreamResult out;
-  out.samples.assign(low.size() * 2, 0);
+  if (ns == 1 && nd == 0) {
+    out.samples = {low[0]};
+    out.cycles = static_cast<std::uint64_t>(1 + 2 * kGuardPairs + latency);
+    return out;
+  }
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(ns);
+  out.samples.assign(ns + nd, 0);
   // Edge replication matches the software inverse model's boundary handling
-  // (d_before(0) = d[0], s_at(h) = s[h-1]).
-  auto clampi = [half](std::ptrdiff_t t) {
+  // (d_before(0) = d[0], s_at(ns) = s[ns-1]); for an odd-length signal the
+  // high band is one short, so its clamp point comes one pair earlier
+  // (d[nd] = d[nd-1], the (1,1) extension's phantom value).
+  auto clamp_to = [](std::ptrdiff_t t, std::size_t count) {
     return static_cast<std::size_t>(std::max<std::ptrdiff_t>(
-        0, std::min<std::ptrdiff_t>(t, half - 1)));
+        0, std::min<std::ptrdiff_t>(t, static_cast<std::ptrdiff_t>(count) - 1)));
   };
   const std::ptrdiff_t total_cycles = half + 2 * kGuardPairs + latency;
   for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
     const std::ptrdiff_t t = c - kGuardPairs;
-    sim.set_bus(dp.in_low, low[clampi(t)]);
-    sim.set_bus(dp.in_high, high[clampi(t)]);
+    sim.set_bus(dp.in_low, low[clamp_to(t, ns)]);
+    sim.set_bus(dp.in_high, high[clamp_to(t, nd)]);
     sim.step();
     const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
     if (i >= 0 && i < half) {
       out.samples[static_cast<std::size_t>(2 * i)] = sim.read_bus(dp.out_even);
-      out.samples[static_cast<std::size_t>(2 * i + 1)] =
-          sim.read_bus(dp.out_odd);
+      if (static_cast<std::size_t>(2 * i + 1) < out.samples.size()) {
+        out.samples[static_cast<std::size_t>(2 * i + 1)] =
+            sim.read_bus(dp.out_odd);
+      }
     }
   }
   out.cycles = static_cast<std::uint64_t>(total_cycles);

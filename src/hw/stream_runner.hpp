@@ -21,8 +21,8 @@
 namespace dwt::hw {
 
 struct StreamResult {
-  std::vector<std::int64_t> low;
-  std::vector<std::int64_t> high;
+  std::vector<std::int64_t> low;   ///< ceil(n/2) low-pass coefficients
+  std::vector<std::int64_t> high;  ///< floor(n/2) high-pass coefficients
   std::uint64_t cycles = 0;  ///< clock cycles consumed, including flush
 };
 
@@ -31,8 +31,11 @@ struct StreamResult {
 /// margin.
 inline constexpr int kGuardPairs = 4;
 
-/// Runs an even-length signal through the datapath on the zero-delay
-/// functional simulator.
+/// Runs a signal of any non-zero length through the datapath on the
+/// zero-delay functional simulator.  Odd lengths follow the JPEG2000 (1,1)
+/// symmetric extension (the trailing mirrored pair's high output is the
+/// extension's phantom coefficient and is dropped); a single-sample signal
+/// passes through without touching the core.
 [[nodiscard]] StreamResult run_stream(const BuiltDatapath& dp,
                                       rtl::Simulator& sim,
                                       std::span<const std::int64_t> x);
@@ -64,8 +67,9 @@ inline constexpr int kGuardPairs = 4;
     const BuiltDatapath& dp, rtl::compiled::BatchFaultSession& session,
     std::span<const std::int64_t> x, unsigned lanes);
 
-/// Batched activity path: partitions an even-length signal into up to 64
-/// contiguous even-length chunks, one per lane, and streams them all in one
+/// Batched activity path: partitions a signal of any non-zero length into
+/// up to 64 contiguous chunks (the final chunk may be odd), one per lane,
+/// and streams them all in one
 /// compiled pass (each chunk is mirror-extended independently, so sub-band
 /// values near chunk seams differ from the single-stream transform -- fine
 /// for switching-activity workloads, not for codec output).  Enable the

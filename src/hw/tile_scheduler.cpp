@@ -1,0 +1,175 @@
+#include "hw/tile_scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "dsp/dwt2d.hpp"
+#include "hw/dwt2d_system.hpp"
+
+namespace dwt::hw {
+namespace {
+
+dsp::Image extract_tile(const dsp::Image& plane, const TileRect& t) {
+  dsp::Image tile(t.w, t.h);
+  for (std::size_t y = 0; y < t.h; ++y) {
+    for (std::size_t x = 0; x < t.w; ++x) {
+      tile.at(x, y) = plane.at(t.x0 + x, t.y0 + y);
+    }
+  }
+  return tile;
+}
+
+void store_tile(dsp::Image& plane, const TileRect& t, const dsp::Image& tile) {
+  for (std::size_t y = 0; y < t.h; ++y) {
+    for (std::size_t x = 0; x < t.w; ++x) {
+      plane.at(t.x0 + x, t.y0 + y) = tile.at(x, y);
+    }
+  }
+}
+
+void validate(const dsp::Image& plane, const TileOptions& options) {
+  if (plane.empty()) {
+    throw std::invalid_argument("tile_scheduler: empty image");
+  }
+  if (options.tile_w == 0 || options.tile_h == 0) {
+    throw std::invalid_argument("tile_scheduler: zero tile dimensions");
+  }
+  if (options.octaves < 1) {
+    throw std::invalid_argument("tile_scheduler: octaves < 1");
+  }
+  if (options.backend == TileBackend::kHardware &&
+      options.method != dsp::Method::kLiftingFixed) {
+    throw std::invalid_argument(
+        "tile_scheduler: hardware backend implements kLiftingFixed only");
+  }
+}
+
+/// Shards the tiles across a pool via an atomic work counter (the PR-2
+/// fault-campaign pattern).  Each worker touches only its claimed tiles'
+/// pixel rectangles, which are disjoint, so no output synchronisation is
+/// needed and the result is scheduling-independent.  `make_state` runs once
+/// per worker (e.g. to build its private Dwt2dSystem); `process` transforms
+/// one tile with that state.
+template <typename MakeState, typename Process>
+TileStats run_pool(const std::vector<TileRect>& tiles, unsigned threads,
+                   MakeState make_state, Process process) {
+  TileStats stats;
+  stats.tiles = tiles.size();
+  unsigned n_threads =
+      threads != 0 ? threads
+                   : std::max(1u, std::thread::hardware_concurrency());
+  n_threads = static_cast<unsigned>(
+      std::min<std::size_t>(n_threads, tiles.size()));
+  stats.threads_used = std::max(1u, n_threads);
+
+  std::atomic<std::size_t> next_tile{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  // Per-tile cycle accounting lands in a slot per tile and is summed in
+  // tile order afterwards, keeping the totals scheduling-independent too.
+  std::vector<Dwt2dRunStats> per_tile(tiles.size());
+
+  const auto worker = [&]() {
+    try {
+      auto state = make_state();
+      for (std::size_t t = next_tile.fetch_add(1); t < tiles.size();
+           t = next_tile.fetch_add(1)) {
+        per_tile[t] = process(state, tiles[t]);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const Dwt2dRunStats& s : per_tile) {
+    stats.total_cycles += s.total_cycles;
+    stats.line_passes += s.line_passes;
+  }
+  return stats;
+}
+
+struct NoState {};
+
+}  // namespace
+
+std::vector<TileRect> tile_grid(std::size_t w, std::size_t h,
+                                std::size_t tile_w, std::size_t tile_h) {
+  if (w == 0 || h == 0 || tile_w == 0 || tile_h == 0) {
+    throw std::invalid_argument("tile_grid: zero dimensions");
+  }
+  std::vector<TileRect> tiles;
+  for (std::size_t y0 = 0; y0 < h; y0 += tile_h) {
+    for (std::size_t x0 = 0; x0 < w; x0 += tile_w) {
+      tiles.push_back(TileRect{x0, y0, std::min(tile_w, w - x0),
+                               std::min(tile_h, h - y0)});
+    }
+  }
+  return tiles;
+}
+
+TileStats tile_forward(dsp::Image& plane, const TileOptions& options) {
+  validate(plane, options);
+  const std::vector<TileRect> tiles =
+      tile_grid(plane.width(), plane.height(), options.tile_w, options.tile_h);
+
+  if (options.backend == TileBackend::kHardware) {
+    return run_pool(
+        tiles, options.threads,
+        [&]() {
+          return std::make_unique<Dwt2dSystem>(options.design,
+                                               options.octaves);
+        },
+        [&](std::unique_ptr<Dwt2dSystem>& system, const TileRect& t) {
+          dsp::Image tile = extract_tile(plane, t);
+          const Dwt2dRunStats run = system->transform(tile, options.octaves);
+          store_tile(plane, t, tile);
+          return run;
+        });
+  }
+  return run_pool(
+      tiles, options.threads, []() { return NoState{}; },
+      [&](NoState&, const TileRect& t) {
+        dsp::Image tile = extract_tile(plane, t);
+        dsp::dwt2d_forward(options.method, tile, options.octaves,
+                           options.frac_bits);
+        store_tile(plane, t, tile);
+        return Dwt2dRunStats{};
+      });
+}
+
+TileStats tile_inverse(dsp::Image& plane, const TileOptions& options) {
+  validate(plane, options);
+  if (options.backend == TileBackend::kHardware) {
+    throw std::invalid_argument(
+        "tile_inverse: no hardware inverse system; use the software backend "
+        "(the hardware forward is bit-identical to kLiftingFixed)");
+  }
+  const std::vector<TileRect> tiles =
+      tile_grid(plane.width(), plane.height(), options.tile_w, options.tile_h);
+  return run_pool(
+      tiles, options.threads, []() { return NoState{}; },
+      [&](NoState&, const TileRect& t) {
+        dsp::Image tile = extract_tile(plane, t);
+        dsp::dwt2d_inverse(options.method, tile, options.octaves,
+                           options.frac_bits);
+        store_tile(plane, t, tile);
+        return Dwt2dRunStats{};
+      });
+}
+
+}  // namespace dwt::hw

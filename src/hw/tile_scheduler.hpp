@@ -1,0 +1,69 @@
+// Tile-parallel 2-D DWT pipeline: partitions an image into independent
+// tiles (JPEG2000-style tiling), transforms each tile with its own boundary
+// extension, and shards the tiles across a worker pool.  Because every tile
+// is self-contained the packed output is bit-identical for any thread
+// count, and arbitrary image and tile dimensions (including odd and partial
+// edge tiles) are legal.
+//
+// Two backends:
+//  - software: the dsp 2-D transforms (any Method);
+//  - hardware: one figure-4 Dwt2dSystem per worker, so the result is the
+//    cycle-accurate fixed-point core output (Method::kLiftingFixed only)
+//    and the per-tile cycle accounting aggregates into the stats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/dwt1d.hpp"
+#include "dsp/image.hpp"
+#include "hw/designs.hpp"
+
+namespace dwt::hw {
+
+/// One tile of the grid, in image coordinates.
+struct TileRect {
+  std::size_t x0 = 0, y0 = 0, w = 0, h = 0;
+};
+
+enum class TileBackend {
+  kSoftware,  ///< dsp reference transforms
+  kHardware,  ///< per-worker Dwt2dSystem (fixed-point lifting core)
+};
+
+struct TileOptions {
+  std::size_t tile_w = 64;   ///< nominal tile width (edge tiles may be thinner)
+  std::size_t tile_h = 64;   ///< nominal tile height
+  unsigned threads = 0;      ///< worker count; 0 = hardware concurrency
+  int octaves = 1;           ///< octaves per tile
+  dsp::Method method = dsp::Method::kLiftingFixed;
+  int frac_bits = dsp::kDefaultFracBits;
+  TileBackend backend = TileBackend::kSoftware;
+  DesignId design = DesignId::kDesign2;  ///< core for the hardware backend
+};
+
+struct TileStats {
+  std::size_t tiles = 0;           ///< tiles processed
+  unsigned threads_used = 0;       ///< workers actually spawned
+  std::uint64_t total_cycles = 0;  ///< hardware backend: summed core cycles
+  std::uint64_t line_passes = 0;   ///< hardware backend: summed 1-D passes
+};
+
+/// Row-major tile decomposition of a w x h image; edge tiles absorb the
+/// remainder, so tiles can be any size from 1 x 1 up to tile_w x tile_h.
+[[nodiscard]] std::vector<TileRect> tile_grid(std::size_t w, std::size_t h,
+                                              std::size_t tile_w,
+                                              std::size_t tile_h);
+
+/// In-place tile-parallel forward transform: every tile ends up in the
+/// packed LL|HL / LH|HH layout local to the tile.  Deterministic: the
+/// output is byte-identical for every thread count.
+TileStats tile_forward(dsp::Image& plane, const TileOptions& options);
+
+/// Inverse of tile_forward under the same options (software backend only;
+/// the hardware backend forward is bit-identical to the software
+/// fixed-point transform, so its output inverts through this too).
+TileStats tile_inverse(dsp::Image& plane, const TileOptions& options);
+
+}  // namespace dwt::hw

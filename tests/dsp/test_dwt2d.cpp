@@ -23,9 +23,21 @@ TEST(SubbandRect, DeeperOctavesShrink) {
   EXPECT_EQ(r.h, 8u);
 }
 
-TEST(SubbandRect, RejectsNonDivisibleDimensions) {
-  EXPECT_THROW(subband_rect(62, 64, 2, Band::kLL), std::invalid_argument);
+TEST(SubbandRect, OddDimensionsSplitCeilFloor) {
+  // 62 -> 31 -> 16 at octave 2; 64 -> 32 -> 16.
+  const SubbandRect ll = subband_rect(62, 64, 2, Band::kLL);
+  EXPECT_EQ(ll.w, 16u);
+  EXPECT_EQ(ll.h, 16u);
+  // 31 wide at octave 2: low 16, high 15.
+  const SubbandRect hl = subband_rect(62, 64, 2, Band::kHL);
+  EXPECT_EQ(hl.x0, 16u);
+  EXPECT_EQ(hl.w, 15u);
+  EXPECT_EQ(hl.h, 16u);
+}
+
+TEST(SubbandRect, RejectsBadArguments) {
   EXPECT_THROW(subband_rect(64, 64, 0, Band::kLL), std::invalid_argument);
+  EXPECT_THROW(subband_rect(0, 64, 1, Band::kLL), std::invalid_argument);
 }
 
 class Dwt2dRoundTrip
@@ -91,17 +103,26 @@ TEST(Dwt2d, LevelShiftRoundTrips) {
   EXPECT_EQ(img.at(3, 3), original.at(3, 3));
 }
 
-TEST(Dwt2d, RejectsOddRegions) {
-  Image img(63, 64);
-  EXPECT_THROW(dwt2d_forward(Method::kLiftingFloat, img, 1),
-               std::invalid_argument);
+TEST(Dwt2d, OddRegionsRoundTrip) {
+  Image img = make_still_tone_image(63, 41, 19);
+  const Image original = img;
+  level_shift_forward(img);
+  dwt2d_forward(Method::kLiftingFloat, img, 3);
+  dwt2d_inverse(Method::kLiftingFloat, img, 3);
+  level_shift_inverse(img);
+  EXPECT_GT(psnr(original, img), 200.0);
 }
 
-TEST(Dwt2d, RejectsTooManyOctaves) {
-  Image img(8, 8);
-  // 8 -> 4 -> 2 -> 1: the fourth octave would need an odd split.
-  EXPECT_THROW(dwt2d_forward(Method::kLiftingFloat, img, 4),
-               std::invalid_argument);
+TEST(Dwt2d, DeepOctavesBottomOutAtOnePixel) {
+  // 8 -> 4 -> 2 -> 1 -> 1: a 1 x 1 LL is a fixed point, so any octave
+  // count is legal.
+  Image img = make_still_tone_image(8, 8, 21);
+  const Image original = img;
+  level_shift_forward(img);
+  dwt2d_forward(Method::kLiftingFloat, img, 5);
+  dwt2d_inverse(Method::kLiftingFloat, img, 5);
+  level_shift_inverse(img);
+  EXPECT_GT(psnr(original, img), 200.0);
 }
 
 TEST(Dwt2d, CoefficientRoundingGivesTable2StylePsnr) {

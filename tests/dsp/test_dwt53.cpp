@@ -59,12 +59,23 @@ TEST(Dwt53, LowBandStaysNearInputScale) {
   }
 }
 
+TEST(Dwt53, OddLengthRoundTripsLosslessly) {
+  const auto x = random_samples(29, 13);
+  const LiftSubbands53 s = lifting53_forward(x);
+  EXPECT_EQ(s.low.size(), 15u);
+  EXPECT_EQ(s.high.size(), 14u);
+  EXPECT_EQ(lifting53_inverse(s.low, s.high), x);
+}
+
 TEST(Dwt53, RejectsBadInput) {
-  EXPECT_THROW(lifting53_forward(std::vector<std::int64_t>{1, 2, 3}),
+  EXPECT_THROW(lifting53_forward(std::vector<std::int64_t>{}),
                std::invalid_argument);
   EXPECT_THROW(
-      lifting53_inverse(std::vector<std::int64_t>{1}, std::vector<std::int64_t>{}),
+      lifting53_inverse(std::vector<std::int64_t>{}, std::vector<std::int64_t>{1}),
       std::invalid_argument);
+  EXPECT_THROW(lifting53_inverse(std::vector<std::int64_t>{1, 2},
+                                 std::vector<std::int64_t>{1, 2, 3}),
+               std::invalid_argument);
 }
 
 TEST(Dwt53, TwoDimensionalLosslessViaMethodEnum) {

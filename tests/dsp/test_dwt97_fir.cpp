@@ -23,15 +23,38 @@ TEST(Dwt97Fir, SubbandSizesAreHalf) {
   EXPECT_EQ(s.high.size(), 32u);
 }
 
-TEST(Dwt97Fir, RejectsOddAndEmptySignals) {
-  EXPECT_THROW(fir97_forward(std::vector<double>{1.0, 2.0, 3.0}),
-               std::invalid_argument);
+TEST(Dwt97Fir, OddLengthSplitsCeilFloor) {
+  const auto x = random_signal(33, 3);
+  const FirSubbands s = fir97_forward(x);
+  EXPECT_EQ(s.low.size(), 17u);
+  EXPECT_EQ(s.high.size(), 16u);
+  const std::vector<double> xr = fir97_inverse(s.low, s.high);
+  ASSERT_EQ(xr.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(xr[i], x[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(Dwt97Fir, SingleSamplePassesThrough) {
+  const FirSubbands s = fir97_forward(std::vector<double>{42.0});
+  ASSERT_EQ(s.low.size(), 1u);
+  EXPECT_EQ(s.high.size(), 0u);
+  EXPECT_DOUBLE_EQ(s.low[0], 42.0);
+  const std::vector<double> xr = fir97_inverse(s.low, s.high);
+  ASSERT_EQ(xr.size(), 1u);
+  EXPECT_DOUBLE_EQ(xr[0], 42.0);
+}
+
+TEST(Dwt97Fir, RejectsEmptySignal) {
   EXPECT_THROW(fir97_forward(std::vector<double>{}), std::invalid_argument);
 }
 
 TEST(Dwt97Fir, InverseRejectsMismatchedSubbands) {
   const std::vector<double> low(4, 0.0), high(5, 0.0);
   EXPECT_THROW(fir97_inverse(low, high), std::invalid_argument);
+  EXPECT_THROW(fir97_inverse(std::vector<double>(4, 0.0),
+                             std::vector<double>(2, 0.0)),
+               std::invalid_argument);
 }
 
 class FirPerfectReconstruction : public ::testing::TestWithParam<std::size_t> {};

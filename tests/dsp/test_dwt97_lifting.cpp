@@ -54,8 +54,20 @@ TEST(Dwt97Lifting, ConstantSignal) {
   }
 }
 
-TEST(Dwt97Lifting, RejectsOddLength) {
-  EXPECT_THROW(lifting97_forward(std::vector<double>{1, 2, 3}),
+TEST(Dwt97Lifting, OddLengthRoundTrips) {
+  const auto x = random_signal(31, 9);
+  const LiftSubbands s = lifting97_forward(x);
+  EXPECT_EQ(s.low.size(), 16u);
+  EXPECT_EQ(s.high.size(), 15u);
+  const std::vector<double> xr = lifting97_inverse(s.low, s.high);
+  ASSERT_EQ(xr.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(xr[i], x[i], 1e-9) << i;
+  }
+}
+
+TEST(Dwt97Lifting, RejectsEmptySignal) {
+  EXPECT_THROW(lifting97_forward(std::vector<double>{}),
                std::invalid_argument);
 }
 

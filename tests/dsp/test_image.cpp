@@ -111,6 +111,49 @@ TEST(Image, ReadRejectsMissingFileAndBadMagic) {
   std::remove(path.c_str());
 }
 
+/// Writes `content` verbatim and expects read_pgm to reject it.
+void expect_rejected(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+  }
+  EXPECT_THROW(read_pgm(path), std::runtime_error) << name;
+  std::remove(path.c_str());
+}
+
+TEST(Image, ReadRejectsMalformedHeaders) {
+  expect_rejected("trunc_magic.pgm", "P5");
+  expect_rejected("trunc_dims.pgm", "P5\n4");
+  expect_rejected("comment_eof.pgm", "P2\n# comment then nothing");
+  expect_rejected("negative_dim.pgm", "P2\n-4 4\n255\n0 0 0 0\n");
+  expect_rejected("zero_dim.pgm", "P2\n0 4\n255\n");
+  expect_rejected("huge_dim.pgm", "P2\n70000 4\n255\n0\n");
+  expect_rejected("wide_maxval.pgm", "P5\n2 2\n65535\n\0\0\0\0\0\0\0\0");
+  expect_rejected("zero_maxval.pgm", "P2\n2 2\n0\n0 0 0 0\n");
+}
+
+TEST(Image, ReadRejectsTruncatedOrOutOfRangePixels) {
+  expect_rejected("trunc_binary.pgm", "P5\n4 4\n255\nab");  // 2 of 16 bytes
+  expect_rejected("trunc_ascii.pgm", "P2\n2 2\n255\n0 1 2\n");
+  expect_rejected("over_maxval.pgm", "P2\n2 2\n100\n0 50 101 0\n");
+  expect_rejected("negative_pixel.pgm", "P2\n2 2\n255\n0 -3 0 0\n");
+}
+
+TEST(Image, ReadAcceptsOddDimensionsAndCommentsEverywhere) {
+  const std::string path = ::testing::TempDir() + "/odd_comments.pgm";
+  {
+    std::ofstream out(path);
+    out << "P2\n# c1\n3 # c2\n1\n# c3\n255\n7 8 9\n";
+  }
+  const Image img = read_pgm(path);
+  ASSERT_EQ(img.width(), 3u);
+  ASSERT_EQ(img.height(), 1u);
+  EXPECT_EQ(img.at(0, 0), 7.0);
+  EXPECT_EQ(img.at(2, 0), 9.0);
+  std::remove(path.c_str());
+}
+
 TEST(ImageGen, StillToneIsDeterministicAndInRange) {
   const Image a = make_still_tone_image(64, 64, 7);
   const Image b = make_still_tone_image(64, 64, 7);

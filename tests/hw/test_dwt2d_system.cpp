@@ -59,8 +59,21 @@ TEST(Dwt2dSystem, RejectsBadOctaves) {
   Dwt2dSystem system(DesignId::kDesign2);
   dsp::Image img = shifted_tile(16, 2);
   EXPECT_THROW(system.transform(img, 0), std::invalid_argument);
-  dsp::Image odd(18, 18, 0.0);
-  EXPECT_THROW(system.transform(odd, 3), std::invalid_argument);
+  dsp::Image empty(0, 18, 0.0);
+  EXPECT_THROW(system.transform(empty, 1), std::invalid_argument);
+}
+
+TEST(Dwt2dSystem, OddDimensionsMatchSoftwareTransform) {
+  dsp::Image hw_plane = dsp::make_still_tone_image(17, 13, 41);
+  dsp::level_shift_forward(hw_plane);
+  dsp::round_coefficients(hw_plane);
+  dsp::Image sw_plane = hw_plane;
+  Dwt2dSystem system(DesignId::kDesign2, /*max_octaves=*/2);
+  (void)system.transform(hw_plane, 2);
+  dsp::dwt2d_forward(dsp::Method::kLiftingFixed, sw_plane, 2);
+  for (std::size_t i = 0; i < hw_plane.data().size(); ++i) {
+    EXPECT_EQ(hw_plane.data()[i], sw_plane.data()[i]) << i;
+  }
 }
 
 TEST(Dwt2dSystem, PipelinedCoreSameResultDifferentLatency) {

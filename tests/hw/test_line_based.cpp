@@ -33,7 +33,13 @@ INSTANTIATE_TEST_SUITE_P(Sizes, LineBasedMatchesBatch,
                                            std::pair<std::size_t, std::size_t>{16, 32},
                                            std::pair<std::size_t, std::size_t>{64, 64},
                                            std::pair<std::size_t, std::size_t>{2, 8},
-                                           std::pair<std::size_t, std::size_t>{8, 2}));
+                                           std::pair<std::size_t, std::size_t>{8, 2},
+                                           std::pair<std::size_t, std::size_t>{15, 16},
+                                           std::pair<std::size_t, std::size_t>{16, 15},
+                                           std::pair<std::size_t, std::size_t>{13, 9},
+                                           std::pair<std::size_t, std::size_t>{7, 1},
+                                           std::pair<std::size_t, std::size_t>{1, 7},
+                                           std::pair<std::size_t, std::size_t>{1, 1}));
 
 TEST(LineBased, MemoryFootprintIsLinesNotFrames) {
   dsp::Image img = shifted_tile(64, 64, 3);
@@ -50,8 +56,8 @@ TEST(LineBased, RowPassCountIncludesGuards) {
   EXPECT_EQ(stats.rows_processed, (32u / 2u + 8u) * 2u);
 }
 
-TEST(LineBased, RejectsOddDimensions) {
-  dsp::Image img(15, 16, 0.0);
+TEST(LineBased, RejectsEmptyPlane) {
+  dsp::Image img(0, 16, 0.0);
   EXPECT_THROW(line_based_forward_octave(img), std::invalid_argument);
 }
 

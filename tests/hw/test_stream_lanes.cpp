@@ -77,7 +77,7 @@ TEST(StreamLanes, ChunkedTransformMatchesPerChunkReference) {
   // extension; the interpreted engine over the same chunk must agree.
   std::size_t offset = 0;
   for (const StreamResult& lane : batch.lanes) {
-    const std::size_t chunk = 2 * lane.low.size();
+    const std::size_t chunk = lane.low.size() + lane.high.size();
     ASSERT_LE(offset + chunk, x.size());
     rtl::Simulator ref(dp.netlist);
     const StreamResult expect = run_stream(
@@ -87,6 +87,26 @@ TEST(StreamLanes, ChunkedTransformMatchesPerChunkReference) {
     offset += chunk;
   }
   EXPECT_EQ(offset, x.size());  // every sample landed in exactly one lane
+}
+
+TEST(StreamLanes, OddSignalKeepsFinalPartialChunk) {
+  const BuiltDatapath dp = build_design(DesignId::kDesign2);
+  const auto x = test_signal(131);  // 66 fed pairs -> uneven 3-pair chunks
+  rtl::compiled::CompiledSimulator sim(dp.netlist);
+  const LaneStreamResult batch = run_stream_lanes(dp, sim, x);
+
+  std::size_t offset = 0;
+  for (const StreamResult& lane : batch.lanes) {
+    const std::size_t chunk = lane.low.size() + lane.high.size();
+    ASSERT_LE(offset + chunk, x.size());
+    rtl::Simulator ref(dp.netlist);
+    const StreamResult expect = run_stream(
+        dp, ref, std::span<const std::int64_t>(x.data() + offset, chunk));
+    EXPECT_EQ(lane.low, expect.low) << "offset=" << offset;
+    EXPECT_EQ(lane.high, expect.high) << "offset=" << offset;
+    offset += chunk;
+  }
+  EXPECT_EQ(offset, x.size());  // the trailing odd sample was not dropped
 }
 
 TEST(StreamLanes, HarvestsActivityForPowerEstimation) {

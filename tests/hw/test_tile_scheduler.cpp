@@ -1,0 +1,131 @@
+#include "hw/tile_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/dwt2d.hpp"
+#include "dsp/image_gen.hpp"
+
+namespace dwt::hw {
+namespace {
+
+dsp::Image shifted_image(std::size_t w, std::size_t h, std::uint64_t seed) {
+  dsp::Image img = dsp::make_still_tone_image(w, h, seed);
+  dsp::level_shift_forward(img);
+  dsp::round_coefficients(img);
+  return img;
+}
+
+TEST(TileGrid, CoversImageExactlyOnce) {
+  const auto tiles = tile_grid(129, 97, 64, 64);
+  ASSERT_EQ(tiles.size(), 6u);  // 3 columns (64+64+1) x 2 rows (64+33)
+  std::vector<int> hits(129 * 97, 0);
+  for (const TileRect& t : tiles) {
+    EXPECT_GE(t.w, 1u);
+    EXPECT_GE(t.h, 1u);
+    for (std::size_t y = 0; y < t.h; ++y) {
+      for (std::size_t x = 0; x < t.w; ++x) {
+        ++hits[(t.y0 + y) * 129 + (t.x0 + x)];
+      }
+    }
+  }
+  for (const int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(TileGrid, RejectsZeroDimensions) {
+  EXPECT_THROW(tile_grid(0, 8, 4, 4), std::invalid_argument);
+  EXPECT_THROW(tile_grid(8, 8, 0, 4), std::invalid_argument);
+}
+
+TEST(TileScheduler, DeterministicAcrossThreadCounts) {
+  const dsp::Image source = shifted_image(129, 97, 5);
+  TileOptions opt;
+  opt.octaves = 2;
+
+  opt.threads = 1;
+  dsp::Image one = source;
+  const TileStats s1 = tile_forward(one, opt);
+  EXPECT_EQ(s1.tiles, 6u);
+  EXPECT_EQ(s1.threads_used, 1u);
+
+  for (const unsigned threads : {2u, 8u}) {
+    opt.threads = threads;
+    dsp::Image many = source;
+    const TileStats s = tile_forward(many, opt);
+    EXPECT_EQ(s.tiles, s1.tiles);
+    EXPECT_EQ(many.data(), one.data()) << "threads=" << threads;
+  }
+}
+
+TEST(TileScheduler, SingleTileMatchesPlainTransform) {
+  // A tile covering the whole image degenerates to the plain 2-D transform.
+  const dsp::Image source = shifted_image(33, 21, 7);
+  TileOptions opt;
+  opt.tile_w = 64;
+  opt.tile_h = 64;
+  opt.octaves = 2;
+  dsp::Image tiled = source;
+  (void)tile_forward(tiled, opt);
+  dsp::Image plain = source;
+  dsp::dwt2d_forward(dsp::Method::kLiftingFixed, plain, 2);
+  EXPECT_EQ(tiled.data(), plain.data());
+}
+
+TEST(TileScheduler, OddTilesRoundTripLossless53) {
+  // 5/3 is reversible, so tiling with odd image and odd tile sizes must
+  // reconstruct exactly.
+  const dsp::Image source = shifted_image(45, 31, 9);
+  TileOptions opt;
+  opt.tile_w = 17;
+  opt.tile_h = 13;
+  opt.octaves = 3;
+  opt.method = dsp::Method::kReversible53;
+  dsp::Image plane = source;
+  (void)tile_forward(plane, opt);
+  EXPECT_NE(plane.data(), source.data());  // something happened
+  (void)tile_inverse(plane, opt);
+  EXPECT_EQ(plane.data(), source.data());  // bit exact
+}
+
+TEST(TileScheduler, HardwareBackendMatchesSoftwareFixedPoint) {
+  const dsp::Image source = shifted_image(37, 29, 11);
+  TileOptions opt;
+  opt.tile_w = 16;
+  opt.tile_h = 16;
+  opt.octaves = 2;
+  opt.backend = TileBackend::kHardware;
+  opt.threads = 2;
+  dsp::Image hw_plane = source;
+  const TileStats stats = tile_forward(hw_plane, opt);
+  EXPECT_GT(stats.total_cycles, 0u);
+  EXPECT_GT(stats.line_passes, 0u);
+
+  opt.backend = TileBackend::kSoftware;
+  dsp::Image sw_plane = source;
+  (void)tile_forward(sw_plane, opt);
+  EXPECT_EQ(hw_plane.data(), sw_plane.data());
+}
+
+TEST(TileScheduler, RejectsBadOptions) {
+  dsp::Image img = shifted_image(16, 16, 13);
+  TileOptions opt;
+  opt.octaves = 0;
+  EXPECT_THROW(tile_forward(img, opt), std::invalid_argument);
+  opt = TileOptions{};
+  opt.tile_w = 0;
+  EXPECT_THROW(tile_forward(img, opt), std::invalid_argument);
+  opt = TileOptions{};
+  opt.backend = TileBackend::kHardware;
+  opt.method = dsp::Method::kReversible53;
+  EXPECT_THROW(tile_forward(img, opt), std::invalid_argument);
+  opt = TileOptions{};
+  opt.backend = TileBackend::kHardware;
+  EXPECT_THROW(tile_inverse(img, opt), std::invalid_argument);
+  dsp::Image empty;
+  opt = TileOptions{};
+  EXPECT_THROW(tile_forward(empty, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::hw

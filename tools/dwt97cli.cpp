@@ -2,21 +2,28 @@
 //
 //   dwt97cli compress   <in.pgm> <out.dwt> [--lossless] [--step S] [--octaves N]
 //   dwt97cli decompress <in.dwt> <out.pgm>
+//   dwt97cli tile       <in.pgm> <out.pgm> [--octaves N] [--tile N] [--threads N]
+//   dwt97cli gen        <out.pgm> <width> <height> [seed]
 //   dwt97cli synth      [design 1..5]
 //   dwt97cli verilog    <design 1..5> <out.v>
 //   dwt97cli psnr       <a.pgm> <b.pgm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "dsp/dwt2d.hpp"
+#include "dsp/image_gen.hpp"
 #include "dsp/metrics.hpp"
 #include "explore/explorer.hpp"
 #include "fpga/report.hpp"
 #include "hw/designs.hpp"
+#include "hw/tile_scheduler.hpp"
 #include "rtl/verilog_writer.hpp"
 
 namespace {
@@ -27,10 +34,38 @@ int usage() {
                "  dwt97cli compress   <in.pgm> <out.dwt> [--lossless] "
                "[--step S] [--octaves N]\n"
                "  dwt97cli decompress <in.dwt> <out.pgm>\n"
+               "  dwt97cli tile       <in.pgm> <out.pgm> [--octaves N] "
+               "[--tile N] [--threads N]\n"
+               "  dwt97cli gen        <out.pgm> <width> <height> [seed]\n"
                "  dwt97cli synth      [design 1..5]\n"
                "  dwt97cli verilog    <design 1..5> <out.v>\n"
                "  dwt97cli psnr       <a.pgm> <b.pgm>\n");
   return 2;
+}
+
+/// Strict numeric parsing: the whole token must be consumed and the value
+/// must be in range, otherwise the command falls through to the usage error
+/// (atoi-style silent zeros swallow typos like "--octaves 3x").
+bool parse_long(const char* s, long min, long max, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
@@ -53,9 +88,17 @@ int cmd_compress(int argc, char** argv) {
     if (std::strcmp(argv[i], "--lossless") == 0) {
       opt.mode = dwt::codec::CodecMode::kLossless53;
     } else if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
-      opt.base_step = std::atof(argv[++i]);
+      if (!parse_double(argv[++i], &opt.base_step) || opt.base_step <= 0.0) {
+        std::fprintf(stderr, "bad --step value: %s\n", argv[i]);
+        return usage();
+      }
     } else if (std::strcmp(argv[i], "--octaves") == 0 && i + 1 < argc) {
-      opt.octaves = std::atoi(argv[++i]);
+      long octaves = 0;
+      if (!parse_long(argv[++i], 1, 16, &octaves)) {
+        std::fprintf(stderr, "bad --octaves value: %s\n", argv[i]);
+        return usage();
+      }
+      opt.octaves = static_cast<int>(octaves);
     } else {
       return usage();
     }
@@ -80,11 +123,78 @@ int cmd_decompress(int argc, char** argv) {
   return 0;
 }
 
+// Forward+inverse through the tile-parallel pipeline and write the
+// reconstruction: a round-trip exerciser for the tile scheduler on real
+// image files (any dimensions).
+int cmd_tile(int argc, char** argv) {
+  if (argc < 4) return usage();
+  dwt::hw::TileOptions opt;
+  opt.method = dwt::dsp::Method::kLiftingFixed;
+  opt.octaves = 2;
+  for (int i = 4; i < argc; ++i) {
+    long v = 0;
+    if (std::strcmp(argv[i], "--octaves") == 0 && i + 1 < argc) {
+      if (!parse_long(argv[++i], 1, 16, &v)) {
+        std::fprintf(stderr, "bad --octaves value: %s\n", argv[i]);
+        return usage();
+      }
+      opt.octaves = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--tile") == 0 && i + 1 < argc) {
+      if (!parse_long(argv[++i], 1, 1 << 20, &v)) {
+        std::fprintf(stderr, "bad --tile value: %s\n", argv[i]);
+        return usage();
+      }
+      opt.tile_w = static_cast<std::size_t>(v);
+      opt.tile_h = static_cast<std::size_t>(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      if (!parse_long(argv[++i], 0, 1024, &v)) {
+        std::fprintf(stderr, "bad --threads value: %s\n", argv[i]);
+        return usage();
+      }
+      opt.threads = static_cast<unsigned>(v);
+    } else {
+      return usage();
+    }
+  }
+  dwt::dsp::Image img = dwt::dsp::read_pgm(argv[2]);
+  const dwt::dsp::Image original = img;
+  dwt::dsp::level_shift_forward(img);
+  dwt::dsp::round_coefficients(img);
+  const dwt::hw::TileStats stats = dwt::hw::tile_forward(img, opt);
+  (void)dwt::hw::tile_inverse(img, opt);
+  dwt::dsp::level_shift_inverse(img);
+  dwt::dsp::write_pgm(img, argv[3]);
+  std::printf("%s: %zux%zu, %zu tiles on %u threads, round-trip %.2f dB\n",
+              argv[3], img.width(), img.height(), stats.tiles,
+              stats.threads_used,
+              dwt::dsp::psnr(original.clamped_u8(), img.clamped_u8()));
+  return 0;
+}
+
+// Writes a deterministic still-tone test image; lets CI exercise the PGM
+// pipeline on arbitrary (e.g. odd) dimensions without binary fixtures.
+int cmd_gen(int argc, char** argv) {
+  if (argc < 5 || argc > 6) return usage();
+  long w = 0, h = 0, seed = 1;
+  if (!parse_long(argv[3], 1, 1 << 16, &w) ||
+      !parse_long(argv[4], 1, 1 << 16, &h) ||
+      (argc == 6 && !parse_long(argv[5], 0, 1L << 40, &seed))) {
+    std::fprintf(stderr, "bad gen arguments\n");
+    return usage();
+  }
+  dwt::dsp::Image img = dwt::dsp::make_still_tone_image(
+      static_cast<std::size_t>(w), static_cast<std::size_t>(h),
+      static_cast<std::uint64_t>(seed));
+  dwt::dsp::write_pgm(img, argv[2]);
+  std::printf("%s: %ldx%ld seed %ld\n", argv[2], w, h, seed);
+  return 0;
+}
+
 int cmd_synth(int argc, char** argv) {
   dwt::explore::Explorer explorer;
   if (argc >= 3) {
-    const int n = std::atoi(argv[2]);
-    if (n < 1 || n > 5) return usage();
+    long n = 0;
+    if (!parse_long(argv[2], 1, 5, &n)) return usage();
     const auto eval = explorer.evaluate(
         dwt::hw::design_spec(static_cast<dwt::hw::DesignId>(n - 1)));
     std::printf("%s\n", eval.report.to_string().c_str());
@@ -99,8 +209,8 @@ int cmd_synth(int argc, char** argv) {
 
 int cmd_verilog(int argc, char** argv) {
   if (argc != 4) return usage();
-  const int n = std::atoi(argv[2]);
-  if (n < 1 || n > 5) return usage();
+  long n = 0;
+  if (!parse_long(argv[2], 1, 5, &n)) return usage();
   const auto dp = dwt::hw::build_design(static_cast<dwt::hw::DesignId>(n - 1));
   std::ofstream out(argv[3]);
   if (!out) {
@@ -108,7 +218,7 @@ int cmd_verilog(int argc, char** argv) {
     return 1;
   }
   dwt::rtl::write_verilog(dp.netlist, "dwt_lifting_core", out);
-  std::printf("%s: design %d (%zu cells, latency %d)\n", argv[3], n,
+  std::printf("%s: design %ld (%zu cells, latency %d)\n", argv[3], n,
               dp.netlist.cell_count(), dp.info.latency);
   return 0;
 }
@@ -130,6 +240,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "decompress") == 0) {
       return cmd_decompress(argc, argv);
     }
+    if (std::strcmp(argv[1], "tile") == 0) return cmd_tile(argc, argv);
+    if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
     if (std::strcmp(argv[1], "synth") == 0) return cmd_synth(argc, argv);
     if (std::strcmp(argv[1], "verilog") == 0) return cmd_verilog(argc, argv);
     if (std::strcmp(argv[1], "psnr") == 0) return cmd_psnr(argc, argv);

@@ -11,7 +11,9 @@
 // the two engines produce byte-identical reports for the same seed, so
 // `--engine interpreted` remains available as a cross-check of the fast
 // (default) compiled bit-parallel engine.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -20,6 +22,19 @@
 #include "explore/resilience.hpp"
 
 namespace {
+
+/// Strict unsigned parsing: the whole token must be consumed (atoi-style
+/// silent zeros turn "--trials 10O" into an empty campaign).
+bool parse_u64(const char* s, unsigned long long max, unsigned long long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  if (*s == '-' || v > max) return false;
+  *out = v;
+  return true;
+}
 
 int usage() {
   std::fprintf(
@@ -74,9 +89,11 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--design") == 0) {
       const char* v = need_value("--design");
-      if (v == nullptr) return usage();
-      const int n = std::atoi(v);
-      if (n < 1 || n > 5) return usage();
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 5, &n) || n < 1) {
+        std::fprintf(stderr, "bad --design value\n");
+        return usage();
+      }
       opt.design = static_cast<dwt::hw::DesignId>(n - 1);
       design_set = true;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
@@ -84,16 +101,28 @@ int main(int argc, char** argv) {
       if (v == nullptr || !parse_kinds(v, opt.kinds)) return usage();
     } else if (std::strcmp(argv[i], "--trials") == 0) {
       const char* v = need_value("--trials");
-      if (v == nullptr) return usage();
-      opt.trials = static_cast<std::size_t>(std::atoll(v));
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1ull << 32, &n) || n < 1) {
+        std::fprintf(stderr, "bad --trials value\n");
+        return usage();
+      }
+      opt.trials = static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = need_value("--seed");
-      if (v == nullptr) return usage();
-      opt.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, ~0ull, &n)) {
+        std::fprintf(stderr, "bad --seed value\n");
+        return usage();
+      }
+      opt.seed = static_cast<std::uint64_t>(n);
     } else if (std::strcmp(argv[i], "--samples") == 0) {
       const char* v = need_value("--samples");
-      if (v == nullptr) return usage();
-      opt.samples = static_cast<std::size_t>(std::atoll(v));
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1ull << 24, &n) || n < 2) {
+        std::fprintf(stderr, "bad --samples value\n");
+        return usage();
+      }
+      opt.samples = static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "--harden") == 0) {
       const char* v = need_value("--harden");
       if (v == nullptr) return usage();
@@ -118,8 +147,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
-      if (v == nullptr) return usage();
-      opt.threads = static_cast<unsigned>(std::atoi(v));
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1024, &n)) {
+        std::fprintf(stderr, "bad --threads value\n");
+        return usage();
+      }
+      opt.threads = static_cast<unsigned>(n);
     } else if (std::strcmp(argv[i], "--no-trial-list") == 0) {
       opt.keep_trials = false;
     } else if (std::strcmp(argv[i], "--out") == 0) {
