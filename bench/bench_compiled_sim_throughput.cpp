@@ -16,6 +16,7 @@
 
 #include "bench_json.hpp"
 #include "common/rng.hpp"
+#include "core/artifact_cache.hpp"
 #include "hw/designs.hpp"
 #include "rtl/compiled/compiled_simulator.hpp"
 #include "rtl/compiled/equivalence.hpp"
@@ -115,8 +116,9 @@ int main(int argc, char** argv) {
               "speedup");
 
   bool all_ok = true;
+  dwt::core::ArtifactCache& cache = dwt::core::ArtifactCache::instance();
   for (const dwt::hw::DesignSpec& spec : dwt::hw::all_designs()) {
-    const dwt::hw::BuiltDatapath dp = dwt::hw::build_design(spec.id);
+    const dwt::hw::BuiltDatapath& dp = cache.design(spec.config)->dp;
     const auto report = dwt::rtl::compiled::check_equivalence(
         dp.netlist, equiv_cycles, /*seed=*/2005, /*lanes_to_check=*/2);
     if (!report.ok) {
@@ -126,7 +128,7 @@ int main(int argc, char** argv) {
       continue;
     }
 
-    const auto tape = dwt::rtl::compiled::compile(dp.netlist);
+    const auto tape = cache.tape(spec.config);
     double interp_vps = 0.0, compiled_vps = 0.0, threaded_vps = 0.0;
     interpreted_vectors_per_sec(dp, interp_cycles, /*seed=*/7, &interp_vps);
     compiled_vectors_per_sec(tape, dp, compiled_cycles, /*seed=*/7,

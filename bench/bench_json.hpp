@@ -15,13 +15,16 @@
 // fixed number formatting ("%.10g", integral values printed as integers), so
 // two runs over the same model state produce identical bytes and reports
 // diff cleanly across revisions.  See bench/schema.md.
+//
+// The document rendering itself lives in common/json_writer (shared with the
+// tools); this header only adds the `--json <path>` argv convention.
 #pragma once
 
-#include <cmath>
-#include <cstdio>
 #include <cstring>
 #include <string>
-#include <vector>
+#include <utility>
+
+#include "common/json_writer.hpp"
 
 namespace dwt::bench {
 
@@ -29,7 +32,7 @@ class JsonReporter {
  public:
   /// Scans argv for "--json <path>"; with no flag the reporter is inert.
   JsonReporter(std::string bench_name, int argc, char** argv)
-      : bench_(std::move(bench_name)) {
+      : writer_(std::move(bench_name)) {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
     }
@@ -44,7 +47,7 @@ class JsonReporter {
   /// "vectors/s", "ratio", ...).
   void add(const std::string& design, const std::string& metric, double value,
            const std::string& unit) {
-    records_.push_back({design, metric, value, unit});
+    writer_.add(design, metric, value, unit);
   }
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
@@ -53,63 +56,15 @@ class JsonReporter {
   /// stderr) when the file cannot be written.
   bool flush() const {
     if (path_.empty()) return true;
-    std::string out;
-    out.reserve(64 + 96 * records_.size());
-    out += "{\n  \"bench\": \"" + bench_ + "\",\n  \"records\": [";
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
-      out += i ? ",\n    " : "\n    ";
-      out += "{\"design\": \"" + escape(r.design) + "\", \"metric\": \"" +
-             escape(r.metric) + "\", \"value\": " + format(r.value) +
-             ", \"unit\": \"" + escape(r.unit) + "\"}";
-    }
-    out += records_.empty() ? "]\n}\n" : "\n  ]\n}\n";
-    std::FILE* f = std::fopen(path_.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench --json: cannot open %s\n", path_.c_str());
-      return false;
-    }
-    std::fwrite(out.data(), 1, out.size(), f);
-    std::fclose(f);
-    return true;
+    return writer_.write_file(path_);
   }
 
   /// flush() mapped onto a process exit code, for `return json.exit_code();`
   [[nodiscard]] int exit_code() const { return flush() ? 0 : 1; }
 
  private:
-  struct Record {
-    std::string design;
-    std::string metric;
-    double value;
-    std::string unit;
-  };
-
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out;
-  }
-
-  static std::string format(double v) {
-    if (!std::isfinite(v)) return "null";
-    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
-      return buf;
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.10g", v);
-    return buf;
-  }
-
-  std::string bench_;
+  common::JsonRecordWriter writer_;
   std::string path_;
-  std::vector<Record> records_;
 };
 
 }  // namespace dwt::bench

@@ -2,7 +2,11 @@
 // software fixed-point transform as the worker count grows, plus the
 // determinism cross-check (the packed coefficient plane must be
 // byte-identical at every thread count, including on odd image and tile
-// dimensions) and the hardware-backend cycle accounting.
+// dimensions) and the gate-level registry backends with their shared
+// artifact cache -- the bench asserts (exit code, and cache_* JSON records)
+// that elaboration/compilation happens once per (design, config), not once
+// per tile or worker, and reports the multi-worker throughput gain that
+// sharing enables.
 //
 // `--smoke` shrinks the image for the CI correctness pass; `--json <path>`
 // emits the bench/schema.md record set.
@@ -16,6 +20,8 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/artifact_cache.hpp"
+#include "core/registry.hpp"
 #include "dsp/dwt2d.hpp"
 #include "dsp/image_gen.hpp"
 #include "hw/tile_scheduler.hpp"
@@ -98,22 +104,74 @@ int main(int argc, char** argv) {
     json.add("tile_sw", "roundtrip_max_error", max_err, "lsb");
   }
 
-  // Hardware backend: per-worker figure-4 systems, summed cycle accounting.
+  // Gate-level registry backends: per-worker sessions around ONE cached
+  // elaboration/compilation.  For each backend the cache is cleared, the
+  // same plane is transformed at 1 and >= 4 workers, and the cache counters
+  // are asserted: exactly one design build (and one tape build for the
+  // compiled engine) across every tile and worker.
+  bool cache_ok = true;
   {
-    dwt::dsp::Image plane = smoke ? source : make_plane(257, 129);
-    opt = dwt::hw::TileOptions{};
-    opt.octaves = 2;
-    opt.backend = dwt::hw::TileBackend::kHardware;
-    opt.threads = 0;
-    const auto t0 = Clock::now();
-    const dwt::hw::TileStats stats = dwt::hw::tile_forward(plane, opt);
-    const double secs = seconds_since(t0);
-    std::printf("hardware backend: %zu tiles on %u workers, %llu core "
-                "cycles, %.1f s\n", stats.tiles, stats.threads_used,
-                static_cast<unsigned long long>(stats.total_cycles), secs);
-    json.add("tile_hw", "tiles", static_cast<double>(stats.tiles), "count");
-    json.add("tile_hw", "core_cycles",
-             static_cast<double>(stats.total_cycles), "cycles");
+    dwt::core::ArtifactCache& cache = dwt::core::ArtifactCache::instance();
+    const dwt::dsp::Image hw_source = smoke ? source : make_plane(257, 129);
+    std::vector<std::string> backends{"rtl-compiled"};
+    if (!smoke) backends.insert(backends.begin(), "rtl-interpreted");
+    for (const std::string& name : backends) {
+      const dwt::core::ExecutionBackend* backend =
+          dwt::core::find_backend(name);
+      if (backend == nullptr) {
+        std::fprintf(stderr, "backend %s not registered\n", name.c_str());
+        return 1;
+      }
+      cache.clear();
+      opt = dwt::hw::TileOptions{};
+      opt.octaves = 2;
+      opt.backend = backend;
+      double mps1 = 0.0;
+      std::printf("\n%s backend:\n", name.c_str());
+      for (const unsigned threads : {1u, 4u}) {
+        opt.threads = threads;
+        dwt::dsp::Image plane = hw_source;
+        const auto t0 = Clock::now();
+        const dwt::hw::TileStats stats = dwt::hw::tile_forward(plane, opt);
+        const double secs = seconds_since(t0);
+        const double mps = static_cast<double>(hw_source.width() *
+                                               hw_source.height()) /
+                           secs / 1e6;
+        if (threads == 1) mps1 = mps;
+        std::printf(
+            "  %zu tiles on %u workers: %llu core cycles, %.2f s "
+            "(%.2f Mpixel/s, %.2fx)\n",
+            stats.tiles, stats.threads_used,
+            static_cast<unsigned long long>(stats.total_cycles), secs, mps,
+            mps / mps1);
+        json.add(name, "throughput_t" + std::to_string(threads), mps,
+                 "Mpixel/s");
+        if (threads != 1) json.add(name, "speedup_t4", mps / mps1, "ratio");
+        json.add(name, "core_cycles_t" + std::to_string(threads),
+                 static_cast<double>(stats.total_cycles), "cycles");
+      }
+      const dwt::core::CacheStats cs = cache.stats();
+      const std::uint64_t expected_tapes = name == "rtl-compiled" ? 1 : 0;
+      std::printf(
+          "  cache: %llu design build(s), %llu hit(s); %llu tape build(s)\n",
+          static_cast<unsigned long long>(cs.design_builds),
+          static_cast<unsigned long long>(cs.design_hits),
+          static_cast<unsigned long long>(cs.tape_builds));
+      json.add(name, "cache_design_builds",
+               static_cast<double>(cs.design_builds), "count");
+      json.add(name, "cache_design_hits",
+               static_cast<double>(cs.design_hits), "count");
+      json.add(name, "cache_tape_builds",
+               static_cast<double>(cs.tape_builds), "count");
+      if (cs.design_builds != 1 || cs.tape_builds != expected_tapes) {
+        std::fprintf(stderr,
+                     "cache assertion FAILED for %s: expected 1 design "
+                     "build / %llu tape build(s)\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(expected_tapes));
+        cache_ok = false;
+      }
+    }
   }
 
   std::printf(
@@ -124,5 +182,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "determinism check FAILED\n");
     return 1;
   }
+  if (!cache_ok) return 1;
   return json.exit_code();
 }

@@ -1,0 +1,67 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dwt::common {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void append_json_fixed(std::string& out, double v, int digits) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  out += buf;
+}
+
+std::string JsonRecordWriter::render() const {
+  std::string out;
+  out.reserve(64 + 96 * records_.size());
+  out += "{\n  \"bench\": \"" + name_ + "\",\n  \"records\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"design\": \"" + json_escape(r.design) + "\", \"metric\": \"" +
+           json_escape(r.metric) + "\", \"value\": " + json_number(r.value) +
+           ", \"unit\": \"" + json_escape(r.unit) + "\"}";
+  }
+  out += records_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool JsonRecordWriter::write_file(const std::string& path) const {
+  const std::string out = render();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace dwt::common

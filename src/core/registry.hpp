@@ -1,0 +1,28 @@
+// The backend registry: every ExecutionBackend the build knows about,
+// addressable by stable name.  Tools expose the names through --backend /
+// --list-backends, benches select engines by name, and the equivalence
+// tests iterate the registry so a newly registered engine is automatically
+// held to the bit-exactness contract its caps() declare.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/backend.hpp"
+
+namespace dwt::core {
+
+/// Every registered engine, in presentation order.  Pointers are to
+/// process-lifetime singletons; never freed, safe to cache.
+[[nodiscard]] const std::vector<const ExecutionBackend*>& all_backends();
+
+/// Looks an engine up by registry name ("software-float", "software-fixed",
+/// "rtl-interpreted", "rtl-compiled", "fpga-mapped").  Returns nullptr for
+/// unknown names.
+[[nodiscard]] const ExecutionBackend* find_backend(std::string_view name);
+
+/// Registry names joined with `sep` -- for usage strings and diagnostics.
+[[nodiscard]] std::string backend_names(std::string_view sep = "|");
+
+}  // namespace dwt::core

@@ -4,9 +4,9 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "core/artifact_cache.hpp"
 #include "dsp/image_gen.hpp"
 #include "hw/stream_runner.hpp"
-#include "rtl/simplify.hpp"
 
 namespace dwt::explore {
 
@@ -47,25 +47,18 @@ DesignEvaluation Explorer::evaluate(const hw::DesignSpec& spec) const {
   DesignEvaluation eval;
   eval.spec = spec;
 
-  hw::BuiltDatapath built = hw::build_lifting_datapath(spec.config);
-  eval.info = built.info;
-
-  auto simplified =
-      std::make_shared<rtl::Netlist>(rtl::simplify(built.netlist));
-  eval.netlist = simplified;
-
-  // Re-bind the streaming ports on the simplified netlist.
-  hw::BuiltDatapath dp;
-  dp.netlist = rtl::Netlist(*simplified);  // simulation copy (cheap, POD-ish)
-  dp.in_even = dp.netlist.find_input_bus("in_even");
-  dp.in_odd = dp.netlist.find_input_bus("in_odd");
-  dp.out_low = dp.netlist.output("low");
-  dp.out_high = dp.netlist.output("high");
-  dp.info = built.info;
-  dp.config = built.config;
-
-  eval.netlist_stats = rtl::compute_stats(*simplified);
-  eval.mapped = fpga::map_to_apex(*simplified);
+  // Elaborate + simplify + APEX-map through the shared artifact cache (one
+  // build per design per process).  eval.netlist aliases the cached artifact
+  // and keeps it alive: eval.mapped is a copy of the cached mapping whose
+  // `source` pointer targets that very netlist, so an evaluation stays
+  // self-contained as long as its netlist pointer is held.
+  const std::shared_ptr<const core::MappedDesign> md =
+      core::ArtifactCache::instance().mapped(spec.config);
+  const hw::BuiltDatapath& dp = md->dp;
+  eval.info = dp.info;
+  eval.netlist = std::shared_ptr<const rtl::Netlist>(md, &md->dp.netlist);
+  eval.netlist_stats = rtl::compute_stats(dp.netlist);
+  eval.mapped = md->mapped;
 
   fpga::TimingAnalyzer sta(eval.mapped, options_.device);
   eval.timing = sta.analyze();

@@ -12,15 +12,15 @@
 #include <thread>
 #include <utility>
 
+#include "common/json_writer.hpp"
 #include "common/rng.hpp"
+#include "core/artifact_cache.hpp"
 #include "dsp/image_gen.hpp"
 #include "dsp/metrics.hpp"
 #include "fpga/device.hpp"
-#include "fpga/tech_mapper.hpp"
 #include "fpga/timing.hpp"
 #include "hw/stream_runner.hpp"
 #include "rtl/compiled/batch_fault.hpp"
-#include "rtl/simplify.hpp"
 #include "rtl/simulator.hpp"
 
 namespace dwt::explore {
@@ -45,9 +45,10 @@ std::vector<std::int64_t> image_stimulus(std::size_t samples,
   return out;
 }
 
-SynthesisCost synthesize(const rtl::Netlist& nl) {
-  const rtl::Netlist simplified = rtl::simplify(nl);
-  const fpga::MappedNetlist mapped = fpga::map_to_apex(simplified);
+/// Area/f_max of a cached APEX mapping through STA.  The mapping itself
+/// (simplify + map_to_apex, the expensive part) comes from the artifact
+/// cache; only the cheap timing analysis runs per call.
+SynthesisCost synthesize(const fpga::MappedNetlist& mapped) {
   const fpga::ApexDeviceParams device = fpga::ApexDeviceParams::apex20ke();
   fpga::TimingAnalyzer sta(mapped, device);
   const fpga::TimingReport timing = sta.analyze();
@@ -86,16 +87,6 @@ std::int64_t max_abs_error(const hw::StreamResult& got,
   return worst;
 }
 
-void append_json_number(std::string& out, double v) {
-  char buf[64];
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  std::snprintf(buf, sizeof buf, "%.4f", v);
-  out += buf;
-}
-
 /// Outcome/PSNR classification of one trial -- shared by both engines so a
 /// trial's record depends only on its coefficient stream and watch flag.
 FaultTrial classify_trial(const rtl::Fault& fault, const std::string& net_name,
@@ -127,6 +118,20 @@ const char* to_string(CampaignEngine e) {
   return "?";
 }
 
+const char* backend_name(CampaignEngine e) {
+  switch (e) {
+    case CampaignEngine::kInterpreted: return "rtl-interpreted";
+    case CampaignEngine::kCompiled: return "rtl-compiled";
+  }
+  return "?";
+}
+
+std::optional<CampaignEngine> engine_from_backend(std::string_view name) {
+  if (name == "rtl-interpreted") return CampaignEngine::kInterpreted;
+  if (name == "rtl-compiled") return CampaignEngine::kCompiled;
+  return std::nullopt;
+}
+
 const char* to_string(FaultOutcome o) {
   switch (o) {
     case FaultOutcome::kMasked: return "masked";
@@ -155,15 +160,23 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   result.samples = options.samples;
   result.kinds = options.kinds;
 
-  const hw::BuiltDatapath built =
-      hw::build_lifting_datapath(result.spec.config);
-  result.baseline = synthesize(built.netlist);
-
-  const hw::BuiltDatapath dut =
-      hw::harden_datapath(built, options.harden, &result.harden_report);
-  result.hardened = options.harden == rtl::HardeningStyle::kNone
-                        ? result.baseline
-                        : synthesize(dut.netlist);
+  // All expensive artifacts -- elaborated/hardened netlists, APEX mappings,
+  // compiled tapes -- come from the shared cache, so repeated campaigns over
+  // the same (design, hardening) pair build them once per process.
+  core::ArtifactCache& cache = core::ArtifactCache::instance();
+  const std::shared_ptr<const core::CachedDesign> base_artifact =
+      cache.design(result.spec.config);
+  const std::shared_ptr<const core::CachedDesign> dut_artifact =
+      cache.design(result.spec.config, options.harden);
+  const hw::BuiltDatapath& built = base_artifact->dp;
+  const hw::BuiltDatapath& dut = dut_artifact->dp;
+  result.harden_report = dut_artifact->harden_report;
+  result.baseline = synthesize(cache.mapped(result.spec.config)->mapped);
+  result.hardened =
+      options.harden == rtl::HardeningStyle::kNone
+          ? result.baseline
+          : synthesize(
+                cache.mapped(result.spec.config, options.harden)->mapped);
 
   const std::vector<std::int64_t> stimulus =
       image_stimulus(options.samples, options.seed);
@@ -174,7 +187,7 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
           : rtl::kNullNet;
   const bool compiled = options.engine == CampaignEngine::kCompiled;
   std::shared_ptr<const rtl::compiled::Tape> tape;
-  if (compiled) tape = rtl::compiled::compile(dut.netlist);
+  if (compiled) tape = cache.tape(result.spec.config, options.harden);
 
   // Golden references: the unhardened design defines correctness; the
   // hardened one must reproduce it fault-free (a transform bug fails loudly
@@ -182,8 +195,7 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   // golden -- they are bit-exact, so the reports stay byte-identical.
   hw::StreamResult golden;
   if (compiled) {
-    rtl::compiled::BatchFaultSession sess(
-        rtl::compiled::compile(built.netlist));
+    rtl::compiled::BatchFaultSession sess(cache.tape(result.spec.config));
     golden = std::move(hw::run_stream_batch(built, sess, stimulus, 1).front());
   } else {
     rtl::Simulator sim(built.netlist);
@@ -367,16 +379,16 @@ std::string to_json(const CampaignResult& r) {
          ", \"detected\": " + std::to_string(r.detected) +
          ", \"sdc\": " + std::to_string(r.sdc) + "},\n";
   out += "  \"sdc_rate\": ";
-  append_json_number(out, r.sdc_rate());
+  common::append_json_fixed(out, r.sdc_rate());
   out += ",\n";
   out += "  \"corrupted_trials\": " + std::to_string(r.corrupted) + ",\n";
   out += "  \"min_psnr_db\": ";
-  append_json_number(out, r.corrupted > 0
+  common::append_json_fixed(out, r.corrupted > 0
                               ? r.min_psnr_db
                               : std::numeric_limits<double>::infinity());
   out += ",\n";
   out += "  \"mean_psnr_db\": ";
-  append_json_number(out, r.corrupted > 0
+  common::append_json_fixed(out, r.corrupted > 0
                               ? r.mean_psnr_db
                               : std::numeric_limits<double>::infinity());
   out += ",\n";
@@ -384,13 +396,13 @@ std::string to_json(const CampaignResult& r) {
          std::to_string(r.baseline.logic_elements) +
          ", \"ff_count\": " + std::to_string(r.baseline.ff_count) +
          ", \"fmax_mhz\": ";
-  append_json_number(out, r.baseline.fmax_mhz);
+  common::append_json_fixed(out, r.baseline.fmax_mhz);
   out += "},\n";
   out += "  \"hardened\": {\"logic_elements\": " +
          std::to_string(r.hardened.logic_elements) +
          ", \"ff_count\": " + std::to_string(r.hardened.ff_count) +
          ", \"fmax_mhz\": ";
-  append_json_number(out, r.hardened.fmax_mhz);
+  common::append_json_fixed(out, r.hardened.fmax_mhz);
   out += ", \"protected_ffs\": " +
          std::to_string(r.harden_report.protected_ffs) +
          ", \"added_ffs\": " + std::to_string(r.harden_report.added_ffs) +
@@ -398,13 +410,13 @@ std::string to_json(const CampaignResult& r) {
          ", \"parity_groups\": " +
          std::to_string(r.harden_report.parity_groups) + "},\n";
   out += "  \"overhead\": {\"le_ratio\": ";
-  append_json_number(out, r.baseline.logic_elements > 0
+  common::append_json_fixed(out, r.baseline.logic_elements > 0
                               ? static_cast<double>(r.hardened.logic_elements) /
                                     static_cast<double>(
                                         r.baseline.logic_elements)
                               : 0.0);
   out += ", \"fmax_ratio\": ";
-  append_json_number(out, r.baseline.fmax_mhz > 0
+  common::append_json_fixed(out, r.baseline.fmax_mhz > 0
                               ? r.hardened.fmax_mhz / r.baseline.fmax_mhz
                               : 0.0);
   out += "},\n";
@@ -418,7 +430,7 @@ std::string to_json(const CampaignResult& r) {
            ", \"outcome\": \"" + to_string(t.outcome) +
            "\", \"max_abs_error\": " + std::to_string(t.max_abs_error) +
            ", \"psnr_db\": ";
-    append_json_number(out, t.psnr_db);
+    common::append_json_fixed(out, t.psnr_db);
     out += "}";
   }
   out += r.trials.empty() ? "],\n" : "\n  ],\n";

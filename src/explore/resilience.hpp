@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "explore/pareto.hpp"
@@ -27,6 +29,16 @@ enum class CampaignEngine {
 };
 
 [[nodiscard]] const char* to_string(CampaignEngine e);
+
+/// core registry name of the backend a campaign engine runs on
+/// ("rtl-interpreted" / "rtl-compiled").
+[[nodiscard]] const char* backend_name(CampaignEngine e);
+
+/// Inverse of backend_name: maps a registry backend name onto the campaign
+/// engine that uses it.  nullopt for every other backend (campaigns inject
+/// faults at netlist granularity, so only the gate-level rtl engines apply).
+[[nodiscard]] std::optional<CampaignEngine> engine_from_backend(
+    std::string_view name);
 
 struct ResilienceOptions {
   hw::DesignId design = hw::DesignId::kDesign1;

@@ -1,5 +1,6 @@
 #include "hw/designs.hpp"
 
+#include <cctype>
 #include <stdexcept>
 
 namespace dwt::hw {
@@ -48,6 +49,50 @@ DesignSpec design_spec(DesignId id) {
     if (s.id == id) return std::move(s);
   }
   throw std::invalid_argument("design_spec: unknown design");
+}
+
+int design_index(DesignId id) { return static_cast<int>(id) + 1; }
+
+std::string design_name(DesignId id) {
+  return "Design " + std::to_string(design_index(id));
+}
+
+std::optional<DesignId> parse_design(std::string_view text) {
+  // Strip an optional case-insensitive "design" prefix and one separator.
+  constexpr std::string_view kPrefix = "design";
+  if (text.size() > kPrefix.size()) {
+    bool prefixed = true;
+    for (std::size_t i = 0; i < kPrefix.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text[i])) != kPrefix[i]) {
+        prefixed = false;
+        break;
+      }
+    }
+    if (prefixed) {
+      text.remove_prefix(kPrefix.size());
+      if (!text.empty() && (text.front() == ' ' || text.front() == '-' ||
+                            text.front() == '_')) {
+        text.remove_prefix(1);
+      }
+    }
+  }
+  if (text.size() != 1 || text.front() < '1' ||
+      text.front() > '0' + kDesignCount) {
+    return std::nullopt;
+  }
+  return static_cast<DesignId>(text.front() - '1');
+}
+
+DatapathConfig design_config(DesignId id, int max_octaves) {
+  if (max_octaves < 1) {
+    throw std::invalid_argument("design_config: max_octaves < 1");
+  }
+  DatapathConfig cfg = design_spec(id).config;
+  if (max_octaves > 1) {
+    cfg.input_bits = 8 + 2 * (max_octaves - 1);
+    cfg.paper_widths = false;  // interval-analysis sizing for wide inputs
+  }
+  return cfg;
 }
 
 BuiltDatapath build_design(DesignId id) {

@@ -1,7 +1,9 @@
 // The five DWT architectures evaluated in paper Table 3.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hw/lifting_datapath.hpp"
@@ -17,6 +19,8 @@ enum class DesignId {
   kDesign5,  ///< structural, pipelined shifted integer adders, 21 stages
 };
 
+inline constexpr int kDesignCount = 5;
+
 struct DesignSpec {
   DesignId id;
   std::string name;         ///< "Design 1" ... "Design 5"
@@ -28,6 +32,28 @@ struct DesignSpec {
 [[nodiscard]] std::vector<DesignSpec> all_designs();
 
 [[nodiscard]] DesignSpec design_spec(DesignId id);
+
+// Design-name parsing/printing -- the one string <-> DesignId seam shared by
+// the CLIs, the benches and the registry (it used to be re-implemented ad
+// hoc at every call site).
+
+/// 1-based paper index ("Design 3" -> 3).
+[[nodiscard]] int design_index(DesignId id);
+
+/// Paper Table 3 display name ("Design 1" ... "Design 5").
+[[nodiscard]] std::string design_name(DesignId id);
+
+/// Parses any of the spellings the tools accept: "3", "design3", "design-3",
+/// "design 3", "Design 3" (case-insensitive).  Returns nullopt for anything
+/// else, including out-of-range indices.
+[[nodiscard]] std::optional<DesignId> parse_design(std::string_view text);
+
+/// Core configuration for a design driving an `max_octaves`-deep 2-D
+/// recursion: beyond one octave the LL coefficients outgrow the paper's
+/// signed 8-bit input range (they gain roughly 1.2 bits per octave), so the
+/// controller provisions a wider core sized by interval analysis instead of
+/// the paper's measured 8-bit-input ranges.
+[[nodiscard]] DatapathConfig design_config(DesignId id, int max_octaves = 1);
 
 /// Elaborates the design's netlist.
 [[nodiscard]] BuiltDatapath build_design(DesignId id);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace dwt::hw {
 namespace {
@@ -20,29 +21,30 @@ std::vector<double> to_double_line(const std::vector<std::int64_t>& line) {
 
 }  // namespace
 
-namespace {
-
-BuiltDatapath build_core_for(DesignId design, int max_octaves) {
-  if (max_octaves < 1) {
-    throw std::invalid_argument("Dwt2dSystem: max_octaves < 1");
-  }
-  DatapathConfig cfg = design_spec(design).config;
-  if (max_octaves > 1) {
-    cfg.input_bits = 8 + 2 * (max_octaves - 1);
-    cfg.paper_widths = false;  // interval-analysis sizing for wide inputs
-  }
-  return build_lifting_datapath(cfg);
-}
-
-}  // namespace
-
 Dwt2dSystem::Dwt2dSystem(DesignId design, int max_octaves)
-    : core_(build_core_for(design, max_octaves)),
-      sim_(std::make_unique<rtl::Simulator>(core_.netlist)) {}
+    : core_(std::make_shared<const BuiltDatapath>(
+          build_lifting_datapath(design_config(design, max_octaves)))),
+      sim_(std::make_unique<rtl::Simulator>(core_->netlist)) {}
+
+Dwt2dSystem::Dwt2dSystem(std::shared_ptr<const BuiltDatapath> core)
+    : core_(std::move(core)),
+      sim_(std::make_unique<rtl::Simulator>(core_->netlist)) {}
+
+Dwt2dSystem::Dwt2dSystem(std::shared_ptr<const BuiltDatapath> core,
+                         std::shared_ptr<const rtl::compiled::Tape> tape)
+    : core_(std::move(core)),
+      batch_(std::make_unique<rtl::compiled::BatchFaultSession>(
+          std::move(tape))) {}
 
 void Dwt2dSystem::transform_line(std::vector<std::int64_t>& line,
                                  Dwt2dRunStats& stats) {
-  const StreamResult r = run_stream(core_, *sim_, line);
+  // Either engine may carry stale pipeline state from the previous line;
+  // the guard pairs run_stream* feeds flush it before the payload window.
+  StreamResult r = batch_
+                       ? std::move(run_stream_batch(*core_, *batch_, line,
+                                                    /*lanes=*/1)
+                                       .front())
+                       : run_stream(*core_, *sim_, line);
   stats.total_cycles += r.cycles;
   ++stats.line_passes;
   line.clear();

@@ -1,7 +1,9 @@
 // 2D-DWT system model (paper figure 4): image memory, a memory controller
 // that schedules row then column passes (performing the boundary mirroring)
-// and one 1D-DWT core.  The controller runs the core cycle-accurately via
-// the functional simulator and accounts the cycles every octave consumes.
+// and one 1D-DWT core.  The controller runs the core cycle-accurately and
+// accounts the cycles every octave consumes.  The core runs on either the
+// scalar zero-delay simulator or the bit-parallel compiled engine (lane 0);
+// both produce bit-identical coefficients and cycle counts.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +28,23 @@ struct Dwt2dRunStats {
 
 class Dwt2dSystem {
  public:
-  /// Builds the system around the given 1D core design.  The paper's core
-  /// has signed 8-bit inputs, which only accommodates one octave; for deeper
-  /// recursions the controller provisions a wider core (LL coefficients grow
-  /// roughly 1.2 bits per octave), sized by interval analysis instead of the
-  /// paper's measured 8-bit-input ranges.
+  /// Builds the system around a freshly elaborated 1D core.  The paper's
+  /// core has signed 8-bit inputs, which only accommodates one octave; for
+  /// deeper recursions the controller provisions a wider core (LL
+  /// coefficients grow roughly 1.2 bits per octave), sized by interval
+  /// analysis instead of the paper's measured 8-bit-input ranges (see
+  /// design_config).
   explicit Dwt2dSystem(DesignId design, int max_octaves = 1);
+
+  /// Shares a pre-elaborated core (typically from core::ArtifactCache, so
+  /// many workers reuse one netlist) and runs lines on the scalar
+  /// zero-delay simulator.
+  explicit Dwt2dSystem(std::shared_ptr<const BuiltDatapath> core);
+
+  /// Shares a pre-elaborated core plus its compiled tape and runs lines on
+  /// the bit-parallel compiled engine (lane 0).
+  Dwt2dSystem(std::shared_ptr<const BuiltDatapath> core,
+              std::shared_ptr<const rtl::compiled::Tape> tape);
 
   /// In-place multi-octave forward transform of an integer-valued plane
   /// (pixels already DC-level-shifted to signed values).  Returns cycle
@@ -39,13 +52,14 @@ class Dwt2dSystem {
   /// lifting transform bit for bit.
   Dwt2dRunStats transform(dsp::Image& plane, int octaves);
 
-  [[nodiscard]] const BuiltDatapath& core() const { return core_; }
+  [[nodiscard]] const BuiltDatapath& core() const { return *core_; }
 
  private:
   void transform_line(std::vector<std::int64_t>& line, Dwt2dRunStats& stats);
 
-  BuiltDatapath core_;
+  std::shared_ptr<const BuiltDatapath> core_;
   std::unique_ptr<rtl::Simulator> sim_;
+  std::unique_ptr<rtl::compiled::BatchFaultSession> batch_;
 };
 
 }  // namespace dwt::hw

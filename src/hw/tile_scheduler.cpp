@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/backend.hpp"
 #include "dsp/dwt2d.hpp"
 #include "hw/dwt2d_system.hpp"
 
@@ -42,19 +43,33 @@ void validate(const dsp::Image& plane, const TileOptions& options) {
   if (options.octaves < 1) {
     throw std::invalid_argument("tile_scheduler: octaves < 1");
   }
-  if (options.backend == TileBackend::kHardware &&
-      options.method != dsp::Method::kLiftingFixed) {
-    throw std::invalid_argument(
-        "tile_scheduler: hardware backend implements kLiftingFixed only");
+  if (options.backend != nullptr) {
+    if (!options.backend->caps().forward_2d) {
+      throw std::invalid_argument(
+          "tile_scheduler: backend does not support 2-D transforms");
+    }
+    if (options.backend->caps().gate_level &&
+        options.method != dsp::Method::kLiftingFixed) {
+      throw std::invalid_argument(
+          "tile_scheduler: hardware backend implements kLiftingFixed only");
+    }
   }
+}
+
+core::BackendRequest backend_request(const TileOptions& options) {
+  core::BackendRequest req;
+  req.design = options.design;
+  req.max_octaves = options.octaves;
+  req.frac_bits = options.frac_bits;
+  return req;
 }
 
 /// Shards the tiles across a pool via an atomic work counter (the PR-2
 /// fault-campaign pattern).  Each worker touches only its claimed tiles'
 /// pixel rectangles, which are disjoint, so no output synchronisation is
 /// needed and the result is scheduling-independent.  `make_state` runs once
-/// per worker (e.g. to build its private Dwt2dSystem); `process` transforms
-/// one tile with that state.
+/// per worker (e.g. to open its private backend session); `process`
+/// transforms one tile with that state.
 template <typename MakeState, typename Process>
 TileStats run_pool(const std::vector<TileRect>& tiles, unsigned threads,
                    MakeState make_state, Process process) {
@@ -127,16 +142,15 @@ TileStats tile_forward(dsp::Image& plane, const TileOptions& options) {
   const std::vector<TileRect> tiles =
       tile_grid(plane.width(), plane.height(), options.tile_w, options.tile_h);
 
-  if (options.backend == TileBackend::kHardware) {
+  if (options.backend != nullptr) {
+    const core::BackendRequest req = backend_request(options);
     return run_pool(
         tiles, options.threads,
-        [&]() {
-          return std::make_unique<Dwt2dSystem>(options.design,
-                                               options.octaves);
-        },
-        [&](std::unique_ptr<Dwt2dSystem>& system, const TileRect& t) {
+        [&]() { return options.backend->make_2d_session(req); },
+        [&](std::unique_ptr<core::Backend2dSession>& session,
+            const TileRect& t) {
           dsp::Image tile = extract_tile(plane, t);
-          const Dwt2dRunStats run = system->transform(tile, options.octaves);
+          const Dwt2dRunStats run = session->forward(tile, options.octaves);
           store_tile(plane, t, tile);
           return run;
         });
@@ -154,13 +168,26 @@ TileStats tile_forward(dsp::Image& plane, const TileOptions& options) {
 
 TileStats tile_inverse(dsp::Image& plane, const TileOptions& options) {
   validate(plane, options);
-  if (options.backend == TileBackend::kHardware) {
+  if (options.backend != nullptr && !options.backend->caps().inverse_2d) {
     throw std::invalid_argument(
         "tile_inverse: no hardware inverse system; use the software backend "
         "(the hardware forward is bit-identical to kLiftingFixed)");
   }
   const std::vector<TileRect> tiles =
       tile_grid(plane.width(), plane.height(), options.tile_w, options.tile_h);
+  if (options.backend != nullptr) {
+    const core::BackendRequest req = backend_request(options);
+    return run_pool(
+        tiles, options.threads,
+        [&]() { return options.backend->make_2d_session(req); },
+        [&](std::unique_ptr<core::Backend2dSession>& session,
+            const TileRect& t) {
+          dsp::Image tile = extract_tile(plane, t);
+          session->inverse(tile, options.octaves);
+          store_tile(plane, t, tile);
+          return Dwt2dRunStats{};
+        });
+  }
   return run_pool(
       tiles, options.threads, []() { return NoState{}; },
       [&](NoState&, const TileRect& t) {

@@ -5,11 +5,12 @@
 // count, and arbitrary image and tile dimensions (including odd and partial
 // edge tiles) are legal.
 //
-// Two backends:
-//  - software: the dsp 2-D transforms (any Method);
-//  - hardware: one figure-4 Dwt2dSystem per worker, so the result is the
-//    cycle-accurate fixed-point core output (Method::kLiftingFixed only)
-//    and the per-tile cycle accounting aggregates into the stats.
+// Engine selection is a core::ExecutionBackend handle:
+//  - nullptr (default): the dsp 2-D transform selected by `method` runs
+//    in-thread (any Method, including the reversible 5/3);
+//  - a registry backend: one 2-D session per worker (for gate-level engines
+//    that is a private figure-4 system around the shared cached netlist),
+//    with the per-tile cycle accounting aggregated into the stats.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +21,10 @@
 #include "dsp/image.hpp"
 #include "hw/designs.hpp"
 
+namespace dwt::core {
+class ExecutionBackend;
+}  // namespace dwt::core
+
 namespace dwt::hw {
 
 /// One tile of the grid, in image coordinates.
@@ -27,27 +32,25 @@ struct TileRect {
   std::size_t x0 = 0, y0 = 0, w = 0, h = 0;
 };
 
-enum class TileBackend {
-  kSoftware,  ///< dsp reference transforms
-  kHardware,  ///< per-worker Dwt2dSystem (fixed-point lifting core)
-};
-
 struct TileOptions {
   std::size_t tile_w = 64;   ///< nominal tile width (edge tiles may be thinner)
   std::size_t tile_h = 64;   ///< nominal tile height
   unsigned threads = 0;      ///< worker count; 0 = hardware concurrency
   int octaves = 1;           ///< octaves per tile
-  dsp::Method method = dsp::Method::kLiftingFixed;
+  dsp::Method method = dsp::Method::kLiftingFixed;  ///< in-thread dsp engine
   int frac_bits = dsp::kDefaultFracBits;
-  TileBackend backend = TileBackend::kSoftware;
-  DesignId design = DesignId::kDesign2;  ///< core for the hardware backend
+  /// Execution engine; nullptr runs the dsp transform selected by `method`
+  /// in-thread.  Gate-level backends compute the fixed-point lifting
+  /// transform only, so they reject any other `method`.
+  const core::ExecutionBackend* backend = nullptr;
+  DesignId design = DesignId::kDesign2;  ///< core for gate-level backends
 };
 
 struct TileStats {
   std::size_t tiles = 0;           ///< tiles processed
   unsigned threads_used = 0;       ///< workers actually spawned
-  std::uint64_t total_cycles = 0;  ///< hardware backend: summed core cycles
-  std::uint64_t line_passes = 0;   ///< hardware backend: summed 1-D passes
+  std::uint64_t total_cycles = 0;  ///< gate backends: summed core cycles
+  std::uint64_t line_passes = 0;   ///< gate backends: summed 1-D passes
 };
 
 /// Row-major tile decomposition of a w x h image; edge tiles absorb the
@@ -61,9 +64,10 @@ struct TileStats {
 /// output is byte-identical for every thread count.
 TileStats tile_forward(dsp::Image& plane, const TileOptions& options);
 
-/// Inverse of tile_forward under the same options (software backend only;
-/// the hardware backend forward is bit-identical to the software
-/// fixed-point transform, so its output inverts through this too).
+/// Inverse of tile_forward under the same options.  Backends without an
+/// inverse (the gate-level engines) are rejected; their forward is
+/// bit-identical to the software fixed-point transform, so their output
+/// inverts through the default software path.
 TileStats tile_inverse(dsp::Image& plane, const TileOptions& options);
 
 }  // namespace dwt::hw

@@ -68,7 +68,7 @@ TEST(Bitstream, ReaderThrowsPastEnd) {
   BitReader r(w.finish());
   (void)r.read_bits(8);
   EXPECT_TRUE(r.exhausted());
-  EXPECT_THROW(r.read_bit(), std::out_of_range);
+  EXPECT_THROW((void)r.read_bit(), std::out_of_range);
 }
 
 TEST(Bitstream, WriteBitsValidation) {

@@ -1,0 +1,109 @@
+#include "core/artifact_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "hw/designs.hpp"
+
+namespace dwt::core {
+namespace {
+
+hw::DatapathConfig config_for(hw::DesignId id) {
+  return hw::design_config(id);
+}
+
+// The headline concurrency property: any number of racing requesters for
+// one key observe the SAME artifact pointer, and the build ran exactly
+// once.  Everything downstream (tile workers sharing a tape, campaign
+// threads sharing a netlist) relies on this.
+TEST(ArtifactCache, SamePointerAcrossThreadsNeverRebuilds) {
+  ArtifactCache cache;
+  const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign3);
+  constexpr unsigned kThreads = 8;
+  std::vector<std::shared_ptr<const CachedDesign>> seen(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] { seen[t] = cache.design(cfg); });
+  }
+  for (auto& th : pool) th.join();
+  for (unsigned t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[0].get(), seen[t].get()) << "thread " << t;
+  }
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.design_builds, 1u);
+  EXPECT_EQ(st.design_hits, kThreads - 1);
+}
+
+TEST(ArtifactCache, TapeAndMappedAreMemoized) {
+  ArtifactCache cache;
+  const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign2);
+  const auto tape1 = cache.tape(cfg);
+  const auto tape2 = cache.tape(cfg);
+  EXPECT_EQ(tape1.get(), tape2.get());
+  const auto mapped1 = cache.mapped(cfg);
+  const auto mapped2 = cache.mapped(cfg);
+  EXPECT_EQ(mapped1.get(), mapped2.get());
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.tape_builds, 1u);
+  EXPECT_EQ(st.tape_hits, 1u);
+  EXPECT_EQ(st.mapped_builds, 1u);
+  EXPECT_EQ(st.mapped_hits, 1u);
+  // The mapping must reference the cached artifact's own netlist, not a
+  // dangling temporary.
+  EXPECT_EQ(mapped1->mapped.source, &mapped1->dp.netlist);
+}
+
+TEST(ArtifactCache, DistinctConfigurationsGetDistinctKeys) {
+  const hw::DatapathConfig d2 = config_for(hw::DesignId::kDesign2);
+  const hw::DatapathConfig d3 = config_for(hw::DesignId::kDesign3);
+  EXPECT_NE(config_key(d2, rtl::HardeningStyle::kNone),
+            config_key(d3, rtl::HardeningStyle::kNone));
+  EXPECT_NE(config_key(d2, rtl::HardeningStyle::kNone),
+            config_key(d2, rtl::HardeningStyle::kTmr));
+
+  ArtifactCache cache;
+  const auto a = cache.design(d2);
+  const auto b = cache.design(d3);
+  const auto c = cache.design(d2, rtl::HardeningStyle::kTmr);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().design_builds, 3u);
+}
+
+TEST(ArtifactCache, HardenedArtifactCarriesItsReport) {
+  ArtifactCache cache;
+  const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign1);
+  const auto plain = cache.design(cfg);
+  EXPECT_EQ(plain->harden, rtl::HardeningStyle::kNone);
+  EXPECT_EQ(plain->harden_report.protected_ffs, 0u);
+  const auto tmr = cache.design(cfg, rtl::HardeningStyle::kTmr);
+  EXPECT_EQ(tmr->harden, rtl::HardeningStyle::kTmr);
+  EXPECT_GT(tmr->harden_report.protected_ffs, 0u);
+  EXPECT_GT(tmr->dp.netlist.cells().size(), plain->dp.netlist.cells().size());
+}
+
+TEST(ArtifactCache, ClearResetsEntriesAndCounters) {
+  ArtifactCache cache;
+  const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign2);
+  const auto before = cache.design(cfg);
+  cache.clear();
+  const CacheStats zeroed = cache.stats();
+  EXPECT_EQ(zeroed.design_builds, 0u);
+  EXPECT_EQ(zeroed.design_hits, 0u);
+  // A post-clear request re-elaborates; the old artifact stays valid
+  // through its shared_ptr.
+  const auto after = cache.design(cfg);
+  EXPECT_EQ(cache.stats().design_builds, 1u);
+  EXPECT_EQ(before->dp.netlist.cells().size(),
+            after->dp.netlist.cells().size());
+}
+
+TEST(ArtifactCache, ProcessWideInstanceIsASingleton) {
+  EXPECT_EQ(&ArtifactCache::instance(), &ArtifactCache::instance());
+}
+
+}  // namespace
+}  // namespace dwt::core

@@ -56,6 +56,7 @@ INSTANTIATE_TEST_SUITE_P(Methods, AllMethods, ::testing::ValuesIn(kAllMethods),
                              case Method::kFirFixed: return "FirFixed";
                              case Method::kLiftingFloat: return "LiftingFloat";
                              case Method::kLiftingFixed: return "LiftingFixed";
+                             default: break;
                            }
                            return "Unknown";
                          });

@@ -36,8 +36,8 @@ TEST(SubbandRect, OddDimensionsSplitCeilFloor) {
 }
 
 TEST(SubbandRect, RejectsBadArguments) {
-  EXPECT_THROW(subband_rect(64, 64, 0, Band::kLL), std::invalid_argument);
-  EXPECT_THROW(subband_rect(0, 64, 1, Band::kLL), std::invalid_argument);
+  EXPECT_THROW((void)subband_rect(64, 64, 0, Band::kLL), std::invalid_argument);
+  EXPECT_THROW((void)subband_rect(0, 64, 1, Band::kLL), std::invalid_argument);
 }
 
 class Dwt2dRoundTrip

@@ -22,8 +22,8 @@ TEST(Image, ConstructionAndAccess) {
 
 TEST(Image, AtBoundsChecked) {
   Image img(4, 3);
-  EXPECT_THROW(img.at(4, 0), std::out_of_range);
-  EXPECT_THROW(img.at(0, 3), std::out_of_range);
+  EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 3), std::out_of_range);
 }
 
 TEST(Image, RowColRoundTrip) {

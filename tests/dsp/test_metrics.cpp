@@ -19,9 +19,9 @@ TEST(Metrics, MseDefinition) {
 }
 
 TEST(Metrics, MseRejectsMismatch) {
-  EXPECT_THROW(mse(std::vector<double>{1}, std::vector<double>{1, 2}),
+  EXPECT_THROW((void)mse(std::vector<double>{1}, std::vector<double>{1, 2}),
                std::invalid_argument);
-  EXPECT_THROW(mse(std::vector<double>{}, std::vector<double>{}),
+  EXPECT_THROW((void)mse(std::vector<double>{}, std::vector<double>{}),
                std::invalid_argument);
 }
 
@@ -52,7 +52,7 @@ TEST(Metrics, ImageOverloadMatchesVector) {
 }
 
 TEST(Metrics, ImageDimensionMismatchRejected) {
-  EXPECT_THROW(mse(Image(2, 2), Image(4, 1)), std::invalid_argument);
+  EXPECT_THROW((void)mse(Image(2, 2), Image(4, 1)), std::invalid_argument);
 }
 
 TEST(Metrics, CustomPeak) {

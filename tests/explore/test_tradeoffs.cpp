@@ -29,7 +29,7 @@ TEST(Tradeoffs, ClaimListComplete) {
 }
 
 TEST(Tradeoffs, AnalyzeRejectsWrongCount) {
-  EXPECT_THROW(analyze_tradeoffs({}), std::invalid_argument);
+  EXPECT_THROW((void)analyze_tradeoffs({}), std::invalid_argument);
 }
 
 TEST(Tradeoffs, AnalyzeComputesRatios) {

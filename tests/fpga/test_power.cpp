@@ -111,9 +111,9 @@ TEST(Power, RejectsDegenerateInputs) {
   Harness h(1);
   const auto stats = h.run(5, 10);
   const auto& p = ApexDeviceParams::apex20ke();
-  EXPECT_THROW(estimate_power(h.mapped, rtl::ActivityStats{}, p, 15.0),
+  EXPECT_THROW((void)estimate_power(h.mapped, rtl::ActivityStats{}, p, 15.0),
                std::invalid_argument);
-  EXPECT_THROW(estimate_power(h.mapped, stats, p, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_power(h.mapped, stats, p, 0.0), std::invalid_argument);
 }
 
 TEST(Power, BatchedEstimateMatchesBaseAtUnityMargin) {
@@ -138,7 +138,7 @@ TEST(Power, BatchedGlitchMarginScalesLogicOnly) {
   EXPECT_NEAR(margined.logic_mw, 1.3 * base.logic_mw, 1e-9);
   EXPECT_DOUBLE_EQ(margined.clock_mw, base.clock_mw);
   EXPECT_DOUBLE_EQ(margined.static_mw, base.static_mw);
-  EXPECT_THROW(estimate_power_batched(h.mapped, stats, p, 15.0, 0.5),
+  EXPECT_THROW((void)estimate_power_batched(h.mapped, stats, p, 15.0, 0.5),
                std::invalid_argument);
 }
 

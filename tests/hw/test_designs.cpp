@@ -79,5 +79,42 @@ TEST(Designs, PaperTable3ValuesRecorded) {
   EXPECT_EQ(rows[4].pipeline_stages, 21);
 }
 
+TEST(Designs, NameAndIndexRoundTrip) {
+  for (const DesignSpec& spec : all_designs()) {
+    EXPECT_EQ(design_name(spec.id), spec.name);
+    EXPECT_EQ(design_index(spec.id),
+              static_cast<int>(spec.id) + 1);
+    ASSERT_TRUE(parse_design(spec.name).has_value());
+    EXPECT_EQ(*parse_design(spec.name), spec.id);
+    EXPECT_EQ(*parse_design(std::to_string(design_index(spec.id))), spec.id);
+  }
+}
+
+TEST(Designs, ParseDesignAcceptsEveryToolSpelling) {
+  // The spellings the CLIs, benches and registry historically each parsed
+  // their own way; the shared seam must keep accepting all of them.
+  for (const char* text : {"3", "design3", "Design3", "design-3", "design_3",
+                           "design 3", "Design 3", "DESIGN 3"}) {
+    ASSERT_TRUE(parse_design(text).has_value()) << text;
+    EXPECT_EQ(*parse_design(text), DesignId::kDesign3) << text;
+  }
+}
+
+TEST(Designs, ParseDesignRejectsGarbage) {
+  for (const char* text :
+       {"", "0", "6", "design", "design0", "design6", "3x", "design 3x",
+        "desig 3", "-3", " 3", "3 "}) {
+    EXPECT_FALSE(parse_design(text).has_value()) << "'" << text << "'";
+  }
+}
+
+TEST(Designs, DesignConfigWidensWithOctaveDepth) {
+  const DatapathConfig one = design_config(DesignId::kDesign2, 1);
+  const DatapathConfig three = design_config(DesignId::kDesign2, 3);
+  EXPECT_GT(three.input_bits, one.input_bits);
+  EXPECT_THROW((void)design_config(DesignId::kDesign2, 0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dwt::hw

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "core/registry.hpp"
 #include "dsp/dwt2d.hpp"
 #include "dsp/image_gen.hpp"
 
@@ -94,17 +95,43 @@ TEST(TileScheduler, HardwareBackendMatchesSoftwareFixedPoint) {
   opt.tile_w = 16;
   opt.tile_h = 16;
   opt.octaves = 2;
-  opt.backend = TileBackend::kHardware;
+  opt.backend = core::find_backend("rtl-interpreted");
+  ASSERT_NE(opt.backend, nullptr);
   opt.threads = 2;
   dsp::Image hw_plane = source;
   const TileStats stats = tile_forward(hw_plane, opt);
   EXPECT_GT(stats.total_cycles, 0u);
   EXPECT_GT(stats.line_passes, 0u);
 
-  opt.backend = TileBackend::kSoftware;
+  opt.backend = nullptr;
   dsp::Image sw_plane = source;
   (void)tile_forward(sw_plane, opt);
   EXPECT_EQ(hw_plane.data(), sw_plane.data());
+}
+
+TEST(TileScheduler, RegistryBackendsAgreeOnTiles) {
+  // Every 2-D-capable bit-exact registry backend must tile identically to
+  // the in-thread software fixed-point path (which `backend == nullptr`
+  // runs), cycle accounting aside.
+  const dsp::Image source = shifted_image(23, 19, 17);
+  TileOptions opt;
+  opt.tile_w = 8;
+  opt.tile_h = 8;
+  opt.octaves = 2;
+  opt.threads = 2;
+  dsp::Image reference = source;
+  (void)tile_forward(reference, opt);
+  for (const core::ExecutionBackend* backend : core::all_backends()) {
+    const core::BackendCaps caps = backend->caps();
+    if (!caps.forward_2d || !caps.bit_exact) continue;
+    opt.backend = backend;
+    dsp::Image plane = source;
+    const TileStats stats = tile_forward(plane, opt);
+    EXPECT_EQ(plane.data(), reference.data()) << backend->name();
+    if (caps.cycle_accurate) {
+      EXPECT_GT(stats.total_cycles, 0u) << backend->name();
+    }
+  }
 }
 
 TEST(TileScheduler, RejectsBadOptions) {
@@ -116,12 +143,15 @@ TEST(TileScheduler, RejectsBadOptions) {
   opt.tile_w = 0;
   EXPECT_THROW(tile_forward(img, opt), std::invalid_argument);
   opt = TileOptions{};
-  opt.backend = TileBackend::kHardware;
+  opt.backend = core::find_backend("rtl-interpreted");
   opt.method = dsp::Method::kReversible53;
   EXPECT_THROW(tile_forward(img, opt), std::invalid_argument);
   opt = TileOptions{};
-  opt.backend = TileBackend::kHardware;
+  opt.backend = core::find_backend("rtl-interpreted");
   EXPECT_THROW(tile_inverse(img, opt), std::invalid_argument);
+  opt = TileOptions{};
+  opt.backend = core::find_backend("fpga-mapped");  // 1-D only: no 2-D caps
+  EXPECT_THROW(tile_forward(img, opt), std::invalid_argument);
   dsp::Image empty;
   opt = TileOptions{};
   EXPECT_THROW(tile_forward(empty, opt), std::invalid_argument);

@@ -214,7 +214,9 @@ TEST(Builder, DelayLine) {
     sim.set_bus(in, seq[t]);
     sim.step();
     // After step t the third register holds the value applied at step t-2.
-    if (t >= 2) EXPECT_EQ(sim.read_bus(q), seq[t - 2]) << t;
+    if (t >= 2) {
+      EXPECT_EQ(sim.read_bus(q), seq[t - 2]) << t;
+    }
   }
 }
 

@@ -80,7 +80,9 @@ TEST(Simulator, ShiftRegisterChain) {
   for (int t = 0; t < 5; ++t) {
     sim.set_input(d, pattern[t]);
     sim.step();
-    if (t >= 2) EXPECT_EQ(sim.value(q3), pattern[t - 2]) << t;
+    if (t >= 2) {
+      EXPECT_EQ(sim.value(q3), pattern[t - 2]) << t;
+    }
   }
 }
 

@@ -1,22 +1,27 @@
 // dwt97cli -- command-line front end to the library.
 //
-//   dwt97cli compress   <in.pgm> <out.dwt> [--lossless] [--step S] [--octaves N]
-//   dwt97cli decompress <in.dwt> <out.pgm>
-//   dwt97cli tile       <in.pgm> <out.pgm> [--octaves N] [--tile N] [--threads N]
-//   dwt97cli gen        <out.pgm> <width> <height> [seed]
-//   dwt97cli synth      [design 1..5]
-//   dwt97cli verilog    <design 1..5> <out.v>
-//   dwt97cli psnr       <a.pgm> <b.pgm>
+//   dwt97cli compress      <in.pgm> <out.dwt> [--lossless] [--step S] [--octaves N]
+//   dwt97cli decompress    <in.dwt> <out.pgm>
+//   dwt97cli tile          <in.pgm> <out.pgm> [--octaves N] [--tile N]
+//                          [--threads N] [--backend NAME] [--design D]
+//   dwt97cli gen           <out.pgm> <width> <height> [seed]
+//   dwt97cli synth         [design 1..5]
+//   dwt97cli verilog       <design 1..5> <out.v>
+//   dwt97cli psnr          <a.pgm> <b.pgm>
+//   dwt97cli list-backends      (also accepted: --list-backends)
+//   dwt97cli list-designs       (also accepted: --list-designs)
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "codec/codec.hpp"
+#include "core/registry.hpp"
 #include "dsp/dwt2d.hpp"
 #include "dsp/image_gen.hpp"
 #include "dsp/metrics.hpp"
@@ -36,10 +41,15 @@ int usage() {
                "  dwt97cli decompress <in.dwt> <out.pgm>\n"
                "  dwt97cli tile       <in.pgm> <out.pgm> [--octaves N] "
                "[--tile N] [--threads N]\n"
+               "                      [--backend NAME] [--design D]\n"
                "  dwt97cli gen        <out.pgm> <width> <height> [seed]\n"
                "  dwt97cli synth      [design 1..5]\n"
                "  dwt97cli verilog    <design 1..5> <out.v>\n"
-               "  dwt97cli psnr       <a.pgm> <b.pgm>\n");
+               "  dwt97cli psnr       <a.pgm> <b.pgm>\n"
+               "  dwt97cli list-backends\n"
+               "  dwt97cli list-designs\n"
+               "backends: %s\n",
+               dwt::core::backend_names().c_str());
   return 2;
 }
 
@@ -152,6 +162,21 @@ int cmd_tile(int argc, char** argv) {
         return usage();
       }
       opt.threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      opt.backend = dwt::core::find_backend(argv[++i]);
+      if (opt.backend == nullptr) {
+        std::fprintf(stderr, "unknown backend: %s (have: %s)\n", argv[i],
+                     dwt::core::backend_names().c_str());
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--design") == 0 && i + 1 < argc) {
+      const std::optional<dwt::hw::DesignId> design =
+          dwt::hw::parse_design(argv[++i]);
+      if (!design) {
+        std::fprintf(stderr, "bad --design value: %s\n", argv[i]);
+        return usage();
+      }
+      opt.design = *design;
     } else {
       return usage();
     }
@@ -161,7 +186,13 @@ int cmd_tile(int argc, char** argv) {
   dwt::dsp::level_shift_forward(img);
   dwt::dsp::round_coefficients(img);
   const dwt::hw::TileStats stats = dwt::hw::tile_forward(img, opt);
-  (void)dwt::hw::tile_inverse(img, opt);
+  // Backends without a 2-D inverse (the gate-level engines) invert through
+  // the software path: their forward is bit-identical to kLiftingFixed.
+  dwt::hw::TileOptions inv = opt;
+  if (inv.backend != nullptr && !inv.backend->caps().inverse_2d) {
+    inv.backend = nullptr;
+  }
+  (void)dwt::hw::tile_inverse(img, inv);
   dwt::dsp::level_shift_inverse(img);
   dwt::dsp::write_pgm(img, argv[3]);
   std::printf("%s: %zux%zu, %zu tiles on %u threads, round-trip %.2f dB\n",
@@ -193,10 +224,10 @@ int cmd_gen(int argc, char** argv) {
 int cmd_synth(int argc, char** argv) {
   dwt::explore::Explorer explorer;
   if (argc >= 3) {
-    long n = 0;
-    if (!parse_long(argv[2], 1, 5, &n)) return usage();
-    const auto eval = explorer.evaluate(
-        dwt::hw::design_spec(static_cast<dwt::hw::DesignId>(n - 1)));
+    const std::optional<dwt::hw::DesignId> design =
+        dwt::hw::parse_design(argv[2]);
+    if (!design) return usage();
+    const auto eval = explorer.evaluate(dwt::hw::design_spec(*design));
     std::printf("%s\n", eval.report.to_string().c_str());
     return 0;
   }
@@ -209,17 +240,47 @@ int cmd_synth(int argc, char** argv) {
 
 int cmd_verilog(int argc, char** argv) {
   if (argc != 4) return usage();
-  long n = 0;
-  if (!parse_long(argv[2], 1, 5, &n)) return usage();
-  const auto dp = dwt::hw::build_design(static_cast<dwt::hw::DesignId>(n - 1));
+  const std::optional<dwt::hw::DesignId> design =
+      dwt::hw::parse_design(argv[2]);
+  if (!design) return usage();
+  const auto dp = dwt::hw::build_design(*design);
   std::ofstream out(argv[3]);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", argv[3]);
     return 1;
   }
   dwt::rtl::write_verilog(dp.netlist, "dwt_lifting_core", out);
-  std::printf("%s: design %ld (%zu cells, latency %d)\n", argv[3], n,
-              dp.netlist.cell_count(), dp.info.latency);
+  std::printf("%s: design %d (%zu cells, latency %d)\n", argv[3],
+              dwt::hw::design_index(*design), dp.netlist.cell_count(),
+              dp.info.latency);
+  return 0;
+}
+
+int cmd_list_backends() {
+  std::printf("%-16s %-5s %-6s %-6s %-4s %-4s %s\n", "backend", "gates",
+              "cycles", "exact", "2d", "inv", "description");
+  for (const dwt::core::ExecutionBackend* b : dwt::core::all_backends()) {
+    const dwt::core::BackendCaps caps = b->caps();
+    std::printf("%-16s %-5s %-6s %-6s %-4s %-4s %s\n",
+                std::string(b->name()).c_str(), caps.gate_level ? "yes" : "-",
+                caps.cycle_accurate ? "yes" : "-",
+                caps.bit_exact ? "yes" : "-", caps.forward_2d ? "yes" : "-",
+                caps.inverse_2d ? "yes" : "-",
+                std::string(b->description()).c_str());
+  }
+  return 0;
+}
+
+int cmd_list_designs() {
+  std::printf("%-10s %-8s %-10s %-12s %s\n", "design", "stages", "area(LE)",
+              "fmax(MHz)", "description");
+  const auto table = dwt::hw::paper_table3();
+  const auto designs = dwt::hw::all_designs();
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    std::printf("%-10s %-8d %-10d %-12.1f %s\n", designs[i].name.c_str(),
+                table[i].pipeline_stages, table[i].area_les,
+                table[i].fmax_mhz, designs[i].description.c_str());
+  }
   return 0;
 }
 
@@ -245,6 +306,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "synth") == 0) return cmd_synth(argc, argv);
     if (std::strcmp(argv[1], "verilog") == 0) return cmd_verilog(argc, argv);
     if (std::strcmp(argv[1], "psnr") == 0) return cmd_psnr(argc, argv);
+    if (std::strcmp(argv[1], "list-backends") == 0 ||
+        std::strcmp(argv[1], "--list-backends") == 0) {
+      return cmd_list_backends();
+    }
+    if (std::strcmp(argv[1], "list-designs") == 0 ||
+        std::strcmp(argv[1], "--list-designs") == 0) {
+      return cmd_list_designs();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,18 +4,23 @@
 //   faultcampaign --design 1..5 [--faults seu,glitch,sa0,sa1] [--trials N]
 //                 [--seed S] [--harden none|tmr|parity] [--samples N]
 //                 [--engine interpreted|compiled] [--threads N]
+//                 [--backend rtl-interpreted|rtl-compiled]
 //                 [--no-trial-list] [--out report.json]
 //
 // Emits a JSON report (stdout by default).  Identical arguments produce
 // byte-identical output, so reports diff cleanly across revisions -- and
 // the two engines produce byte-identical reports for the same seed, so
 // `--engine interpreted` remains available as a cross-check of the fast
-// (default) compiled bit-parallel engine.
+// (default) compiled bit-parallel engine.  `--backend` selects the engine
+// by its core registry name (the same names dwt97cli and the benches use);
+// campaigns inject faults at netlist granularity, so only the gate-level
+// rtl backends are accepted.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +48,7 @@ int usage() {
       "  faultcampaign --design 1..5 [--faults seu,glitch,sa0,sa1]\n"
       "                [--trials N] [--seed S] [--harden none|tmr|parity]\n"
       "                [--samples N] [--engine interpreted|compiled]\n"
+      "                [--backend rtl-interpreted|rtl-compiled]\n"
       "                [--threads N] [--no-trial-list] [--out report.json]\n");
   return 2;
 }
@@ -145,6 +151,19 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* v = need_value("--backend");
+      if (v == nullptr) return usage();
+      const std::optional<dwt::explore::CampaignEngine> engine =
+          dwt::explore::engine_from_backend(v);
+      if (!engine) {
+        std::fprintf(stderr,
+                     "bad --backend value: %s (campaigns run on "
+                     "rtl-interpreted or rtl-compiled)\n",
+                     v);
+        return usage();
+      }
+      opt.engine = *engine;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
       unsigned long long n = 0;

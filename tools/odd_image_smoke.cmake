@@ -36,3 +36,15 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
 if(NOT diff EQUAL 0)
   message(FATAL_ERROR "tile pipeline output differs across thread counts")
 endif()
+
+# Gate-level tile backend: the compiled bit-parallel core must reconstruct
+# byte-identically to the software fixed-point path (its forward transform
+# is bit-exact; the inverse leg always runs in software).
+run(${CLI} tile ${WORK}/odd.pgm ${WORK}/tile_hw.pgm --octaves 2 --threads 4
+    --backend rtl-compiled --design 3)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/tile1.pgm ${WORK}/tile_hw.pgm
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "gate-level tile backend output differs from software")
+endif()
