@@ -98,13 +98,18 @@ std::shared_ptr<const CachedDesign> ArtifactCache::design(
 }
 
 std::shared_ptr<const rtl::compiled::Tape> ArtifactCache::tape(
-    const hw::DatapathConfig& cfg, rtl::HardeningStyle harden) {
-  const std::string key = config_key(cfg, harden);
+    const hw::DatapathConfig& cfg, rtl::HardeningStyle harden,
+    rtl::compiled::OptLevel level) {
+  std::string key = config_key(cfg, harden);
+  if (level != rtl::compiled::OptLevel::kNone) {
+    key += ";opt=";
+    key += std::to_string(static_cast<int>(level));
+  }
   return get_or_build(mutex_, tapes_.map, tapes_.builds, tapes_.hits, key,
                       [&]() {
                         const std::shared_ptr<const CachedDesign> d =
                             design(cfg, harden);
-                        return rtl::compiled::compile(d->dp.netlist);
+                        return rtl::compiled::compile(d->dp.netlist, level);
                       });
 }
 

@@ -76,10 +76,15 @@ class ArtifactCache {
       const hw::DatapathConfig& cfg,
       rtl::HardeningStyle harden = rtl::HardeningStyle::kNone);
 
-  /// Compiled bit-parallel tape of the (possibly hardened) datapath.
+  /// Compiled bit-parallel tape of the (possibly hardened) datapath at the
+  /// requested optimization level.  Each level is its own cache entry (the
+  /// key gains an ";opt=N" suffix for N > 0, so O0 keys -- and the build
+  /// counters pinned by existing consumers -- are unchanged), built
+  /// directly via compile(netlist, level) from the shared design artifact.
   [[nodiscard]] std::shared_ptr<const rtl::compiled::Tape> tape(
       const hw::DatapathConfig& cfg,
-      rtl::HardeningStyle harden = rtl::HardeningStyle::kNone);
+      rtl::HardeningStyle harden = rtl::HardeningStyle::kNone,
+      rtl::compiled::OptLevel level = rtl::compiled::OptLevel::kNone);
 
   /// simplify() + APEX mapping of the (possibly hardened) datapath.
   [[nodiscard]] std::shared_ptr<const MappedDesign> mapped(

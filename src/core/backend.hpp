@@ -26,6 +26,7 @@
 #include "hw/designs.hpp"
 #include "hw/dwt2d_system.hpp"
 #include "hw/stream_runner.hpp"
+#include "rtl/compiled/tape.hpp"
 
 namespace dwt::core {
 
@@ -36,6 +37,11 @@ struct BackendRequest {
   /// coefficients outgrow the paper's 8-bit inputs past one octave).
   int max_octaves = 1;
   int frac_bits = dsp::kDefaultFracBits;  ///< software fixed-point precision
+  /// Tape optimization level for the rtl-compiled backend (ignored by every
+  /// other engine).  Streaming through a backend is fault-free, so the full
+  /// pipeline -- which trades fault-overlay exactness for fewer
+  /// instructions -- is the default; ports survive every pass.
+  rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kFull;
 };
 
 /// Capability flags: what a backend's results mean and which entry points

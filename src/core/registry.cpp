@@ -184,7 +184,8 @@ class RtlCompiledBackend final : public ExecutionBackend {
     const hw::DatapathConfig cfg =
         hw::design_config(req.design, req.max_octaves);
     const std::shared_ptr<const CachedDesign> d = cache.design(cfg);
-    rtl::compiled::BatchFaultSession session(cache.tape(cfg));
+    rtl::compiled::BatchFaultSession session(
+        cache.tape(cfg, rtl::HardeningStyle::kNone, req.opt_level));
     return std::move(
         hw::run_stream_batch(d->dp, session, x, /*lanes=*/1).front());
   }
@@ -194,8 +195,9 @@ class RtlCompiledBackend final : public ExecutionBackend {
     ArtifactCache& cache = ArtifactCache::instance();
     const hw::DatapathConfig cfg =
         hw::design_config(req.design, req.max_octaves);
-    return std::make_unique<GateSession>(share_datapath(cache.design(cfg)),
-                                         cache.tape(cfg));
+    return std::make_unique<GateSession>(
+        share_datapath(cache.design(cfg)),
+        cache.tape(cfg, rtl::HardeningStyle::kNone, req.opt_level));
   }
 };
 

@@ -152,6 +152,9 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   if (options.kinds.empty()) {
     throw std::invalid_argument("run_campaign: no fault kinds enabled");
   }
+  if (options.lanes != 64 && options.lanes != 128 && options.lanes != 256) {
+    throw std::invalid_argument("run_campaign: lanes must be 64, 128 or 256");
+  }
 
   CampaignResult result;
   result.spec = hw::design_spec(options.design);
@@ -186,8 +189,14 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
           ? dut.netlist.output(rtl::kErrorFlagPort).bits.front()
           : rtl::kNullNet;
   const bool compiled = options.engine == CampaignEngine::kCompiled;
+  // Fault overlays pin individual nets, so kFull's slot sharing is off the
+  // table: clamp to the fault-overlay-safe level.
+  const rtl::compiled::OptLevel level =
+      options.opt_level == rtl::compiled::OptLevel::kFull
+          ? rtl::compiled::OptLevel::kSafe
+          : options.opt_level;
   std::shared_ptr<const rtl::compiled::Tape> tape;
-  if (compiled) tape = cache.tape(result.spec.config, options.harden);
+  if (compiled) tape = cache.tape(result.spec.config, options.harden, level);
 
   // Golden references: the unhardened design defines correctness; the
   // hardened one must reproduce it fault-free (a transform bug fails loudly
@@ -195,7 +204,8 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   // golden -- they are bit-exact, so the reports stay byte-identical.
   hw::StreamResult golden;
   if (compiled) {
-    rtl::compiled::BatchFaultSession sess(cache.tape(result.spec.config));
+    rtl::compiled::BatchFaultSession sess(
+        cache.tape(result.spec.config, rtl::HardeningStyle::kNone, level));
     golden = std::move(hw::run_stream_batch(built, sess, stimulus, 1).front());
   } else {
     rtl::Simulator sim(built.netlist);
@@ -263,53 +273,63 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
 
   std::vector<FaultTrial> trials(options.trials);
   if (compiled) {
-    // 64 fault trials per tape pass, batches sharded across a worker pool.
-    // Every batch writes only its own slice of `trials`, so the result is
-    // independent of scheduling.
-    const std::size_t n_batches =
-        (options.trials + rtl::compiled::kLanes - 1) / rtl::compiled::kLanes;
-    unsigned n_threads =
-        options.threads != 0 ? options.threads
-                             : std::max(1u, std::thread::hardware_concurrency());
-    n_threads = static_cast<unsigned>(
-        std::min<std::size_t>(n_threads, n_batches));
-    std::atomic<std::size_t> next_batch{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-    const auto worker = [&]() {
-      try {
-        for (std::size_t b = next_batch.fetch_add(1); b < n_batches;
-             b = next_batch.fetch_add(1)) {
-          const std::size_t t0 = b * rtl::compiled::kLanes;
-          const unsigned lanes = static_cast<unsigned>(
-              std::min<std::size_t>(rtl::compiled::kLanes,
-                                    options.trials - t0));
-          rtl::compiled::BatchFaultSession sess(tape);
-          for (unsigned l = 0; l < lanes; ++l) sess.arm(l, faults[t0 + l]);
-          if (flag_net != rtl::kNullNet) sess.watch(flag_net);
-          const std::vector<hw::StreamResult> got =
-              hw::run_stream_batch(dut, sess, stimulus, lanes);
-          const std::uint64_t watch = sess.watch_mask();
-          for (unsigned l = 0; l < lanes; ++l) {
-            trials[t0 + l] = classify_trial(
-                faults[t0 + l], dut.netlist.net(faults[t0 + l].net).name,
-                got[l], golden, ((watch >> l) & 1) != 0);
+    // Up to 64*W fault trials per tape pass (lane-block width W from
+    // options.lanes), batches sharded across a worker pool.  Every batch
+    // writes only its own slice of `trials`, so the result is independent
+    // of scheduling, thread count and lane count.
+    const auto run_batches = [&]<unsigned W>() {
+      constexpr std::size_t kBatchLanes =
+          rtl::compiled::WideBatchSession<W>::kTotalLanes;
+      const std::size_t n_batches =
+          (options.trials + kBatchLanes - 1) / kBatchLanes;
+      unsigned n_threads =
+          options.threads != 0
+              ? options.threads
+              : std::max(1u, std::thread::hardware_concurrency());
+      n_threads = static_cast<unsigned>(
+          std::min<std::size_t>(n_threads, n_batches));
+      std::atomic<std::size_t> next_batch{0};
+      std::mutex error_mutex;
+      std::exception_ptr first_error;
+      const auto worker = [&]() {
+        try {
+          for (std::size_t b = next_batch.fetch_add(1); b < n_batches;
+               b = next_batch.fetch_add(1)) {
+            const std::size_t t0 = b * kBatchLanes;
+            const unsigned lanes = static_cast<unsigned>(
+                std::min<std::size_t>(kBatchLanes, options.trials - t0));
+            rtl::compiled::WideBatchSession<W> sess(tape);
+            for (unsigned l = 0; l < lanes; ++l) sess.arm(l, faults[t0 + l]);
+            if (flag_net != rtl::kNullNet) sess.watch(flag_net);
+            const std::vector<hw::StreamResult> got =
+                hw::run_stream_batch(dut, sess, stimulus, lanes);
+            const auto& watch = sess.watch_block();
+            for (unsigned l = 0; l < lanes; ++l) {
+              trials[t0 + l] = classify_trial(
+                  faults[t0 + l], dut.netlist.net(faults[t0 + l].net).name,
+                  got[l], golden, watch.get(l));
+            }
           }
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
         }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+      };
+      if (n_threads <= 1) {
+        worker();
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+        for (std::thread& th : pool) th.join();
       }
+      if (first_error) std::rethrow_exception(first_error);
     };
-    if (n_threads <= 1) {
-      worker();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(n_threads);
-      for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
-      for (std::thread& th : pool) th.join();
+    switch (options.lanes) {
+      case 64: run_batches.template operator()<1>(); break;
+      case 128: run_batches.template operator()<2>(); break;
+      default: run_batches.template operator()<4>(); break;
     }
-    if (first_error) std::rethrow_exception(first_error);
   } else {
     for (std::size_t t = 0; t < options.trials; ++t) {
       rtl::Simulator sim(dut.netlist);

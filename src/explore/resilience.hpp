@@ -14,6 +14,7 @@
 
 #include "explore/pareto.hpp"
 #include "hw/designs.hpp"
+#include "rtl/compiled/tape.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/harden.hpp"
 
@@ -56,6 +57,15 @@ struct ResilienceOptions {
   /// hardware thread.  Ignored by the interpreted engine.  Results are
   /// deterministic regardless of the thread count.
   unsigned threads = 0;
+  /// Fault trials packed per compiled tape pass: 64, 128 or 256 (lane-block
+  /// width 1, 2 or 4 state words per slot).  Ignored by the interpreted
+  /// engine.  Classification is per-trial, so results -- and the JSON
+  /// report -- are byte-identical at every lane count.
+  unsigned lanes = 256;
+  /// Tape optimization level for the compiled engine.  kFull is clamped to
+  /// kSafe: fault overlays pin individual nets, which needs the
+  /// fault-overlay-safe slot mapping (see rtl/compiled/opt/passes.hpp).
+  rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kSafe;
 };
 
 enum class FaultOutcome {

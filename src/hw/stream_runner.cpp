@@ -107,14 +107,14 @@ StreamResult run_stream_faulty(const BuiltDatapath& dp, rtl::FaultInjector& inj,
                   dp.info.latency, inj, x);
 }
 
-std::vector<StreamResult> run_stream_batch(const BuiltDatapath& dp,
-                                           rtl::compiled::BatchFaultSession& session,
-                                           std::span<const std::int64_t> x,
-                                           unsigned lanes) {
+template <unsigned W>
+std::vector<StreamResult> run_stream_batch(
+    const BuiltDatapath& dp, rtl::compiled::WideBatchSession<W>& session,
+    std::span<const std::int64_t> x, unsigned lanes) {
   if (x.empty()) {
     throw std::invalid_argument("run_stream_batch: empty signal");
   }
-  if (lanes == 0 || lanes > rtl::compiled::kLanes) {
+  if (lanes == 0 || lanes > rtl::compiled::WideBatchSession<W>::kTotalLanes) {
     throw std::invalid_argument("run_stream_batch: bad lane count");
   }
   const int latency = dp.info.latency;
@@ -157,6 +157,16 @@ std::vector<StreamResult> run_stream_batch(const BuiltDatapath& dp,
   for (StreamResult& r : out) r.cycles = static_cast<std::uint64_t>(total_cycles);
   return out;
 }
+
+template std::vector<StreamResult> run_stream_batch<1>(
+    const BuiltDatapath&, rtl::compiled::WideBatchSession<1>&,
+    std::span<const std::int64_t>, unsigned);
+template std::vector<StreamResult> run_stream_batch<2>(
+    const BuiltDatapath&, rtl::compiled::WideBatchSession<2>&,
+    std::span<const std::int64_t>, unsigned);
+template std::vector<StreamResult> run_stream_batch<4>(
+    const BuiltDatapath&, rtl::compiled::WideBatchSession<4>&,
+    std::span<const std::int64_t>, unsigned);
 
 LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,
                                   rtl::compiled::CompiledSimulator& sim,

@@ -59,13 +59,25 @@ inline constexpr int kGuardPairs = 4;
 
 /// Batched equivalent of run_stream_faulty on the compiled bit-parallel
 /// engine: every lane streams the same extended signal while the session
-/// applies each lane's armed fault overlay, so one call carries up to 64
-/// independent fault trials.  Returns the per-lane coefficient windows for
-/// the first `lanes` lanes; with no faults armed every lane is bit-identical
-/// to run_stream.
+/// applies each lane's armed fault overlay, so one call carries up to
+/// Session::kTotalLanes independent fault trials (64 per slot word times
+/// the session's lane-block width W).  Returns the per-lane coefficient
+/// windows for the first `lanes` lanes; with no faults armed every lane is
+/// bit-identical to run_stream.
+template <unsigned W>
 [[nodiscard]] std::vector<StreamResult> run_stream_batch(
-    const BuiltDatapath& dp, rtl::compiled::BatchFaultSession& session,
+    const BuiltDatapath& dp, rtl::compiled::WideBatchSession<W>& session,
     std::span<const std::int64_t> x, unsigned lanes);
+
+extern template std::vector<StreamResult> run_stream_batch<1>(
+    const BuiltDatapath&, rtl::compiled::WideBatchSession<1>&,
+    std::span<const std::int64_t>, unsigned);
+extern template std::vector<StreamResult> run_stream_batch<2>(
+    const BuiltDatapath&, rtl::compiled::WideBatchSession<2>&,
+    std::span<const std::int64_t>, unsigned);
+extern template std::vector<StreamResult> run_stream_batch<4>(
+    const BuiltDatapath&, rtl::compiled::WideBatchSession<4>&,
+    std::span<const std::int64_t>, unsigned);
 
 /// Batched activity path: partitions a signal of any non-zero length into
 /// up to 64 contiguous chunks (the final chunk may be odd), one per lane,

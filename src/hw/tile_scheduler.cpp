@@ -61,6 +61,7 @@ core::BackendRequest backend_request(const TileOptions& options) {
   req.design = options.design;
   req.max_octaves = options.octaves;
   req.frac_bits = options.frac_bits;
+  req.opt_level = options.opt_level;
   return req;
 }
 

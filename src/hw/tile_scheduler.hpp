@@ -20,6 +20,7 @@
 #include "dsp/dwt1d.hpp"
 #include "dsp/image.hpp"
 #include "hw/designs.hpp"
+#include "rtl/compiled/tape.hpp"
 
 namespace dwt::core {
 class ExecutionBackend;
@@ -44,6 +45,10 @@ struct TileOptions {
   /// transform only, so they reject any other `method`.
   const core::ExecutionBackend* backend = nullptr;
   DesignId design = DesignId::kDesign2;  ///< core for gate-level backends
+  /// Tape optimization level for the rtl-compiled backend (other engines
+  /// ignore it).  Tiling is fault-free streaming, so the full pipeline is
+  /// both safe and the default.
+  rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kFull;
 };
 
 struct TileStats {

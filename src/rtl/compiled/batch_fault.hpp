@@ -1,5 +1,6 @@
 // Batched fault overlay for the compiled engine: one fault per lane, so a
-// single tape pass carries 64 independent fault trials of a campaign.
+// single tape pass carries 64*W independent fault trials of a campaign
+// (64 per state word; W words per slot -- see wide_simulator.hpp).
 //
 // Per-cycle semantics replicate rtl::FaultInjector::step() exactly, lane by
 // lane: glitch/stuck forces pin their net during the settle of the scheduled
@@ -7,29 +8,67 @@
 // pinned D values, and SEUs strike the freshly clocked state.  A lane with
 // no armed fault behaves as the plain simulator, which is what makes the
 // differential checks (compiled-vs-interpreted, hardened-vs-golden) exact.
+//
+// arm() refuses tapes optimized past the fault-overlay-safe level (kFull
+// folding redirects nets onto shared slots, so a per-lane pin would leak
+// into other nets); fault-free streaming through the session is fine on any
+// tape.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "rtl/compiled/compiled_simulator.hpp"
+#include "rtl/compiled/wide_simulator.hpp"
 #include "rtl/fault.hpp"
 
 namespace dwt::rtl::compiled {
 
-class BatchFaultSession {
+template <unsigned W>
+class WideBatchSession {
  public:
-  explicit BatchFaultSession(std::shared_ptr<const Tape> tape);
+  using Sim = WideSimulator<W>;
+  using Block = typename Sim::Block;
+  static constexpr unsigned kTotalLanes = Sim::kTotalLanes;
+
+  explicit WideBatchSession(std::shared_ptr<const Tape> tape)
+      : sim_(std::move(tape)) {}
 
   /// Schedules `f` on one lane.  Throws std::invalid_argument on a bad
-  /// lane/net, or an SEU whose target is not a DFF output.
-  void arm(unsigned lane, const Fault& f);
+  /// lane/net, an SEU whose target is not a DFF output, or a tape rewritten
+  /// beyond the fault-overlay-safe optimization level.
+  void arm(unsigned lane, const Fault& f) {
+    if (lane >= kTotalLanes) {
+      throw std::invalid_argument("BatchFaultSession::arm: bad lane");
+    }
+    if (f.net >= sim_.tape().net_count()) {
+      throw std::invalid_argument("BatchFaultSession::arm: net out of range");
+    }
+    if (f.kind == FaultKind::kSeuFlip && !sim_.tape().is_dff_output(f.net)) {
+      throw std::invalid_argument(
+          "BatchFaultSession::arm: SEU target is not a DFF output");
+    }
+    if (!sim_.tape().fault_overlay_safe()) {
+      throw std::invalid_argument(
+          "BatchFaultSession::arm: tape is not fault-overlay safe "
+          "(compiled at OptLevel::kFull)");
+    }
+    faults_.push_back({lane, f});
+  }
 
   /// Monitors a net (e.g. the parity error flag) on every lane: bit L of
-  /// watch_mask() latches 1 if lane L ever sees the net high after a settle.
-  void watch(NetId net);
-  [[nodiscard]] std::uint64_t watch_mask() const { return watch_mask_; }
+  /// watch_block() latches 1 if lane L ever sees the net high after a
+  /// settle.
+  void watch(NetId net) {
+    if (net >= sim_.tape().net_count()) {
+      throw std::invalid_argument("BatchFaultSession::watch: net out of range");
+    }
+    watched_.push_back(net);
+  }
+  [[nodiscard]] const Block& watch_block() const { return watch_mask_; }
 
   // Batched streaming surface --------------------------------------------
   /// Drives every lane with the same value (campaign trials share stimulus).
@@ -37,24 +76,65 @@ class BatchFaultSession {
     sim_.set_bus_all(bus, value);
   }
   /// One clock cycle for all lanes with each lane's overlay applied.
-  void step();
+  void step() {
+    // Activate this cycle's pins.  Stuck forces persist once applied; glitch
+    // forces live for exactly this settle+edge and are released below.
+    for (const Armed& a : faults_) {
+      if (a.fault.cycle != cycle_) continue;
+      const Block bit = Block::lane_bit(a.lane);
+      switch (a.fault.kind) {
+        case FaultKind::kGlitch:
+          sim_.force(a.fault.net, bit,
+                     a.fault.glitch_value ? bit : Block::zeros());
+          break;
+        case FaultKind::kStuckAt0:
+          sim_.force(a.fault.net, bit, Block::zeros());
+          break;
+        case FaultKind::kStuckAt1:
+          sim_.force(a.fault.net, bit, bit);
+          break;
+        case FaultKind::kSeuFlip:
+          break;  // struck after the edge, below
+      }
+    }
+    sim_.eval();
+    for (const NetId n : watched_) watch_mask_ |= sim_.block(n);
+    sim_.clock_edge();
+    for (const Armed& a : faults_) {
+      if (a.fault.cycle != cycle_) continue;
+      if (a.fault.kind == FaultKind::kSeuFlip) {
+        sim_.flip_state(a.fault.net, Block::lane_bit(a.lane));
+      } else if (a.fault.kind == FaultKind::kGlitch) {
+        sim_.release(a.fault.net, Block::lane_bit(a.lane));
+      }
+    }
+    ++cycle_;
+  }
   [[nodiscard]] std::int64_t read_bus(const Bus& bus, unsigned lane) const {
     return sim_.read_bus(bus, lane);
   }
 
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
-  [[nodiscard]] CompiledSimulator& sim() { return sim_; }
+  [[nodiscard]] Sim& sim() { return sim_; }
 
  private:
-  CompiledSimulator sim_;
+  Sim sim_;
   struct Armed {
     unsigned lane;
     Fault fault;
   };
   std::vector<Armed> faults_;
   std::vector<NetId> watched_;
-  std::uint64_t watch_mask_ = 0;
+  Block watch_mask_{};
   std::uint64_t cycle_ = 0;
+};
+
+/// The 64-lane session of the original engine, with the packed-mask surface.
+class BatchFaultSession : public WideBatchSession<1> {
+ public:
+  using WideBatchSession<1>::WideBatchSession;
+
+  [[nodiscard]] std::uint64_t watch_mask() const { return watch_block().w[0]; }
 };
 
 }  // namespace dwt::rtl::compiled

@@ -20,6 +20,11 @@
 // NetId) so fpga::estimate_power consumes batched runs directly.  Zero-delay
 // toggles exclude combinational glitches -- a fast screening lower bound,
 // not a replacement for the unit-delay simulators.
+//
+// This is the one-word instantiation of the width-templated engine in
+// wide_simulator.hpp, kept as a named class so the packed-mask std::uint64_t
+// surface of the original simulator survives unchanged; WideSimulator<2>/<4>
+// carry 128/256 lanes through the same tape pass.
 #pragma once
 
 #include <cstdint>
@@ -28,85 +33,55 @@
 
 #include "rtl/activity_sim.hpp"
 #include "rtl/compiled/tape.hpp"
+#include "rtl/compiled/wide_simulator.hpp"
 #include "rtl/netlist.hpp"
 
 namespace dwt::rtl::compiled {
 
 inline constexpr unsigned kLanes = 64;
 
-class CompiledSimulator {
+class CompiledSimulator : public WideSimulator<1> {
  public:
-  /// Compiles `nl` privately.  For many simulators over one design (e.g.
-  /// thread-sharded campaigns) compile once and use the shared-tape ctor.
-  explicit CompiledSimulator(const Netlist& nl);
-  explicit CompiledSimulator(std::shared_ptr<const Tape> tape);
+  using WideSimulator<1>::WideSimulator;
 
-  [[nodiscard]] const Tape& tape() const { return *tape_; }
-
-  // Input drive -----------------------------------------------------------
-  /// Drives one lane of a primary input.
-  void set_input(NetId net, unsigned lane, bool value);
   /// Drives all 64 lanes of a primary input from a packed mask.
-  void set_input_mask(NetId net, std::uint64_t lanes);
-  /// Drives one lane of an input bus with a signed value (two's complement).
-  void set_bus(const Bus& bus, unsigned lane, std::int64_t value);
-  /// Drives every lane of an input bus with the same signed value.
-  void set_bus_all(const Bus& bus, std::int64_t value);
+  void set_input_mask(NetId net, std::uint64_t lanes) {
+    set_input_block(net, blk(lanes));
+  }
 
-  // Clocking --------------------------------------------------------------
-  void eval();
-  void clock_edge();
-  void step();
-
-  // Observation -----------------------------------------------------------
-  [[nodiscard]] bool value(NetId net, unsigned lane) const;
   /// All 64 lanes of a net, packed (bit L = lane L).
-  [[nodiscard]] std::uint64_t lane_mask(NetId net) const;
-  /// Reads one lane of a bus as a signed two's complement integer.
-  [[nodiscard]] std::int64_t read_bus(const Bus& bus, unsigned lane) const;
+  [[nodiscard]] std::uint64_t lane_mask(NetId net) const {
+    return block(net).w[0];
+  }
 
-  // Fault overlay ---------------------------------------------------------
   /// Pins lanes of `net`: wherever `lanes` has a bit set, the net is held at
   /// the corresponding bit of `values` through every subsequent eval() until
   /// release()d.  Pins compose across calls (later calls win on overlap).
-  void force(NetId net, std::uint64_t lanes, std::uint64_t values);
+  void force(NetId net, std::uint64_t lanes, std::uint64_t values) {
+    WideSimulator<1>::force(net, blk(lanes), blk(values));
+  }
   /// Removes the pin on the given lanes of `net`.
-  void release(NetId net, std::uint64_t lanes);
+  void release(NetId net, std::uint64_t lanes) {
+    WideSimulator<1>::release(net, blk(lanes));
+  }
   /// XORs the given lanes of a DFF output -- the SEU strike.  Call between
   /// clock_edge() and the next eval(); throws if `net` is not a DFF output.
-  void flip_state(NetId net, std::uint64_t lanes);
+  void flip_state(NetId net, std::uint64_t lanes) {
+    WideSimulator<1>::flip_state(net, blk(lanes));
+  }
 
-  // Activity --------------------------------------------------------------
   /// Starts counting per-slot toggles on the lanes of `lane_mask` (default
   /// all).  Counting costs one extra pass over the state per step().
-  void enable_activity(std::uint64_t lane_mask = ~std::uint64_t{0});
-  /// Toggle totals summed over counted lanes, as ActivityStats indexed by
-  /// NetId; `cycles` is steps * popcount(counted lanes) -- each lane is one
-  /// simulated vector stream.
-  [[nodiscard]] ActivityStats activity_stats() const;
-
-  /// Clears all state (and toggle counters) back to power-on zero.
-  void reset();
-
-  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  void enable_activity(std::uint64_t lane_mask = ~std::uint64_t{0}) {
+    WideSimulator<1>::enable_activity(blk(lane_mask));
+  }
 
  private:
-  void apply_forces();
-  [[nodiscard]] Slot checked_slot(NetId net) const;
-
-  std::shared_ptr<const Tape> tape_;
-  std::vector<std::uint64_t> state_;      // per slot, one bit per lane
-  std::vector<std::uint64_t> force_keep_;  // per slot: ~forced-lanes mask
-  std::vector<std::uint64_t> force_val_;   // per slot: pinned values
-  std::vector<std::uint8_t> forced_;       // per slot flag
-  std::vector<Slot> forced_slots_;         // slots with any active pin
-  std::vector<std::uint64_t> dff_scratch_;
-
-  bool activity_on_ = false;
-  std::uint64_t activity_lanes_ = ~std::uint64_t{0};
-  std::vector<std::uint64_t> prev_state_;  // per slot, for toggle XOR
-  std::vector<std::uint64_t> toggles_;     // per slot
-  std::uint64_t cycles_ = 0;
+  [[nodiscard]] static Block blk(std::uint64_t word) {
+    Block b;
+    b.w[0] = word;
+    return b;
+  }
 };
 
 }  // namespace dwt::rtl::compiled

@@ -1,0 +1,457 @@
+#include "rtl/compiled/opt/passes.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dwt::rtl::compiled::opt {
+namespace {
+
+/// Three-valued operand lattice for the folder.
+enum class Val : std::uint8_t { kUnknown, k0, k1 };
+
+Val known(bool b) { return b ? Val::k1 : Val::k0; }
+
+bool is_known(Val v) { return v != Val::kUnknown; }
+
+bool as_bool(Val v) { return v == Val::k1; }
+
+/// Outcome of trying to simplify one instruction.
+struct Rewrite {
+  enum class Kind : std::uint8_t { kKeep, kConst, kAlias } kind = Kind::kKeep;
+  bool value = false;     // kConst
+  Slot target = kNullSlot;  // kAlias
+};
+
+Rewrite keep() { return {}; }
+Rewrite to_const(bool v) { return {Rewrite::Kind::kConst, v, kNullSlot}; }
+Rewrite to_alias(Slot s) { return {Rewrite::Kind::kAlias, false, s}; }
+
+/// Simplifies a single-output instruction given the lattice view of its
+/// (alias-resolved) operands.  In fault-safe mode `va/vb/vc` are known only
+/// for force-immune constants, and alias rewrites are never returned, so
+/// every rewrite is observably identical under arbitrary per-lane forces.
+/// Same-slot operand rules are value-independent: both pins of the cell read
+/// the same (possibly forced) word, so e.g. `a ^ a` is 0 on every lane even
+/// while `a` is forced.
+Rewrite simplify(const Instr& it, Val va, Val vb, Val vc, bool fault_safe) {
+  const bool full = !fault_safe;
+  switch (it.op) {
+    case Op::kNot:
+      if (is_known(va)) return to_const(!as_bool(va));
+      return keep();
+    case Op::kAnd:
+      if (va == Val::k0 || vb == Val::k0) return to_const(false);
+      if (va == Val::k1 && vb == Val::k1) return to_const(true);
+      if (full) {
+        if (it.a == it.b) return to_alias(it.a);
+        if (va == Val::k1) return to_alias(it.b);
+        if (vb == Val::k1) return to_alias(it.a);
+      }
+      return keep();
+    case Op::kOr:
+      if (va == Val::k1 || vb == Val::k1) return to_const(true);
+      if (va == Val::k0 && vb == Val::k0) return to_const(false);
+      if (full) {
+        if (it.a == it.b) return to_alias(it.a);
+        if (va == Val::k0) return to_alias(it.b);
+        if (vb == Val::k0) return to_alias(it.a);
+      }
+      return keep();
+    case Op::kXor:
+      if (it.a == it.b) return to_const(false);
+      if (is_known(va) && is_known(vb)) {
+        return to_const(as_bool(va) != as_bool(vb));
+      }
+      if (full) {
+        if (va == Val::k0) return to_alias(it.b);
+        if (vb == Val::k0) return to_alias(it.a);
+      }
+      return keep();
+    case Op::kMux:  // out = c ? b : a
+      if (vc == Val::k0) {
+        if (is_known(va)) return to_const(as_bool(va));
+        if (full) return to_alias(it.a);
+      }
+      if (vc == Val::k1) {
+        if (is_known(vb)) return to_const(as_bool(vb));
+        if (full) return to_alias(it.b);
+      }
+      if (it.a == it.b) {  // both branches read the same word
+        if (is_known(va)) return to_const(as_bool(va));
+        if (full) return to_alias(it.a);
+      }
+      if (is_known(va) && is_known(vb) && va == vb) return to_const(as_bool(va));
+      return keep();
+    case Op::kAddSum: {  // out = a ^ b ^ c
+      if (is_known(va) && is_known(vb) && is_known(vc)) {
+        return to_const((as_bool(va) != as_bool(vb)) != as_bool(vc));
+      }
+      // A same-slot pair cancels regardless of forcing; the sum collapses
+      // to the remaining operand.
+      const auto collapse = [&](Slot rest, Val vrest) -> Rewrite {
+        if (is_known(vrest)) return to_const(as_bool(vrest));
+        if (full) return to_alias(rest);
+        return keep();
+      };
+      if (it.a == it.b) return collapse(it.c, vc);
+      if (it.a == it.c) return collapse(it.b, vb);
+      if (it.b == it.c) return collapse(it.a, va);
+      if (full) {
+        // Two known operands whose xor is 0 pass the third through.
+        if (is_known(va) && is_known(vb) && va == vb) return to_alias(it.c);
+        if (is_known(va) && is_known(vc) && va == vc) return to_alias(it.b);
+        if (is_known(vb) && is_known(vc) && vb == vc) return to_alias(it.a);
+      }
+      return keep();
+    }
+    case Op::kAddCarry: {  // out = majority(a, b, c)
+      const int zeros = (va == Val::k0) + (vb == Val::k0) + (vc == Val::k0);
+      const int ones = (va == Val::k1) + (vb == Val::k1) + (vc == Val::k1);
+      if (zeros >= 2) return to_const(false);
+      if (ones >= 2) return to_const(true);
+      // majority(x, x, y) == x for any y.
+      const auto dominate = [&](Slot x, Val vx) -> Rewrite {
+        if (is_known(vx)) return to_const(as_bool(vx));
+        if (full) return to_alias(x);
+        return keep();
+      };
+      if (it.a == it.b) return dominate(it.a, va);
+      if (it.a == it.c) return dominate(it.a, va);
+      if (it.b == it.c) return dominate(it.b, vb);
+      if (full && zeros == 1 && ones == 1) {
+        // majority(x, 0, 1) == x.
+        if (!is_known(va)) return to_alias(it.a);
+        if (!is_known(vb)) return to_alias(it.b);
+        return to_alias(it.c);
+      }
+      return keep();
+    }
+    case Op::kFullAdd:
+      return keep();  // two outputs; handled by the caller
+  }
+  return keep();
+}
+
+}  // namespace
+
+/// Friend of Tape: the only place allowed to build tapes outside compile().
+class TapeRewriter {
+ public:
+  static std::shared_ptr<Tape> clone(const Tape& t) {
+    auto out = std::make_shared<Tape>();
+    out->instrs_ = t.instrs_;
+    out->dffs_ = t.dffs_;
+    out->slot_of_net_ = t.slot_of_net_;
+    out->net_of_slot_ = t.net_of_slot_;
+    out->pi_flag_ = t.pi_flag_;
+    out->dff_q_flag_ = t.dff_q_flag_;
+    out->po_flag_ = t.po_flag_;
+    out->const_image_ = t.const_image_;
+    out->depth_ = t.depth_;
+    out->level_ = t.level_;
+    out->opt_stats_ = t.opt_stats_;
+    return out;
+  }
+
+  /// Baseline stats: a raw input starts the accumulation chain; an already
+  /// rewritten input carries its chain forward.
+  static OptStats chain_stats(const Tape& t) {
+    OptStats st = t.opt_stats_;
+    if (t.level_ == OptLevel::kNone) {
+      st.instrs_before = t.instrs_.size();
+      st.slots_before = t.const_image_.size();
+    }
+    return st;
+  }
+
+  static void recompute_depth(Tape& t) {
+    std::vector<std::uint32_t> level(t.const_image_.size(), 0);
+    t.depth_ = 0;
+    for (const Instr& it : t.instrs_) {
+      const std::uint32_t lvl =
+          1 + std::max({level[it.a], level[it.b], level[it.c]});
+      level[it.out] = lvl;
+      if (it.out2 != kNullSlot) level[it.out2] = lvl;
+      t.depth_ = std::max<std::size_t>(t.depth_, lvl);
+    }
+  }
+
+  static void finish(Tape& t, OptLevel lvl, OptStats st, OptStats* stats) {
+    st.instrs_after = t.instrs_.size();
+    st.slots_after = t.const_image_.size();
+    t.level_ = std::max(t.level_, lvl);
+    t.opt_stats_ = st;
+    recompute_depth(t);
+    if (stats != nullptr) *stats = st;
+  }
+
+  static std::shared_ptr<const Tape> fold(const Tape& t, bool fault_safe,
+                                          OptStats* stats) {
+    const std::size_t n_slots = t.const_image_.size();
+    std::vector<std::uint8_t> written(n_slots, 0);
+    for (const Instr& it : t.instrs_) {
+      written[it.out] = 1;
+      if (it.out2 != kNullSlot) written[it.out2] = 1;
+    }
+
+    // Lattice seed: unwritten non-PI, non-state slots are constant sources.
+    // Only constants already present in a *raw* tape are force-immune (they
+    // come from kConst cells, which no fault target pool contains); anything
+    // folded later is a forceable net pinned to a value.
+    std::vector<Val> val(n_slots, Val::kUnknown);
+    std::vector<std::uint8_t> immune(n_slots, 0);
+    const bool raw = t.level_ == OptLevel::kNone;
+    for (Slot s = 0; s < n_slots; ++s) {
+      if (written[s]) continue;
+      const NetId n = t.net_of_slot_[s];
+      if (t.pi_flag_[n] != 0 || t.dff_q_flag_[n] != 0) continue;
+      val[s] = known(t.const_image_[s] != 0);
+      if (raw) immune[s] = 1;
+    }
+    const auto view = [&](Slot s) {
+      return (!fault_safe || immune[s] != 0) ? val[s] : Val::kUnknown;
+    };
+
+    auto out = clone(t);
+    OptStats st = chain_stats(t);
+    std::vector<Slot> alias(n_slots);
+    for (Slot s = 0; s < n_slots; ++s) alias[s] = s;
+
+    out->instrs_.clear();
+    out->instrs_.reserve(t.instrs_.size());
+    for (const Instr& in0 : t.instrs_) {
+      Instr it = in0;
+      it.a = alias[it.a];
+      it.b = alias[it.b];
+      it.c = alias[it.c];
+      const Val va = view(it.a), vb = view(it.b), vc = view(it.c);
+      if (it.op == Op::kFullAdd) {
+        if (is_known(va) && is_known(vb) && is_known(vc)) {
+          const bool sum = (as_bool(va) != as_bool(vb)) != as_bool(vc);
+          const int ones = as_bool(va) + as_bool(vb) + as_bool(vc);
+          val[it.out] = known(sum);
+          val[it.out2] = known(ones >= 2);
+          out->const_image_[it.out] = sum ? ~std::uint64_t{0} : 0;
+          out->const_image_[it.out2] = ones >= 2 ? ~std::uint64_t{0} : 0;
+          st.folded += 1;
+          continue;
+        }
+        out->instrs_.push_back(it);
+        continue;
+      }
+      const Rewrite rw = simplify(it, va, vb, vc, fault_safe);
+      switch (rw.kind) {
+        case Rewrite::Kind::kConst:
+          val[it.out] = known(rw.value);
+          out->const_image_[it.out] = rw.value ? ~std::uint64_t{0} : 0;
+          st.folded += 1;
+          continue;
+        case Rewrite::Kind::kAlias: {
+          // Only alias onto slots that cannot change outside eval():
+          // instruction outputs and constants.  A primary-input or DFF-Q
+          // target would desynchronize the aliased net from the
+          // interpreter's observation convention, where combinational nets
+          // hold their pre-edge settled values after a step.
+          const NetId tn = t.net_of_slot_[rw.target];
+          if (t.pi_flag_[tn] == 0 && t.dff_q_flag_[tn] == 0) {
+            alias[it.out] = rw.target;
+            st.aliased += 1;
+            continue;
+          }
+          break;  // keep the (operand-resolved) instruction
+        }
+        case Rewrite::Kind::kKeep: break;
+      }
+      out->instrs_.push_back(it);
+    }
+
+    for (Slot& s : out->slot_of_net_) {
+      if (s != kNullSlot) s = alias[s];
+    }
+    for (DffSlots& d : out->dffs_) d.d = alias[d.d];
+    finish(*out, fault_safe ? OptLevel::kSafe : OptLevel::kFull, st, stats);
+    return out;
+  }
+
+  static std::shared_ptr<const Tape> dce(const Tape& t, OptStats* stats) {
+    const std::size_t n_slots = t.const_image_.size();
+    std::vector<std::uint8_t> live(n_slots, 0);
+    for (NetId n = 0; n < t.slot_of_net_.size(); ++n) {
+      const Slot s = t.slot_of_net_[n];
+      if (s != kNullSlot && t.po_flag_[n] != 0) live[s] = 1;
+    }
+    for (const DffSlots& d : t.dffs_) {
+      live[d.d] = 1;
+      live[d.q] = 1;
+    }
+
+    std::vector<std::uint8_t> kept(t.instrs_.size(), 0);
+    for (std::size_t i = t.instrs_.size(); i-- > 0;) {
+      const Instr& it = t.instrs_[i];
+      const bool l = live[it.out] != 0 ||
+                     (it.out2 != kNullSlot && live[it.out2] != 0);
+      if (!l) continue;
+      kept[i] = 1;
+      live[it.a] = live[it.b] = live[it.c] = 1;
+    }
+
+    auto out = clone(t);
+    OptStats st = chain_stats(t);
+    out->instrs_.clear();
+    std::vector<std::uint8_t> dead_out(n_slots, 0);
+    for (std::size_t i = 0; i < t.instrs_.size(); ++i) {
+      if (kept[i] != 0) {
+        out->instrs_.push_back(t.instrs_[i]);
+      } else {
+        dead_out[t.instrs_[i].out] = 1;
+        if (t.instrs_[i].out2 != kNullSlot) dead_out[t.instrs_[i].out2] = 1;
+        st.dead_removed += 1;
+      }
+    }
+    // Every net that observed a dead slot is gone with it.
+    for (Slot& s : out->slot_of_net_) {
+      if (s != kNullSlot && dead_out[s] != 0) s = kNullSlot;
+    }
+    finish(*out, OptLevel::kSafe, st, stats);
+    return out;
+  }
+
+  static std::shared_ptr<const Tape> fuse(const Tape& t, OptStats* stats) {
+    auto out = clone(t);
+    OptStats st = chain_stats(t);
+    out->instrs_.clear();
+    out->instrs_.reserve(t.instrs_.size());
+
+    // Sum (a^b^c) and carry (majority) are both symmetric in their three
+    // operands, so pairs match modulo permutation: the key is the sorted
+    // triple, while the host keeps its own operand order.
+    using Key = std::array<Slot, 3>;
+    const auto make_key = [](const Instr& it) {
+      Key key{it.a, it.b, it.c};
+      std::sort(key.begin(), key.end());
+      return key;
+    };
+    std::map<Key, std::vector<std::size_t>> pending_sum, pending_carry;
+    for (const Instr& it : t.instrs_) {
+      const Key key = make_key(it);
+      if (it.op == Op::kAddSum) {
+        if (auto p = pending_carry.find(key);
+            p != pending_carry.end() && !p->second.empty()) {
+          // Fuse into the carry's (earlier) position: operands are ready
+          // there, and every reader of the sum slot comes after this point.
+          Instr& host = out->instrs_[p->second.back()];
+          p->second.pop_back();
+          host.op = Op::kFullAdd;
+          host.out2 = host.out;
+          host.out = it.out;
+          st.fused_pairs += 1;
+          continue;
+        }
+        pending_sum[key].push_back(out->instrs_.size());
+      } else if (it.op == Op::kAddCarry) {
+        if (auto p = pending_sum.find(key);
+            p != pending_sum.end() && !p->second.empty()) {
+          Instr& host = out->instrs_[p->second.back()];
+          p->second.pop_back();
+          host.op = Op::kFullAdd;
+          host.out2 = it.out;
+          st.fused_pairs += 1;
+          continue;
+        }
+        pending_carry[key].push_back(out->instrs_.size());
+      }
+      out->instrs_.push_back(it);
+    }
+    finish(*out, OptLevel::kSafe, st, stats);
+    return out;
+  }
+
+  static std::shared_ptr<const Tape> renumber(const Tape& t, OptStats* stats) {
+    const std::size_t n_slots = t.const_image_.size();
+    std::vector<std::uint8_t> has_net(n_slots, 0);
+    for (const Slot s : t.slot_of_net_) {
+      if (s != kNullSlot) has_net[s] = 1;
+    }
+    std::vector<std::uint8_t> written(n_slots, 0);
+    for (const Instr& it : t.instrs_) {
+      written[it.out] = 1;
+      if (it.out2 != kNullSlot) written[it.out2] = 1;
+    }
+
+    // Sources keep their relative order up front; instruction outputs follow
+    // in evaluation order so the eval loop's writes stream forward.
+    std::vector<Slot> remap(n_slots, kNullSlot);
+    std::vector<NetId> new_net_of;
+    std::vector<std::uint64_t> new_image;
+    const auto place = [&](Slot old) {
+      if (remap[old] != kNullSlot) return;
+      remap[old] = static_cast<Slot>(new_net_of.size());
+      new_net_of.push_back(t.net_of_slot_[old]);
+      new_image.push_back(t.const_image_[old]);
+    };
+    for (Slot s = 0; s < n_slots; ++s) {
+      if (has_net[s] != 0 && written[s] == 0) place(s);
+    }
+    for (const Instr& it : t.instrs_) {
+      place(it.out);
+      if (it.out2 != kNullSlot) place(it.out2);
+    }
+
+    auto out = clone(t);
+    OptStats st = chain_stats(t);
+    out->net_of_slot_ = std::move(new_net_of);
+    out->const_image_ = std::move(new_image);
+    for (Slot& s : out->slot_of_net_) {
+      if (s != kNullSlot) s = remap[s];
+    }
+    for (Instr& it : out->instrs_) {
+      it.a = remap[it.a];
+      it.b = remap[it.b];
+      it.c = remap[it.c];
+      it.out = remap[it.out];
+      if (it.out2 != kNullSlot) it.out2 = remap[it.out2];
+    }
+    for (DffSlots& d : out->dffs_) {
+      d.q = remap[d.q];
+      d.d = remap[d.d];
+    }
+    finish(*out, OptLevel::kSafe, st, stats);
+    return out;
+  }
+};
+
+std::shared_ptr<const Tape> fold_constants(const Tape& t, bool fault_safe,
+                                           OptStats* stats) {
+  return TapeRewriter::fold(t, fault_safe, stats);
+}
+
+std::shared_ptr<const Tape> eliminate_dead(const Tape& t, OptStats* stats) {
+  return TapeRewriter::dce(t, stats);
+}
+
+std::shared_ptr<const Tape> fuse_full_adders(const Tape& t, OptStats* stats) {
+  return TapeRewriter::fuse(t, stats);
+}
+
+std::shared_ptr<const Tape> renumber(const Tape& t, OptStats* stats) {
+  return TapeRewriter::renumber(t, stats);
+}
+
+std::shared_ptr<const Tape> optimize(const Tape& raw, OptLevel level,
+                                     OptStats* stats) {
+  if (level == OptLevel::kNone) {
+    throw std::invalid_argument("optimize: level must be kSafe or kFull");
+  }
+  const auto t1 = fold_constants(raw, level == OptLevel::kSafe);
+  const auto t2 = eliminate_dead(*t1);
+  const auto t3 = fuse_full_adders(*t2);
+  auto t4 = renumber(*t3, stats);
+  return t4;
+}
+
+}  // namespace dwt::rtl::compiled::opt

@@ -1,0 +1,74 @@
+// Tape-optimizing compiler passes: rewrite a compiled instruction tape into
+// a cheaper one that computes bit-identical values on every net it still
+// materializes.  The shift-add recoded datapaths elaborate to netlists full
+// of structurally-dead gates, constant-absorbed cells (`x & 0` from
+// out-of-range shift taps) and kAddSum/kAddCarry pairs over the same three
+// operands; these passes reclaim all of that at tape level, where one
+// removed instruction saves work on every lane of every cycle.
+//
+// Passes (composable; optimize() runs the standard pipeline):
+//  * fold_constants   -- propagates constants through the levelized tape.
+//                        In fault-safe mode only folds whose result is
+//                        insensitive to every forceable input are applied
+//                        (`a & 0`, `a | 1`, `a ^ a`, ... with the constant
+//                        from a real kConst cell), so per-lane force/SEU
+//                        overlays still behave exactly as on the netlist.
+//                        Full mode additionally folds any instruction whose
+//                        operands are all constant and copy-propagates
+//                        identities (`x ^ 0 -> x`) by aliasing the output
+//                        net onto the operand's slot -- but only when that
+//                        slot holds an instruction output or constant.
+//                        Primary-input and DFF-Q slots change outside
+//                        eval() (set_input / clock_edge), so a comb net
+//                        aliased onto one would drift from the
+//                        interpreter's observation convention that comb
+//                        nets show their pre-edge settled values.
+//  * eliminate_dead   -- drops instructions whose outputs reach neither a
+//                        DFF D pin nor a primary output (always fault-safe:
+//                        forcing a dead net cannot move an observable).
+//  * fuse_full_adders -- merges a kAddSum/kAddCarry pair over identical
+//                        (a, b, c) operands into one kFullAdd macro-op
+//                        writing both slots: one instruction dispatch, one
+//                        operand fetch for the dominant cell pair of the
+//                        adder-heavy designs.
+//  * renumber         -- compacts the slot space (dropping orphaned slots)
+//                        and renumbers survivors in evaluation order so the
+//                        eval loop's reads and writes stay local.
+//
+// Every pass returns a fresh immutable Tape; inputs are never mutated.
+#pragma once
+
+#include <memory>
+
+#include "rtl/compiled/tape.hpp"
+
+namespace dwt::rtl::compiled::opt {
+
+/// Constant folding.  `fault_safe` restricts folding to results that are
+/// insensitive to every forceable operand (see header comment); pass false
+/// for the full fold + copy propagation.  Counts go to stats->folded /
+/// stats->aliased when `stats` is given.
+[[nodiscard]] std::shared_ptr<const Tape> fold_constants(
+    const Tape& t, bool fault_safe, OptStats* stats = nullptr);
+
+/// Dead-instruction elimination; roots are DFF D pins and primary outputs.
+/// Eliminated nets become unmaterialized (Tape::materialized() == false).
+[[nodiscard]] std::shared_ptr<const Tape> eliminate_dead(
+    const Tape& t, OptStats* stats = nullptr);
+
+/// kAddSum + kAddCarry over identical (a, b, c) -> one kFullAdd.
+[[nodiscard]] std::shared_ptr<const Tape> fuse_full_adders(
+    const Tape& t, OptStats* stats = nullptr);
+
+/// Slot-space compaction and locality renumbering.
+[[nodiscard]] std::shared_ptr<const Tape> renumber(const Tape& t,
+                                                   OptStats* stats = nullptr);
+
+/// The standard pipeline at `level` (kSafe or kFull; throws on kNone):
+/// fold_constants -> eliminate_dead -> fuse_full_adders -> renumber.
+/// The returned tape records `level` and the accumulated OptStats.
+[[nodiscard]] std::shared_ptr<const Tape> optimize(const Tape& raw,
+                                                   OptLevel level,
+                                                   OptStats* stats = nullptr);
+
+}  // namespace dwt::rtl::compiled::opt

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "rtl/compiled/opt/passes.hpp"
+
 namespace dwt::rtl::compiled {
 namespace {
 
@@ -24,18 +26,41 @@ Op op_of(CellKind k) {
 
 }  // namespace
 
+const char* to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::kNone: return "O0";
+    case OptLevel::kSafe: return "O1";
+    case OptLevel::kFull: return "O2";
+  }
+  return "?";
+}
+
+std::vector<Slot> Tape::const1_slots() const {
+  std::vector<Slot> out;
+  for (Slot s = 0; s < const_image_.size(); ++s) {
+    if (const_image_[s] != 0) out.push_back(s);
+  }
+  return out;
+}
+
 std::shared_ptr<const Tape> compile(const Netlist& nl) {
   auto tape = std::make_shared<Tape>();
   Tape& t = *tape;
   t.slot_of_net_.assign(nl.net_count(), kNullSlot);
   t.pi_flag_.assign(nl.net_count(), 0);
   t.dff_q_flag_.assign(nl.net_count(), 0);
+  t.po_flag_.assign(nl.net_count(), 0);
   t.net_of_slot_.reserve(nl.net_count());
+
+  for (const auto& [name, bus] : nl.outputs()) {
+    for (const NetId n : bus.bits) t.po_flag_[n] = 1;
+  }
 
   const auto new_slot = [&t](NetId net) {
     const Slot s = static_cast<Slot>(t.net_of_slot_.size());
     t.slot_of_net_[net] = s;
     t.net_of_slot_.push_back(net);
+    t.const_image_.push_back(0);
     return s;
   };
 
@@ -51,9 +76,9 @@ std::shared_ptr<const Tape> compile(const Netlist& nl) {
       t.dff_q_flag_[c.out] = 1;
       new_slot(c.out);
     } else if (c.kind == CellKind::kConst0) {
-      new_slot(c.out);  // reset() zero-fills every slot; nothing to record
+      new_slot(c.out);  // image entry stays 0
     } else if (c.kind == CellKind::kConst1) {
-      t.const1_slots_.push_back(new_slot(c.out));
+      t.const_image_[new_slot(c.out)] = ~std::uint64_t{0};
     }
   }
 
@@ -105,6 +130,12 @@ std::shared_ptr<const Tape> compile(const Netlist& nl) {
     t.dffs_.push_back(d);
   }
   return tape;
+}
+
+std::shared_ptr<const Tape> compile(const Netlist& nl, OptLevel level) {
+  std::shared_ptr<const Tape> tape = compile(nl);
+  if (level == OptLevel::kNone) return tape;
+  return opt::optimize(*tape, level);
 }
 
 }  // namespace dwt::rtl::compiled

@@ -73,6 +73,37 @@ TEST(ArtifactCache, DistinctConfigurationsGetDistinctKeys) {
   EXPECT_EQ(cache.stats().design_builds, 3u);
 }
 
+// Optimization levels are part of the tape key: each level is its own
+// cached artifact (a kFull tape would be wrong for a fault campaign, a raw
+// tape wastes streaming throughput), the raw level keeps the legacy key,
+// and re-requests at any level hit instead of rebuilding.
+TEST(ArtifactCache, OptimizedTapesAreKeyedPerLevel) {
+  ArtifactCache cache;
+  const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign2);
+  const auto raw = cache.tape(cfg);
+  const auto safe =
+      cache.tape(cfg, rtl::HardeningStyle::kNone, rtl::compiled::OptLevel::kSafe);
+  const auto full =
+      cache.tape(cfg, rtl::HardeningStyle::kNone, rtl::compiled::OptLevel::kFull);
+  EXPECT_NE(raw.get(), safe.get());
+  EXPECT_NE(raw.get(), full.get());
+  EXPECT_NE(safe.get(), full.get());
+  EXPECT_EQ(raw->level(), rtl::compiled::OptLevel::kNone);
+  EXPECT_EQ(safe->level(), rtl::compiled::OptLevel::kSafe);
+  EXPECT_EQ(full->level(), rtl::compiled::OptLevel::kFull);
+  EXPECT_TRUE(safe->fault_overlay_safe());
+  EXPECT_FALSE(full->fault_overlay_safe());
+  // Each pass pipeline strictly shrinks the tape on this design.
+  EXPECT_LT(safe->instrs().size(), raw->instrs().size());
+  EXPECT_LT(full->instrs().size(), safe->instrs().size());
+  EXPECT_EQ(cache.stats().tape_builds, 3u);
+  const auto safe_again =
+      cache.tape(cfg, rtl::HardeningStyle::kNone, rtl::compiled::OptLevel::kSafe);
+  EXPECT_EQ(safe_again.get(), safe.get());
+  EXPECT_EQ(cache.stats().tape_builds, 3u);
+  EXPECT_EQ(cache.stats().tape_hits, 1u);
+}
+
 TEST(ArtifactCache, HardenedArtifactCarriesItsReport) {
   ArtifactCache cache;
   const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign1);

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace dwt::explore {
 namespace {
@@ -102,6 +103,28 @@ TEST(Resilience, ThreadCountDoesNotChangeCompiledCampaign) {
   EXPECT_EQ(to_json(serial), to_json(pooled));
 }
 
+// Lane width (how many trials ride one tape pass) and tape optimization
+// level are pure throughput knobs: the report is byte-identical across all
+// of them, and kFull quietly clamps to the overlay-safe level rather than
+// corrupting fault forces.
+TEST(Resilience, LaneWidthAndOptLevelDoNotChangeReport) {
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign3, rtl::HardeningStyle::kParity);
+  opt.kinds = {rtl::FaultKind::kSeuFlip, rtl::FaultKind::kStuckAt0};
+  opt.trials = 70;  // spills into a second batch at 64 lanes
+  opt.engine = CampaignEngine::kCompiled;
+  opt.lanes = 64;
+  opt.opt_level = rtl::compiled::OptLevel::kNone;
+  const std::string narrow_raw = to_json(run_campaign(opt));
+  opt.lanes = 128;
+  opt.opt_level = rtl::compiled::OptLevel::kSafe;
+  EXPECT_EQ(to_json(run_campaign(opt)), narrow_raw);
+  opt.lanes = 256;
+  EXPECT_EQ(to_json(run_campaign(opt)), narrow_raw);
+  opt.opt_level = rtl::compiled::OptLevel::kFull;  // clamps to kSafe
+  EXPECT_EQ(to_json(run_campaign(opt)), narrow_raw);
+}
+
 TEST(Resilience, RejectsDegenerateOptions) {
   ResilienceOptions opt =
       small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone);
@@ -112,6 +135,9 @@ TEST(Resilience, RejectsDegenerateOptions) {
   EXPECT_THROW(run_campaign(opt), std::invalid_argument);
   opt.samples = 16;
   opt.kinds.clear();
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);
+  opt.kinds = {rtl::FaultKind::kSeuFlip};
+  opt.lanes = 100;  // not a whole number of 64-lane blocks
   EXPECT_THROW(run_campaign(opt), std::invalid_argument);
 }
 

@@ -1,15 +1,25 @@
 // Randomized-vector differential fuzz: the compiled bit-parallel engine must
 // match the interpreted rtl::Simulator on EVERY net of EVERY cycle, for all
-// five Table 3 designs and their TMR/parity-hardened variants.  Seeds are
-// fixed, so a failure names a reproducible (net, lane, cycle).
+// five Table 3 designs and their TMR/parity-hardened variants -- at every
+// tape optimization level (materialized nets only once the optimizer has
+// run) and at every lane width of the templated engine.  Seeds are fixed,
+// so a failure names a reproducible (net, lane, cycle).
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "hw/designs.hpp"
 #include "rtl/compiled/equivalence.hpp"
+#include "rtl/compiled/wide_simulator.hpp"
 #include "rtl/harden.hpp"
+#include "rtl/simulator.hpp"
 
 namespace dwt {
 namespace {
+
+using rtl::compiled::OptLevel;
 
 TEST(CompiledEquivalence, AllFiveDesignsMatchInterpreted) {
   for (const hw::DesignSpec& spec : hw::all_designs()) {
@@ -20,22 +30,150 @@ TEST(CompiledEquivalence, AllFiveDesignsMatchInterpreted) {
     EXPECT_EQ(report.cycles, 32u);
     EXPECT_EQ(report.lanes_checked, 2u);
     EXPECT_GT(report.nets_compared, 0u);
+    EXPECT_EQ(report.nets_skipped, 0u);  // raw tapes materialize every net
+  }
+}
+
+TEST(CompiledEquivalence, OptimizedTapesMatchInterpreted) {
+  for (const hw::DesignSpec& spec : hw::all_designs()) {
+    const hw::BuiltDatapath dp = hw::build_design(spec.id);
+    for (const OptLevel level : {OptLevel::kSafe, OptLevel::kFull}) {
+      const auto report = rtl::compiled::check_equivalence(
+          dp.netlist, /*cycles=*/16, /*seed=*/2005, /*lanes_to_check=*/1,
+          level);
+      EXPECT_TRUE(report.ok)
+          << spec.name << " @" << to_string(level) << ": " << report.mismatch;
+      EXPECT_GT(report.nets_compared, 0u);
+    }
   }
 }
 
 TEST(CompiledEquivalence, HardenedVariantsMatchInterpreted) {
   const rtl::HardeningStyle styles[] = {rtl::HardeningStyle::kTmr,
                                         rtl::HardeningStyle::kParity};
+  const OptLevel levels[] = {OptLevel::kNone, OptLevel::kSafe, OptLevel::kFull};
   for (const hw::DesignSpec& spec : hw::all_designs()) {
     for (const rtl::HardeningStyle style : styles) {
       const hw::BuiltDatapath dp = hw::build_design(spec.id);
       const rtl::Netlist hardened = rtl::apply_hardening(dp.netlist, style);
-      const auto report = rtl::compiled::check_equivalence(
-          hardened, /*cycles=*/16, /*seed=*/42, /*lanes_to_check=*/1);
-      EXPECT_TRUE(report.ok)
-          << spec.name << "+" << rtl::to_string(style) << ": "
-          << report.mismatch;
+      for (const OptLevel level : levels) {
+        const auto report = rtl::compiled::check_equivalence(
+            hardened, /*cycles=*/8, /*seed=*/42, /*lanes_to_check=*/1, level);
+        EXPECT_TRUE(report.ok)
+            << spec.name << "+" << rtl::to_string(style) << " @"
+            << to_string(level) << ": " << report.mismatch;
+      }
     }
+  }
+}
+
+TEST(CompiledEquivalence, FaultOverlaysMatchInterpreted) {
+  for (const hw::DesignSpec& spec : hw::all_designs()) {
+    const hw::BuiltDatapath dp = hw::build_design(spec.id);
+    for (const OptLevel level : {OptLevel::kNone, OptLevel::kSafe}) {
+      const auto report = rtl::compiled::check_fault_equivalence(
+          dp.netlist, /*cycles=*/16, /*seed=*/7331, /*lanes_to_check=*/4,
+          level);
+      EXPECT_TRUE(report.ok)
+          << spec.name << " @" << to_string(level) << ": " << report.mismatch;
+      EXPECT_GT(report.nets_compared, 0u);
+    }
+  }
+}
+
+TEST(CompiledEquivalence, FaultOverlaysMatchOnHardenedParity) {
+  const hw::BuiltDatapath dp = hw::build_design(hw::DesignId::kDesign3);
+  const rtl::Netlist hardened =
+      rtl::apply_hardening(dp.netlist, rtl::HardeningStyle::kParity);
+  for (const OptLevel level : {OptLevel::kNone, OptLevel::kSafe}) {
+    const auto report = rtl::compiled::check_fault_equivalence(
+        hardened, /*cycles=*/12, /*seed=*/99, /*lanes_to_check=*/3, level);
+    EXPECT_TRUE(report.ok)
+        << "design3+parity @" << to_string(level) << ": " << report.mismatch;
+  }
+}
+
+TEST(CompiledEquivalence, FaultEquivalenceRejectsFullOpt) {
+  const hw::BuiltDatapath dp = hw::build_design(hw::DesignId::kDesign1);
+  EXPECT_THROW((void)rtl::compiled::check_fault_equivalence(
+                   dp.netlist, 8, 1, 1, OptLevel::kFull),
+               std::invalid_argument);
+}
+
+/// Wide-engine differential: W words per slot, scalar interpreted replicas
+/// replay sampled lanes across the whole 64*W-lane space.
+template <unsigned W>
+void expect_wide_matches(const rtl::Netlist& nl, OptLevel level,
+                         std::uint64_t seed, const char* what) {
+  using Block = rtl::compiled::LaneBlock<W>;
+  constexpr unsigned kSample[] = {0, 64 * W - 1, 64 * W / 2 + 1};
+  const std::vector<rtl::NetId>& pis = nl.primary_inputs();
+  common::Rng rng(seed);
+
+  rtl::compiled::WideSimulator<W> wide(rtl::compiled::compile(nl, level));
+  std::vector<rtl::Simulator> scalar;
+  for (unsigned i = 0; i < std::size(kSample); ++i) scalar.emplace_back(nl);
+
+  for (std::uint64_t c = 0; c < 12; ++c) {
+    for (const rtl::NetId pi : pis) {
+      Block b;
+      for (unsigned k = 0; k < W; ++k) b.w[k] = rng.next_u64();
+      wide.set_input_block(pi, b);
+      for (unsigned i = 0; i < std::size(kSample); ++i) {
+        scalar[i].set_input(pi, b.get(kSample[i]));
+      }
+    }
+    wide.step();
+    for (rtl::Simulator& s : scalar) s.step();
+    for (rtl::NetId n = 0; n < nl.net_count(); ++n) {
+      if (!wide.tape().materialized(n)) continue;
+      const Block got = wide.block(n);
+      for (unsigned i = 0; i < std::size(kSample); ++i) {
+        ASSERT_EQ(got.get(kSample[i]), scalar[i].value(n))
+            << what << " W=" << W << " net " << n << " lane " << kSample[i]
+            << " cycle " << c;
+      }
+    }
+  }
+}
+
+TEST(CompiledEquivalence, WideLanesMatchInterpreted) {
+  const hw::BuiltDatapath dp = hw::build_design(hw::DesignId::kDesign2);
+  for (const OptLevel level :
+       {OptLevel::kNone, OptLevel::kSafe, OptLevel::kFull}) {
+    expect_wide_matches<2>(dp.netlist, level, 11, "design2");
+    expect_wide_matches<4>(dp.netlist, level, 13, "design2");
+  }
+  const hw::BuiltDatapath dp5 = hw::build_design(hw::DesignId::kDesign5);
+  const rtl::Netlist hardened =
+      rtl::apply_hardening(dp5.netlist, rtl::HardeningStyle::kTmr);
+  expect_wide_matches<4>(hardened, OptLevel::kSafe, 17, "design5+tmr");
+}
+
+TEST(CompiledEquivalence, OptMeetsInstructionReductionTarget) {
+  // The acceptance bar for the optimizer: >= 25% fewer tape instructions on
+  // Designs 2-5 at the bench's max opt level (kFull).  kSafe is bounded by
+  // the fault-overlay contract -- Designs 4/5 build adders from discrete
+  // gates whose intermediates must stay forceable, so only a strict
+  // improvement is required there.
+  const hw::DesignId targets[] = {hw::DesignId::kDesign2, hw::DesignId::kDesign3,
+                                  hw::DesignId::kDesign4,
+                                  hw::DesignId::kDesign5};
+  for (const hw::DesignId id : targets) {
+    const hw::BuiltDatapath dp = hw::build_design(id);
+    const auto raw = rtl::compiled::compile(dp.netlist);
+    const auto safe = rtl::compiled::compile(dp.netlist, OptLevel::kSafe);
+    const auto full = rtl::compiled::compile(dp.netlist, OptLevel::kFull);
+    const auto reduction = [&](const auto& opt) {
+      return 1.0 - static_cast<double>(opt->instrs().size()) /
+                       static_cast<double>(raw->instrs().size());
+    };
+    EXPECT_GE(reduction(full), 0.25)
+        << "design " << static_cast<int>(id) << " @O2: "
+        << raw->instrs().size() << " -> " << full->instrs().size();
+    EXPECT_GT(reduction(safe), 0.05)
+        << "design " << static_cast<int>(id) << " @O1: "
+        << raw->instrs().size() << " -> " << safe->instrs().size();
   }
 }
 

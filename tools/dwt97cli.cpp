@@ -4,6 +4,7 @@
 //   dwt97cli decompress    <in.dwt> <out.pgm>
 //   dwt97cli tile          <in.pgm> <out.pgm> [--octaves N] [--tile N]
 //                          [--threads N] [--backend NAME] [--design D]
+//                          [--opt-level 0|1|2]
 //   dwt97cli gen           <out.pgm> <width> <height> [seed]
 //   dwt97cli synth         [design 1..5]
 //   dwt97cli verilog       <design 1..5> <out.v>
@@ -41,7 +42,8 @@ int usage() {
                "  dwt97cli decompress <in.dwt> <out.pgm>\n"
                "  dwt97cli tile       <in.pgm> <out.pgm> [--octaves N] "
                "[--tile N] [--threads N]\n"
-               "                      [--backend NAME] [--design D]\n"
+               "                      [--backend NAME] [--design D] "
+               "[--opt-level 0|1|2]\n"
                "  dwt97cli gen        <out.pgm> <width> <height> [seed]\n"
                "  dwt97cli synth      [design 1..5]\n"
                "  dwt97cli verilog    <design 1..5> <out.v>\n"
@@ -177,6 +179,15 @@ int cmd_tile(int argc, char** argv) {
         return usage();
       }
       opt.design = *design;
+    } else if (std::strcmp(argv[i], "--opt-level") == 0 && i + 1 < argc) {
+      // Tape optimization level for the rtl-compiled backend; other engines
+      // ignore it.  Every level streams bit-identical output, so this is a
+      // perf knob (and a CI cross-check hook), not a mode switch.
+      if (!parse_long(argv[++i], 0, 2, &v)) {
+        std::fprintf(stderr, "bad --opt-level value: %s\n", argv[i]);
+        return usage();
+      }
+      opt.opt_level = static_cast<dwt::rtl::compiled::OptLevel>(v);
     } else {
       return usage();
     }

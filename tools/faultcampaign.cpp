@@ -5,6 +5,7 @@
 //                 [--seed S] [--harden none|tmr|parity] [--samples N]
 //                 [--engine interpreted|compiled] [--threads N]
 //                 [--backend rtl-interpreted|rtl-compiled]
+//                 [--lanes 64|128|256] [--opt-level 0|1]
 //                 [--no-trial-list] [--out report.json]
 //
 // Emits a JSON report (stdout by default).  Identical arguments produce
@@ -14,7 +15,11 @@
 // (default) compiled bit-parallel engine.  `--backend` selects the engine
 // by its core registry name (the same names dwt97cli and the benches use);
 // campaigns inject faults at netlist granularity, so only the gate-level
-// rtl backends are accepted.
+// rtl backends are accepted.  `--lanes` packs that many fault trials into
+// one compiled tape pass; `--opt-level` picks the tape optimization level
+// (0 = raw, 1 = fault-overlay-safe passes; the full level drops the
+// overlay guarantees campaigns need and is rejected here).  Neither knob
+// changes the report bytes.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +54,7 @@ int usage() {
       "                [--trials N] [--seed S] [--harden none|tmr|parity]\n"
       "                [--samples N] [--engine interpreted|compiled]\n"
       "                [--backend rtl-interpreted|rtl-compiled]\n"
+      "                [--lanes 64|128|256] [--opt-level 0|1]\n"
       "                [--threads N] [--no-trial-list] [--out report.json]\n");
   return 2;
 }
@@ -164,6 +170,25 @@ int main(int argc, char** argv) {
         return usage();
       }
       opt.engine = *engine;
+    } else if (std::strcmp(argv[i], "--lanes") == 0) {
+      const char* v = need_value("--lanes");
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 256, &n) ||
+          (n != 64 && n != 128 && n != 256)) {
+        std::fprintf(stderr, "bad --lanes value (64, 128 or 256)\n");
+        return usage();
+      }
+      opt.lanes = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--opt-level") == 0) {
+      const char* v = need_value("--opt-level");
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1, &n)) {
+        std::fprintf(stderr,
+                     "bad --opt-level value (0 or 1; level 2 drops the "
+                     "fault-overlay guarantees campaigns need)\n");
+        return usage();
+      }
+      opt.opt_level = static_cast<dwt::rtl::compiled::OptLevel>(n);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
       unsigned long long n = 0;
