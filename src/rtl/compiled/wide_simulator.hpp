@@ -112,6 +112,25 @@ class WideSimulator {
     force_val_.assign(n * W, 0);
     forced_.assign(n, 0);
     dff_scratch_.resize(tape_->dffs().size() * W);
+    // Slots no instruction writes and no external driver refreshes: their
+    // value comes solely from the constant image (kConst cells, and on
+    // optimized tapes the outputs of instructions folded to constants).
+    // After a release() these must be restored from the image at the next
+    // eval() -- nothing else ever rewrites them, whereas the interpreter
+    // re-evaluates the still-present cell on the next settle.
+    const_src_.assign(n, 1);
+    restore_flag_.assign(n, 0);
+    for (const Instr& it : tape_->instrs()) {
+      const_src_[it.out] = 0;
+      if (it.out2 != kNullSlot) const_src_[it.out2] = 0;
+    }
+    for (Slot s = 0; s < n; ++s) {
+      if (const_src_[s] == 0) continue;
+      const NetId net = tape_->net_of(s);
+      if (tape_->is_primary_input(net) || tape_->is_dff_output(net)) {
+        const_src_[s] = 0;
+      }
+    }
     load_const_image();
   }
 
@@ -157,6 +176,16 @@ class WideSimulator {
 
   // Clocking --------------------------------------------------------------
   void eval() {
+    if (!restore_pending_.empty()) {
+      // Released constant-source slots: reload the whole slot from the
+      // image; apply_forces() below re-pins any lanes still forced.
+      const std::vector<std::uint64_t>& img = tape_->const_image();
+      for (const Slot rs : restore_pending_) {
+        restore_flag_[rs] = 0;
+        for (unsigned k = 0; k < W; ++k) state_[rs * W + k] = img[rs];
+      }
+      restore_pending_.clear();
+    }
     std::uint64_t* const s = state_.data();
     const Instr* const tape = tape_->instrs().data();
     const std::size_t n = tape_->instrs().size();
@@ -262,6 +291,15 @@ class WideSimulator {
       force_val_[s * W + k] &= ~lanes.w[k];
       clear = clear && force_keep_[s * W + k] == ~std::uint64_t{0};
     }
+    if (const_src_[s] && !restore_flag_[s]) {
+      // No instruction recomputes this slot, so the released value would
+      // otherwise persist; schedule a constant-image restore for the next
+      // eval().  Deferring (rather than restoring here) matches both the
+      // interpreter, whose pinned value stays visible until the next
+      // settle, and this engine's own lazy semantics on non-folded nets.
+      restore_flag_[s] = 1;
+      restore_pending_.push_back(s);
+    }
     if (clear) {
       forced_[s] = 0;
       for (std::size_t i = 0; i < forced_slots_.size(); ++i) {
@@ -315,6 +353,8 @@ class WideSimulator {
   /// of the tape's constant image, no per-slot bookkeeping.
   void reset() {
     load_const_image();
+    for (const Slot s : restore_pending_) restore_flag_[s] = 0;
+    restore_pending_.clear();
     if (activity_on_) {
       prev_state_ = state_;
       toggles_.assign(toggles_.size(), 0);
@@ -457,6 +497,9 @@ class WideSimulator {
   std::vector<std::uint64_t> force_val_;   // per word: pinned values
   std::vector<std::uint8_t> forced_;       // per slot flag
   std::vector<Slot> forced_slots_;         // slots with any active pin
+  std::vector<std::uint8_t> const_src_;    // slot fed only by const_image()
+  std::vector<Slot> restore_pending_;      // const slots to reload at eval()
+  std::vector<std::uint8_t> restore_flag_;  // per slot: in restore_pending_
   std::vector<std::uint64_t> dff_scratch_;
 
   bool activity_on_ = false;

@@ -12,7 +12,9 @@
 #include "rtl/compiled/batch_fault.hpp"
 #include "rtl/compiled/compiled_simulator.hpp"
 #include "rtl/compiled/wide_simulator.hpp"
+#include "rtl/fault.hpp"
 #include "rtl/netlist.hpp"
+#include "rtl/simulator.hpp"
 
 namespace dwt::rtl::compiled {
 namespace {
@@ -229,6 +231,87 @@ TEST(TapeOpt, BatchSessionRefusesFullTapesForFaults) {
 
   BatchFaultSession safe(compile(nl, OptLevel::kSafe));
   EXPECT_NO_THROW(safe.arm(0, f));
+}
+
+// A glitch on a net the kSafe folder turned into a constant (a & const0 is
+// absorbing, so its instruction is deleted and only the constant-image slot
+// remains) must end with the scheduled cycle.  The interpreter re-evaluates
+// the still-present cell on the next settle; the compiled engine has no
+// instruction to do that, so release() restores the slot from the constant
+// image -- without it the glitch behaves as a stuck-at on that lane.
+TEST(TapeOpt, GlitchOnFoldedConstantNetIsTransient) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId z = nl.add_cell(CellKind::kConst0);
+  const NetId g = nl.add_cell(CellKind::kAnd2, a, z);  // folds at kSafe
+  const NetId x = nl.add_cell(CellKind::kXor2, g, a);
+  const NetId q = nl.add_cell(CellKind::kDff, x);
+  nl.bind_output("y", Bus{{q}});
+  nl.bind_output("yg", Bus{{g}});
+
+  Fault f;
+  f.kind = FaultKind::kGlitch;
+  f.net = g;
+  f.cycle = 1;
+  f.glitch_value = true;
+
+  Simulator ref_sim(nl);
+  FaultInjector ref(nl, ref_sim);
+  ref.arm(f);
+
+  const auto tape = compile(nl, OptLevel::kSafe);
+  ASSERT_EQ(tape->instrs().size(), 1u);  // only x survives; g is folded
+  BatchFaultSession ses(tape);
+  ses.arm(/*lane=*/0, f);
+
+  const std::uint64_t stim = 0b110101;
+  for (std::uint64_t cyc = 0; cyc < 6; ++cyc) {
+    const bool av = ((stim >> cyc) & 1) != 0;
+    ref.set_input(a, av);
+    ses.sim().set_input_block(a, av ? LaneBlock<1>::ones()
+                                    : LaneBlock<1>::zeros());
+    ref.step();
+    ses.step();
+    for (const NetId n : {g, x, q}) {
+      // Lane 0 carries the glitch; lane 1 is fault-free and must match too.
+      // Fault-free: g = a & 0 = 0, x = g ^ a = a, and the edge at the end
+      // of this cycle clocks the settled x into q.
+      EXPECT_EQ(ses.sim().value(n, 0), ref.value(n))
+          << "net " << n << " cycle " << cyc;
+      EXPECT_EQ(ses.sim().value(n, 1), n == g ? false : av)
+          << "net " << n << " cycle " << cyc;
+    }
+  }
+}
+
+// Same contract on the 256-lane engine: a release on a folded constant
+// reloads the image at the next eval() -- lazily, like every other released
+// net -- and only on lanes no longer pinned.
+TEST(TapeOpt, WideReleaseRestoresFoldedConstant) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId o = nl.add_cell(CellKind::kConst1);
+  const NetId g = nl.add_cell(CellKind::kOr2, a, o);  // folds to const1
+  nl.bind_output("y", Bus{{g}});
+
+  WideSimulator<4> sim(compile(nl, OptLevel::kSafe));
+  const auto l200 = LaneBlock<4>::lane_bit(200);
+  const auto l7 = LaneBlock<4>::lane_bit(7);
+  auto both = l200;
+  both |= l7;
+  sim.force(g, both, LaneBlock<4>::zeros());
+  sim.eval();
+  EXPECT_FALSE(sim.value(g, 200));
+  EXPECT_FALSE(sim.value(g, 7));
+  sim.release(g, l200);
+  EXPECT_FALSE(sim.value(g, 200));  // lazy: visible until the next eval()
+  sim.eval();
+  EXPECT_TRUE(sim.value(g, 200));  // restored from the constant image
+  EXPECT_FALSE(sim.value(g, 7));   // still pinned
+  sim.release(g, l7);
+  sim.eval();
+  EXPECT_TRUE(sim.value(g, 7));
+  EXPECT_TRUE(sim.value(g, 200));
 }
 
 TEST(TapeOpt, ConstImageSurvivesWideReset) {

@@ -172,6 +172,14 @@ int main(int argc, char** argv) {
       if (skip_perf) continue;
       ++perf_checked;
       const bool both_nan = std::isnan(want.value) && std::isnan(got.value);
+      if (std::isnan(want.value) != std::isnan(got.value)) {
+        // One side null, the other a number: `rel` would be NaN and slip
+        // past the tolerance comparison below.
+        std::printf("PERF      %s: %.6g -> %.6g (null/number mismatch)\n",
+                    key.c_str(), want.value, got.value);
+        ++failures;
+        continue;
+      }
       const double rel =
           want.value != 0.0
               ? std::fabs(got.value - want.value) / std::fabs(want.value)
