@@ -1,0 +1,155 @@
+#include "common/exact_acc.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace dwt::common {
+namespace {
+
+/// Adds `add` into limb `i` and propagates the carry upward.
+void add_limb(std::uint64_t* limbs, int i, std::uint64_t add) {
+  while (add != 0 && i < ExactAcc::kLimbs) {
+    const std::uint64_t before = limbs[i];
+    limbs[i] = before + add;
+    add = limbs[i] < before ? 1 : 0;  // carry out
+    ++i;
+  }
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+void ExactAcc::add(double v) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument("ExactAcc::add: non-finite value");
+  }
+  if (v == 0.0) return;
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  const bool negative = (bits >> 63) != 0;
+  const int biased_exp = static_cast<int>((bits >> 52) & 0x7FF);
+  std::uint64_t mantissa = bits & 0xFFFFFFFFFFFFFULL;
+  // Normal numbers carry an implicit leading bit and weight 2^(e-1075) per
+  // mantissa unit; subnormals have no implicit bit and a fixed 2^-1074 unit.
+  int shift;  // mantissa unit weight = 2^(shift - 1074)
+  if (biased_exp == 0) {
+    shift = 0;
+  } else {
+    mantissa |= 1ULL << 52;
+    shift = biased_exp - 1;
+  }
+  const int limb = shift / 64;
+  const int bit = shift % 64;
+  std::uint64_t lo = mantissa << bit;
+  std::uint64_t hi = bit == 0 ? 0 : mantissa >> (64 - bit);
+  if (negative) {
+    // Two's complement subtraction: add the negated 128-bit value, sign-
+    // extended across the remaining limbs.
+    lo = ~lo;
+    hi = ~hi;
+    if (++lo == 0) ++hi;
+    add_limb(limbs_, limb, lo);
+    add_limb(limbs_, limb + 1, hi);
+    for (int i = limb + 2; i < kLimbs; ++i) {
+      add_limb(limbs_, i, ~std::uint64_t{0});
+    }
+  } else {
+    add_limb(limbs_, limb, lo);
+    add_limb(limbs_, limb + 1, hi);
+  }
+}
+
+void ExactAcc::add(const ExactAcc& other) {
+  for (int i = 0; i < kLimbs; ++i) add_limb(limbs_, i, other.limbs_[i]);
+}
+
+bool ExactAcc::is_zero() const {
+  for (const std::uint64_t limb : limbs_) {
+    if (limb != 0) return false;
+  }
+  return true;
+}
+
+double ExactAcc::round() const {
+  // Work on the magnitude: negate two's complement if the sign bit is set.
+  std::uint64_t mag[kLimbs];
+  const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+  if (negative) {
+    std::uint64_t carry = 1;
+    for (int i = 0; i < kLimbs; ++i) {
+      mag[i] = ~limbs_[i] + carry;
+      carry = carry != 0 && mag[i] == 0 ? 1 : 0;
+    }
+  } else {
+    std::memcpy(mag, limbs_, sizeof mag);
+  }
+  int top = kLimbs - 1;
+  while (top >= 0 && mag[top] == 0) --top;
+  if (top < 0) return 0.0;
+  // Highest set bit position p (value weight 2^(p - 1074)).
+  const int p = top * 64 + 63 - std::countl_zero(mag[top]);
+  // Extract the leading 54 bits (53-bit result + round bit), then apply
+  // round-to-nearest-even on the rest.
+  const auto bit_at = [&](int pos) -> int {
+    if (pos < 0) return 0;
+    return static_cast<int>((mag[pos / 64] >> (pos % 64)) & 1);
+  };
+  const int lsb_pos = p - 52;  // weight of the result's unit bit
+  std::uint64_t frac = 0;
+  for (int i = 0; i < 53; ++i) frac = (frac << 1) | bit_at(p - i);
+  const int round_bit = bit_at(lsb_pos - 1);
+  bool sticky = false;
+  if (round_bit != 0) {
+    // Sticky = any set bit below the round bit.
+    for (int pos = 0; pos < lsb_pos - 1 && !sticky; pos += 64) {
+      const int lim = pos / 64;
+      std::uint64_t word = mag[lim];
+      const int upto = lsb_pos - 1 - pos;  // bits of this limb that count
+      if (upto < 64) word &= (std::uint64_t{1} << upto) - 1;
+      sticky = word != 0;
+    }
+    if (sticky || (frac & 1) != 0) ++frac;
+  }
+  double out = std::ldexp(static_cast<double>(frac), lsb_pos - 1074);
+  return negative ? -out : out;
+}
+
+std::string ExactAcc::to_hex() const {
+  static const char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(kLimbs * 16);
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    for (int nib = 15; nib >= 0; --nib) {
+      out += digits[(limbs_[i] >> (4 * nib)) & 0xF];
+    }
+  }
+  return out;
+}
+
+ExactAcc ExactAcc::from_hex(const std::string& hex) {
+  if (hex.size() != static_cast<std::size_t>(kLimbs) * 16) {
+    throw std::invalid_argument("ExactAcc::from_hex: bad length");
+  }
+  ExactAcc acc;
+  std::size_t at = 0;
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    std::uint64_t limb = 0;
+    for (int nib = 0; nib < 16; ++nib) {
+      const int d = hex_digit(hex[at++]);
+      if (d < 0) {
+        throw std::invalid_argument("ExactAcc::from_hex: bad character");
+      }
+      limb = (limb << 4) | static_cast<std::uint64_t>(d);
+    }
+    acc.limbs_[i] = limb;
+  }
+  return acc;
+}
+
+}  // namespace dwt::common

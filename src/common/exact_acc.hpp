@@ -1,0 +1,66 @@
+// Exact, order-independent accumulation of IEEE-754 doubles.
+//
+// Sharded fault campaigns must merge per-shard PSNR sums into the very bytes
+// an unsharded run prints, and a checkpointed run must resume mid-shard with
+// no drift -- which rules the usual left-fold double sum out: floating-point
+// addition is not associative, so partial sums taken at shard or checkpoint
+// boundaries would round differently from the straight per-trial fold.
+//
+// ExactAcc side-steps rounding entirely: every double is decomposed into its
+// scaled-integer mantissa and added into a wide two's-complement fixed-point
+// accumulator that spans the full finite double range (plus carry headroom
+// for 2^63 additions), so the accumulated value is *exact* and therefore the
+// same regardless of addition order or grouping.  round() returns the
+// correctly-rounded (nearest-even) double of that exact value, so
+//
+//   round(a+b+c+d) == round((a+b) + (c+d)) == round((d+c) + (b+a))
+//
+// holds bit-for-bit -- the property the shard merge and checkpoint-resume
+// paths are built on.  Accumulators serialize to a fixed-width hex string
+// (byte-stable, embeddable in JSON) and merge by plain limb-wise addition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dwt::common {
+
+class ExactAcc {
+ public:
+  /// Fixed-point limbs: bit 0 of limb 0 has weight 2^-1074 (the smallest
+  /// subnormal), so finite doubles need 1074 + 1024 = 2098 bits; three extra
+  /// limbs give carry headroom for far more additions than any campaign
+  /// runs, plus the sign bit of the two's-complement representation.
+  static constexpr int kLimbs = 36;
+
+  ExactAcc() = default;
+
+  /// Adds a finite double exactly.  Throws std::invalid_argument on
+  /// NaN/infinity (campaign sums only ever fold finite PSNR values; an
+  /// infinity here would be a classification bug upstream).
+  void add(double v);
+
+  /// Limb-wise merge of another accumulator: exact, commutative,
+  /// associative.
+  void add(const ExactAcc& other);
+
+  /// Correctly-rounded (round-to-nearest-even) double of the exact sum.
+  [[nodiscard]] double round() const;
+
+  [[nodiscard]] bool is_zero() const;
+
+  /// Fixed-width lowercase hex of the raw limbs, most-significant limb
+  /// first (kLimbs * 16 characters).  Byte-stable for identical sums.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Inverse of to_hex(); throws std::invalid_argument on any malformed
+  /// input (wrong length, non-hex characters).
+  [[nodiscard]] static ExactAcc from_hex(const std::string& hex);
+
+  friend bool operator==(const ExactAcc&, const ExactAcc&) = default;
+
+ private:
+  std::uint64_t limbs_[kLimbs] = {};  // two's complement, limb 0 least
+};
+
+}  // namespace dwt::common

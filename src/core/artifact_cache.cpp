@@ -113,6 +113,23 @@ std::shared_ptr<const rtl::compiled::Tape> ArtifactCache::tape(
                       });
 }
 
+std::shared_ptr<const rtl::compiled::ConeIndex> ArtifactCache::cone_index(
+    const hw::DatapathConfig& cfg, rtl::HardeningStyle harden,
+    rtl::compiled::OptLevel level) {
+  std::string key = config_key(cfg, harden);
+  if (level != rtl::compiled::OptLevel::kNone) {
+    key += ";opt=";
+    key += std::to_string(static_cast<int>(level));
+  }
+  key += ";cone";
+  return get_or_build(mutex_, cones_.map, cones_.builds, cones_.hits, key,
+                      [&]() {
+                        const std::shared_ptr<const rtl::compiled::Tape> t =
+                            tape(cfg, harden, level);
+                        return rtl::compiled::ConeIndex::build(*t);
+                      });
+}
+
 std::shared_ptr<const MappedDesign> ArtifactCache::mapped(
     const hw::DatapathConfig& cfg, rtl::HardeningStyle harden) {
   const std::string key = config_key(cfg, harden);
@@ -144,6 +161,8 @@ CacheStats ArtifactCache::stats() const {
   s.tape_hits = tapes_.hits;
   s.mapped_builds = mapped_.builds;
   s.mapped_hits = mapped_.hits;
+  s.cone_builds = cones_.builds;
+  s.cone_hits = cones_.hits;
   return s;
 }
 
@@ -152,9 +171,11 @@ void ArtifactCache::clear() {
   designs_.map.clear();
   tapes_.map.clear();
   mapped_.map.clear();
+  cones_.map.clear();
   designs_.builds = designs_.hits = 0;
   tapes_.builds = tapes_.hits = 0;
   mapped_.builds = mapped_.hits = 0;
+  cones_.builds = cones_.hits = 0;
 }
 
 ArtifactCache& ArtifactCache::instance() {

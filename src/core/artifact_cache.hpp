@@ -27,6 +27,7 @@
 
 #include "fpga/tech_mapper.hpp"
 #include "hw/designs.hpp"
+#include "rtl/compiled/cone_index.hpp"
 #include "rtl/compiled/tape.hpp"
 #include "rtl/harden.hpp"
 
@@ -56,6 +57,8 @@ struct CacheStats {
   std::uint64_t tape_hits = 0;
   std::uint64_t mapped_builds = 0;
   std::uint64_t mapped_hits = 0;
+  std::uint64_t cone_builds = 0;
+  std::uint64_t cone_hits = 0;
 };
 
 /// Content key of a (datapath config, hardening style) pair.  Every
@@ -82,6 +85,14 @@ class ArtifactCache {
   /// counters pinned by existing consumers -- are unchanged), built
   /// directly via compile(netlist, level) from the shared design artifact.
   [[nodiscard]] std::shared_ptr<const rtl::compiled::Tape> tape(
+      const hw::DatapathConfig& cfg,
+      rtl::HardeningStyle harden = rtl::HardeningStyle::kNone,
+      rtl::compiled::OptLevel level = rtl::compiled::OptLevel::kNone);
+
+  /// Fan-out cone index of the tape the same (cfg, harden, level) triple
+  /// yields -- keyed beside it (";cone" suffix) and likewise built exactly
+  /// once, so every cone-restricted campaign batch shares one index.
+  [[nodiscard]] std::shared_ptr<const rtl::compiled::ConeIndex> cone_index(
       const hw::DatapathConfig& cfg,
       rtl::HardeningStyle harden = rtl::HardeningStyle::kNone,
       rtl::compiled::OptLevel level = rtl::compiled::OptLevel::kNone);
@@ -113,6 +124,7 @@ class ArtifactCache {
   Store<CachedDesign> designs_;
   Store<rtl::compiled::Tape> tapes_;
   Store<MappedDesign> mapped_;
+  Store<rtl::compiled::ConeIndex> cones_;
 };
 
 }  // namespace dwt::core

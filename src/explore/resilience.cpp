@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/json_writer.hpp"
@@ -17,14 +20,29 @@
 #include "core/artifact_cache.hpp"
 #include "dsp/image_gen.hpp"
 #include "dsp/metrics.hpp"
+#include "explore/campaign_io.hpp"
 #include "fpga/device.hpp"
 #include "fpga/timing.hpp"
 #include "hw/stream_runner.hpp"
 #include "rtl/compiled/batch_fault.hpp"
+#include "rtl/compiled/cone_session.hpp"
 #include "rtl/simulator.hpp"
 
 namespace dwt::explore {
 namespace {
+
+/// Default trials per execution chunk (summary fold + checkpoint cadence).
+/// Larger chunks let the cycle-sorted batching (run_compiled_chunk) pack
+/// each 64*W-lane batch into a tighter strike-cycle window, which shrinks
+/// the active interval the cone engine must evaluate; 16k trials is still
+/// only a few MB of chunk-local records.
+constexpr std::size_t kDefaultChunk = 16384;
+/// Above this many trials in a shard the per-trial list is auto-disabled so
+/// million-trial campaigns run in constant memory.
+constexpr std::size_t kKeepTrialsLimit = 1'000'000;
+/// In-memory budget for the golden trace; past it the cone restriction
+/// falls back to full-tape execution (results are identical either way).
+constexpr std::uint64_t kTraceBytesLimit = std::uint64_t{1} << 26;  // 64 MiB
 
 /// Image-derived sample stream in the signed 8-bit input domain (row-major
 /// scan of the synthetic still-tone scene, DC level shifted), matching the
@@ -108,6 +126,19 @@ FaultTrial classify_trial(const rtl::Fault& fault, const std::string& net_name,
   return trial;
 }
 
+/// Balanced contiguous partition of `total` trials into `count` shards:
+/// shard i executes [begin, end).  The first (total % count) shards carry
+/// one extra trial, so the slices partition the schedule exactly.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                unsigned count,
+                                                unsigned index) {
+  const std::size_t q = total / count;
+  const std::size_t r = total % count;
+  const std::size_t begin =
+      static_cast<std::size_t>(index) * q + std::min<std::size_t>(index, r);
+  return {begin, begin + q + (index < r ? 1 : 0)};
+}
+
 }  // namespace
 
 const char* to_string(CampaignEngine e) {
@@ -155,6 +186,15 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   if (options.lanes != 64 && options.lanes != 128 && options.lanes != 256) {
     throw std::invalid_argument("run_campaign: lanes must be 64, 128 or 256");
   }
+  if (options.shard_count == 0) {
+    throw std::invalid_argument("run_campaign: zero shards");
+  }
+  if (options.shard_index >= options.shard_count) {
+    throw std::invalid_argument("run_campaign: shard index out of range");
+  }
+  if (options.shard_count > options.trials) {
+    throw std::invalid_argument("run_campaign: more shards than trials");
+  }
 
   CampaignResult result;
   result.spec = hw::design_spec(options.design);
@@ -162,10 +202,28 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   result.seed = options.seed;
   result.samples = options.samples;
   result.kinds = options.kinds;
+  result.shard_count = options.shard_count;
+  result.shard_index = options.shard_index;
+  const auto [shard_begin, shard_end] =
+      shard_range(options.trials, options.shard_count, options.shard_index);
+  result.trial_begin = shard_begin;
+  result.trial_end = shard_end;
+  const std::size_t shard_trials = shard_end - shard_begin;
+
+  bool keep = options.keep_trials;
+  if (keep && shard_trials > kKeepTrialsLimit) {
+    keep = false;
+    std::fprintf(stderr,
+                 "run_campaign: per-trial list disabled (%zu trials exceed "
+                 "the %zu-trial in-memory limit); summary counters are "
+                 "unaffected\n",
+                 shard_trials, kKeepTrialsLimit);
+  }
 
   // All expensive artifacts -- elaborated/hardened netlists, APEX mappings,
-  // compiled tapes -- come from the shared cache, so repeated campaigns over
-  // the same (design, hardening) pair build them once per process.
+  // compiled tapes, cone indexes -- come from the shared cache, so repeated
+  // campaigns over the same (design, hardening) pair build them once per
+  // process.
   core::ArtifactCache& cache = core::ArtifactCache::instance();
   const std::shared_ptr<const core::CachedDesign> base_artifact =
       cache.design(result.spec.config);
@@ -183,6 +241,8 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
 
   const std::vector<std::int64_t> stimulus =
       image_stimulus(options.samples, options.seed);
+  const std::uint64_t total_cycles =
+      hw::stream_cycle_count(dut, stimulus.size());
 
   const rtl::NetId flag_net =
       options.harden == rtl::HardeningStyle::kParity
@@ -197,6 +257,26 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
           : options.opt_level;
   std::shared_ptr<const rtl::compiled::Tape> tape;
   if (compiled) tape = cache.tape(result.spec.config, options.harden, level);
+
+  // Cone restriction: compiled engine only, and only while the golden trace
+  // fits the in-memory budget.  Purely a throughput knob -- the cone path
+  // is bit-exact with the full-tape path.
+  bool cone_active = compiled && options.cone;
+  if (cone_active &&
+      rtl::compiled::GoldenTrace::bytes_needed(
+          total_cycles, tape->slot_count()) > kTraceBytesLimit) {
+    cone_active = false;
+    std::fprintf(stderr,
+                 "run_campaign: cone restriction disabled (golden trace "
+                 "would exceed the in-memory budget); falling back to "
+                 "full-tape batches\n");
+  }
+  std::shared_ptr<const rtl::compiled::ConeIndex> run_cone;
+  std::shared_ptr<rtl::compiled::GoldenTrace> trace;
+  if (cone_active) {
+    run_cone = cache.cone_index(result.spec.config, options.harden, level);
+    trace = std::make_shared<rtl::compiled::GoldenTrace>(tape->slot_count());
+  }
 
   // Golden references: the unhardened design defines correctness; the
   // hardened one must reproduce it fault-free (a transform bug fails loudly
@@ -217,6 +297,9 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
     if (compiled) {
       rtl::compiled::BatchFaultSession clean(tape);
       if (flag_net != rtl::kNullNet) clean.watch(flag_net);
+      // The fault-free pass doubles as the golden trace recording for the
+      // cone-restricted batches.
+      if (cone_active) clean.set_trace(trace.get());
       check = std::move(hw::run_stream_batch(dut, clean, stimulus, 1).front());
       flagged = clean.watch_mask() != 0;
     } else {
@@ -239,16 +322,27 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   const std::vector<rtl::NetId> seu = rtl::seu_targets(dut.netlist);
   const std::vector<rtl::NetId> stuck = rtl::stuck_targets(dut.netlist);
   const std::vector<rtl::NetId> glitch = rtl::glitch_targets(dut.netlist);
-  const std::uint64_t total_cycles =
-      hw::stream_cycle_count(dut, stimulus.size());
 
-  // Pre-draw the whole fault schedule.  The rng stream is consumed in trial
-  // order exactly as the sequential runner always did, so seeds reproduce
-  // identical campaigns on both engines and any thread count.
+  // The static cone statistics are computed over the fault-overlay-safe
+  // tape regardless of engine, opt level or restriction state, so the JSON
+  // block is identical on every knob setting and in every shard.
+  const std::shared_ptr<const rtl::compiled::Tape> safe_tape = cache.tape(
+      result.spec.config, options.harden, rtl::compiled::OptLevel::kSafe);
+  const std::shared_ptr<const rtl::compiled::ConeIndex> safe_cone =
+      cache.cone_index(result.spec.config, options.harden,
+                       rtl::compiled::OptLevel::kSafe);
+  result.cone.instructions = safe_cone->instr_count();
+  result.cone.mean_span_fraction = safe_cone->mean_span_fraction();
+
+  // Pre-draw the whole fault schedule -- every shard draws all of it.  The
+  // rng stream is consumed in trial order exactly as the sequential runner
+  // always did, so seeds reproduce identical campaigns on both engines, any
+  // thread count, and any shard slicing; only this shard's slice is kept.
   common::Rng rng(options.seed);
-  std::vector<rtl::Fault> faults(options.trials);
+  std::vector<rtl::Fault> faults(shard_trials);
+  double cone_frac_sum = 0.0;
   for (std::size_t t = 0; t < options.trials; ++t) {
-    rtl::Fault& fault = faults[t];
+    rtl::Fault fault;
     fault.kind = options.kinds[static_cast<std::size_t>(rng.uniform(
         0, static_cast<std::int64_t>(options.kinds.size()) - 1))];
     const std::vector<rtl::NetId>* pool = nullptr;
@@ -269,105 +363,238 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
     fault.cycle = static_cast<std::uint64_t>(
         rng.uniform(0, static_cast<std::int64_t>(total_cycles) - 2));
     fault.glitch_value = rng.uniform(0, 1) != 0;
+    const rtl::compiled::ConeSpan span =
+        safe_cone->span_of_net(*safe_tape, fault.net);
+    cone_frac_sum += result.cone.instructions > 0
+                         ? static_cast<double>(span.length()) /
+                               static_cast<double>(result.cone.instructions)
+                         : 0.0;
+    result.cone.instructions_full +=
+        total_cycles * static_cast<std::uint64_t>(result.cone.instructions);
+    result.cone.instructions_cone += static_cast<std::uint64_t>(span.length()) *
+                                     (total_cycles - fault.cycle);
+    if (t >= shard_begin && t < shard_end) faults[t - shard_begin] = fault;
+  }
+  result.cone.schedule_mean_cone_fraction =
+      cone_frac_sum / static_cast<double>(options.trials);
+
+  // Summary accumulators (resumable).  The PSNR sum is an exact
+  // superaccumulator, so checkpoint and shard boundaries cannot perturb the
+  // rounding of the final mean.
+  std::size_t cursor = shard_begin;
+  std::uint64_t n_masked = 0;
+  std::uint64_t n_detected = 0;
+  std::uint64_t n_sdc = 0;
+  std::uint64_t n_corrupted = 0;
+  double psnr_min = std::numeric_limits<double>::infinity();
+  common::ExactAcc psnr_acc;
+  std::vector<FaultTrial> kept_trials;
+  if (keep) kept_trials.reserve(shard_trials);
+
+  const bool use_checkpoint = !options.checkpoint_file.empty();
+  const std::string fingerprint = campaign_fingerprint(options);
+  if (use_checkpoint) {
+    if (std::optional<CampaignCheckpoint> cp =
+            load_checkpoint(options.checkpoint_file)) {
+      if (cp->fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "run_campaign: checkpoint belongs to a different campaign "
+            "(fingerprint mismatch)");
+      }
+      if (cp->cursor < shard_begin || cp->cursor > shard_end) {
+        throw std::runtime_error(
+            "run_campaign: checkpoint cursor outside this shard's range");
+      }
+      const std::size_t done = cp->cursor - shard_begin;
+      if (cp->kept.size() != (keep ? done : 0)) {
+        throw std::runtime_error(
+            "run_campaign: checkpoint trial list inconsistent with cursor");
+      }
+      cursor = cp->cursor;
+      n_masked = cp->masked;
+      n_detected = cp->detected;
+      n_sdc = cp->sdc;
+      n_corrupted = cp->corrupted;
+      psnr_min = std::bit_cast<double>(cp->min_psnr_bits);
+      psnr_acc = cp->psnr_acc;
+      kept_trials = std::move(cp->kept);
+    }
   }
 
-  std::vector<FaultTrial> trials(options.trials);
-  if (compiled) {
-    // Up to 64*W fault trials per tape pass (lane-block width W from
-    // options.lanes), batches sharded across a worker pool.  Every batch
-    // writes only its own slice of `trials`, so the result is independent
-    // of scheduling, thread count and lane count.
-    const auto run_batches = [&]<unsigned W>() {
-      constexpr std::size_t kBatchLanes =
-          rtl::compiled::WideBatchSession<W>::kTotalLanes;
-      const std::size_t n_batches =
-          (options.trials + kBatchLanes - 1) / kBatchLanes;
-      unsigned n_threads =
-          options.threads != 0
-              ? options.threads
-              : std::max(1u, std::thread::hardware_concurrency());
-      n_threads = static_cast<unsigned>(
-          std::min<std::size_t>(n_threads, n_batches));
-      std::atomic<std::size_t> next_batch{0};
-      std::mutex error_mutex;
-      std::exception_ptr first_error;
-      const auto worker = [&]() {
-        try {
-          for (std::size_t b = next_batch.fetch_add(1); b < n_batches;
-               b = next_batch.fetch_add(1)) {
-            const std::size_t t0 = b * kBatchLanes;
-            const unsigned lanes = static_cast<unsigned>(
-                std::min<std::size_t>(kBatchLanes, options.trials - t0));
-            rtl::compiled::WideBatchSession<W> sess(tape);
-            for (unsigned l = 0; l < lanes; ++l) sess.arm(l, faults[t0 + l]);
-            if (flag_net != rtl::kNullNet) sess.watch(flag_net);
-            const std::vector<hw::StreamResult> got =
-                hw::run_stream_batch(dut, sess, stimulus, lanes);
-            const auto& watch = sess.watch_block();
-            for (unsigned l = 0; l < lanes; ++l) {
-              trials[t0 + l] = classify_trial(
-                  faults[t0 + l], dut.netlist.net(faults[t0 + l].net).name,
-                  got[l], golden, watch.get(l));
-            }
-          }
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-      };
-      if (n_threads <= 1) {
-        worker();
-      } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
-        for (std::thread& th : pool) th.join();
-      }
-      if (first_error) std::rethrow_exception(first_error);
-    };
-    switch (options.lanes) {
-      case 64: run_batches.template operator()<1>(); break;
-      case 128: run_batches.template operator()<2>(); break;
-      default: run_batches.template operator()<4>(); break;
-    }
-  } else {
-    for (std::size_t t = 0; t < options.trials; ++t) {
+  // Chunked execution: each chunk is a contiguous trial range, classified
+  // into a chunk-local buffer (bounded memory) and folded into the summary
+  // in trial order (identical floating-point/counter order on every
+  // engine, thread count, lane width and chunk size).
+  const std::size_t chunk_size =
+      options.checkpoint_every != 0 ? options.checkpoint_every : kDefaultChunk;
+
+  const auto run_interpreted_chunk = [&](std::size_t c0, std::size_t c1,
+                                         std::vector<FaultTrial>& out) {
+    for (std::size_t t = c0; t < c1; ++t) {
+      const rtl::Fault& fault = faults[t - shard_begin];
       rtl::Simulator sim(dut.netlist);
       rtl::FaultInjector inj(dut.netlist, sim);
-      inj.arm(faults[t]);
+      inj.arm(fault);
       if (flag_net != rtl::kNullNet) inj.watch(flag_net);
       const hw::StreamResult got = hw::run_stream_faulty(dut, inj, stimulus);
-      trials[t] = classify_trial(faults[t],
-                                 dut.netlist.net(faults[t].net).name, got,
-                                 golden, inj.watch_triggered());
+      out[t - c0] = classify_trial(fault, dut.netlist.net(fault.net).name, got,
+                                   golden, inj.watch_triggered());
+    }
+  };
+
+  // Compiled chunk: up to 64*W trials per tape pass, batches sharded across
+  // a worker pool.  With the cone restriction on, the chunk's trials are
+  // first ordered by (persistence, injection cycle, cone interval): stuck
+  // faults hold their force forever and block a batch's reconvergence
+  // retirement, so they are segregated from the transients, and
+  // cycle-sorting both maximizes each batch's pre-fault skip and keeps its
+  // post-drain retirement window tight.  Every batch still writes only its
+  // own trials, so results are independent of the ordering, scheduling and
+  // thread count.
+  const auto run_compiled_chunk = [&]<unsigned W>(std::size_t c0,
+                                                  std::size_t c1,
+                                                  std::vector<FaultTrial>& out) {
+    constexpr std::size_t kBatchLanes =
+        rtl::compiled::WideBatchSession<W>::kTotalLanes;
+    const std::size_t n = c1 - c0;
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    if (cone_active) {
+      const auto key = [&](std::uint32_t i) {
+        const rtl::Fault& f = faults[c0 - shard_begin + i];
+        const rtl::compiled::ConeSpan span =
+            run_cone->span_of_net(*tape, f.net);
+        const bool sticky = f.kind == rtl::FaultKind::kStuckAt0 ||
+                            f.kind == rtl::FaultKind::kStuckAt1;
+        return std::tuple<bool, std::uint64_t, std::uint32_t, std::uint32_t,
+                          std::uint32_t>(sticky, f.cycle, span.lo, span.hi, i);
+      };
+      std::sort(order.begin(), order.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  return key(a) < key(b);
+                });
+    }
+    const std::size_t n_batches = (n + kBatchLanes - 1) / kBatchLanes;
+    unsigned n_threads =
+        options.threads != 0
+            ? options.threads
+            : std::max(1u, std::thread::hardware_concurrency());
+    n_threads =
+        static_cast<unsigned>(std::min<std::size_t>(n_threads, n_batches));
+    std::atomic<std::size_t> next_batch{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto run_one = [&](auto& sess, std::size_t t0, unsigned lanes) {
+      for (unsigned l = 0; l < lanes; ++l) {
+        sess.arm(l, faults[c0 - shard_begin + order[t0 + l]]);
+      }
+      if (flag_net != rtl::kNullNet) sess.watch(flag_net);
+      const std::vector<hw::StreamResult> got =
+          hw::run_stream_batch(dut, sess, stimulus, lanes);
+      const auto& watch = sess.watch_block();
+      for (unsigned l = 0; l < lanes; ++l) {
+        const std::uint32_t idx = order[t0 + l];
+        const rtl::Fault& fault = faults[c0 - shard_begin + idx];
+        out[idx] = classify_trial(fault, dut.netlist.net(fault.net).name,
+                                  got[l], golden, watch.get(l));
+      }
+    };
+    const auto worker = [&]() {
+      try {
+        for (std::size_t b = next_batch.fetch_add(1); b < n_batches;
+             b = next_batch.fetch_add(1)) {
+          const std::size_t t0 = b * kBatchLanes;
+          const unsigned lanes =
+              static_cast<unsigned>(std::min<std::size_t>(kBatchLanes, n - t0));
+          if (cone_active) {
+            rtl::compiled::ConeBatchSession<W> sess(tape, run_cone, trace);
+            run_one(sess, t0, lanes);
+          } else {
+            rtl::compiled::WideBatchSession<W> sess(tape);
+            run_one(sess, t0, lanes);
+          }
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+    if (n_threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(n_threads);
+      for (unsigned i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+      for (std::thread& th : pool) th.join();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  };
+
+  std::vector<FaultTrial> chunk;
+  while (cursor < shard_end) {
+    const std::size_t c_end = std::min(shard_end, cursor + chunk_size);
+    chunk.assign(c_end - cursor, FaultTrial{});
+    if (compiled) {
+      switch (options.lanes) {
+        case 64:
+          run_compiled_chunk.template operator()<1>(cursor, c_end, chunk);
+          break;
+        case 128:
+          run_compiled_chunk.template operator()<2>(cursor, c_end, chunk);
+          break;
+        default:
+          run_compiled_chunk.template operator()<4>(cursor, c_end, chunk);
+          break;
+      }
+    } else {
+      run_interpreted_chunk(cursor, c_end, chunk);
+    }
+    for (FaultTrial& trial : chunk) {
+      switch (trial.outcome) {
+        case FaultOutcome::kMasked: ++n_masked; break;
+        case FaultOutcome::kDetected: ++n_detected; break;
+        case FaultOutcome::kSilentCorruption: ++n_sdc; break;
+      }
+      // A trial is corrupted iff its stream differs from golden anywhere,
+      // i.e. the worst absolute coefficient error is nonzero.
+      if (trial.max_abs_error != 0) {
+        ++n_corrupted;
+        psnr_acc.add(trial.psnr_db);
+        psnr_min = std::min(psnr_min, trial.psnr_db);
+      }
+      if (keep) kept_trials.push_back(std::move(trial));
+    }
+    cursor = c_end;
+    if (use_checkpoint) {
+      CampaignCheckpoint cp;
+      cp.fingerprint = fingerprint;
+      cp.cursor = cursor;
+      cp.masked = n_masked;
+      cp.detected = n_detected;
+      cp.sdc = n_sdc;
+      cp.corrupted = n_corrupted;
+      cp.min_psnr_bits = std::bit_cast<std::uint64_t>(psnr_min);
+      cp.psnr_acc = psnr_acc;
+      cp.kept = kept_trials;
+      write_checkpoint_atomic(options.checkpoint_file, cp);
+      if (options.checkpoint_hook) {
+        options.checkpoint_hook(cursor - shard_begin);
+      }
     }
   }
 
-  // Accumulate summaries in trial order (identical floating-point summation
-  // order on every engine and thread count).
-  double psnr_sum = 0.0;
-  double psnr_min = std::numeric_limits<double>::infinity();
-  for (std::size_t t = 0; t < options.trials; ++t) {
-    FaultTrial& trial = trials[t];
-    switch (trial.outcome) {
-      case FaultOutcome::kMasked: ++result.masked; break;
-      case FaultOutcome::kDetected: ++result.detected; break;
-      case FaultOutcome::kSilentCorruption: ++result.sdc; break;
-    }
-    // A trial is corrupted iff its stream differs from golden anywhere,
-    // i.e. the worst absolute coefficient error is nonzero.
-    if (trial.max_abs_error != 0) {
-      ++result.corrupted;
-      psnr_sum += trial.psnr_db;
-      psnr_min = std::min(psnr_min, trial.psnr_db);
-    }
-    ++result.trials_run;
-    if (options.keep_trials) result.trials.push_back(std::move(trial));
-  }
-  if (result.corrupted > 0) {
+  result.trials_run = shard_trials;
+  result.masked = n_masked;
+  result.detected = n_detected;
+  result.sdc = n_sdc;
+  result.corrupted = n_corrupted;
+  result.psnr_acc = psnr_acc;
+  if (n_corrupted > 0) {
     result.min_psnr_db = psnr_min;
-    result.mean_psnr_db = psnr_sum / static_cast<double>(result.corrupted);
+    result.mean_psnr_db =
+        psnr_acc.round() / static_cast<double>(n_corrupted);
   }
+  result.trials = std::move(kept_trials);
   return result;
 }
 
@@ -440,6 +667,39 @@ std::string to_json(const CampaignResult& r) {
                               ? r.hardened.fmax_mhz / r.baseline.fmax_mhz
                               : 0.0);
   out += "},\n";
+  // Static schedule statistics of the cone restriction (see ConeStats):
+  // identical across engines, knobs, and shards by construction.
+  out += "  \"cone\": {\"instructions\": " +
+         std::to_string(r.cone.instructions) + ", \"mean_span_fraction\": ";
+  common::append_json_fixed(out, r.cone.mean_span_fraction);
+  out += ", \"schedule_mean_cone_fraction\": ";
+  common::append_json_fixed(out, r.cone.schedule_mean_cone_fraction);
+  out += ", \"instructions_full\": " +
+         std::to_string(r.cone.instructions_full) +
+         ", \"instructions_cone\": " +
+         std::to_string(r.cone.instructions_cone) + "},\n";
+  if (r.shard_count > 1) {
+    // Exact merge carriers (campaign_io.hpp): the superaccumulator and the
+    // min-PSNR bit pattern let `faultcampaign merge` reproduce the
+    // unsharded bytes without re-rounding.  Absent from unsharded reports,
+    // which is exactly what the merged output must look like.
+    const double shard_min = r.corrupted > 0
+                                 ? r.min_psnr_db
+                                 : std::numeric_limits<double>::infinity();
+    static const char* const digits = "0123456789abcdef";
+    std::string min_hex(16, '0');
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(shard_min);
+    for (int i = 0; i < 16; ++i) {
+      min_hex[static_cast<std::size_t>(i)] =
+          digits[(bits >> (4 * (15 - i))) & 0xF];
+    }
+    out += "  \"shard\": {\"index\": " + std::to_string(r.shard_index) +
+           ", \"count\": " + std::to_string(r.shard_count) +
+           ", \"trial_begin\": " + std::to_string(r.trial_begin) +
+           ", \"trial_end\": " + std::to_string(r.trial_end) +
+           ", \"min_psnr_bits\": \"" + min_hex + "\", \"psnr_acc\": \"" +
+           r.psnr_acc.to_hex() + "\"},\n";
+  }
   out += "  \"trial_list\": [";
   for (std::size_t i = 0; i < r.trials.size(); ++i) {
     const FaultTrial& t = r.trials[i];

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/exact_acc.hpp"
 #include "explore/pareto.hpp"
 #include "hw/designs.hpp"
 #include "rtl/compiled/tape.hpp"
@@ -66,6 +68,34 @@ struct ResilienceOptions {
   /// kSafe: fault overlays pin individual nets, which needs the
   /// fault-overlay-safe slot mapping (see rtl/compiled/opt/passes.hpp).
   rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kSafe;
+  /// Cone-restricted incremental re-simulation for the compiled engine:
+  /// each batch settles only the union fan-out cone of its faults against
+  /// the recorded fault-free trace (rtl/compiled/cone_session.hpp).
+  /// Bit-exact with the full-tape path -- results and JSON are
+  /// byte-identical either way -- so this is purely a throughput knob.
+  /// Ignored by the interpreted engine; auto-disabled (with a stderr note)
+  /// when the golden trace would exceed the in-memory budget.
+  bool cone = true;
+  /// Shard this campaign across `shard_count` independent runs, executing
+  /// only shard `shard_index`'s contiguous slice of the trial schedule.
+  /// Every shard re-draws the full schedule from `seed`, so the slices
+  /// partition exactly the trials an unsharded run executes and the merged
+  /// shard reports (campaign_io.hpp) reproduce the unsharded report byte
+  /// for byte.
+  unsigned shard_count = 1;
+  unsigned shard_index = 0;
+  /// When non-empty, checkpoint progress to this file after every chunk of
+  /// trials (atomic write-then-rename); an existing valid checkpoint is
+  /// resumed, making campaigns crash-tolerant with byte-identical output.
+  std::string checkpoint_file;
+  /// Trials per execution chunk (summary fold + checkpoint cadence);
+  /// 0 = default (8192).  Chunking bounds memory: only one chunk of trial
+  /// records is in flight at a time.
+  std::size_t checkpoint_every = 0;
+  /// Test hook: invoked after each checkpoint write with the number of
+  /// trials completed so far in this shard's range.  May throw to simulate
+  /// a crash between chunks.
+  std::function<void(std::size_t)> checkpoint_hook;
 };
 
 enum class FaultOutcome {
@@ -93,6 +123,25 @@ struct SynthesisCost {
   double fmax_mhz = 0.0;
 };
 
+/// Static fan-out-cone statistics of the campaign's fault schedule over the
+/// fault-overlay-safe tape.  Computed from the ConeIndex and the full drawn
+/// schedule -- never from runtime measurements -- so the block is identical
+/// on both engines, at every lane/thread/opt knob, with the restriction on
+/// or off, and in every shard of a sharded run.
+struct ConeStats {
+  std::size_t instructions = 0;  ///< tape length (cone fraction denominator)
+  /// Mean cone-interval fraction over all slots with a non-empty cone.
+  double mean_span_fraction = 0.0;
+  /// Mean cone-interval fraction over the campaign's drawn faults.
+  double schedule_mean_cone_fraction = 0.0;
+  /// Tape instructions a full-tape run of the whole schedule executes, and
+  /// what an ideal cone-restricted run executes (post-injection cycles over
+  /// each fault's cone interval); the difference is the instructions the
+  /// restriction skips.
+  std::uint64_t instructions_full = 0;
+  std::uint64_t instructions_cone = 0;
+};
+
 struct CampaignResult {
   hw::DesignSpec spec;
   rtl::HardeningStyle harden = rtl::HardeningStyle::kNone;
@@ -111,6 +160,17 @@ struct CampaignResult {
   std::size_t samples = 0;
   std::vector<rtl::FaultKind> kinds;
   std::vector<FaultTrial> trials;
+  ConeStats cone;
+  /// Sharding identity of this result (count 1 = unsharded) and the
+  /// absolute [trial_begin, trial_end) slice of the schedule it executed.
+  unsigned shard_count = 1;
+  unsigned shard_index = 0;
+  std::size_t trial_begin = 0;
+  std::size_t trial_end = 0;
+  /// Exact sum of the corrupted trials' PSNRs; mean_psnr_db is its
+  /// correctly-rounded value over `corrupted`, and shard reports serialize
+  /// it so merges never re-round.
+  common::ExactAcc psnr_acc;
 
   [[nodiscard]] double sdc_rate() const {
     return trials_run == 0

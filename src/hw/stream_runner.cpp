@@ -80,6 +80,68 @@ StreamResult run_impl(const rtl::Bus& in_even, const rtl::Bus& in_odd,
   return out;
 }
 
+/// Shared body of the batched runners: any session with the batched
+/// streaming surface (set_bus / step / per-lane read_bus and a kTotalLanes
+/// bound) runs the same feed schedule, so the full-tape and cone-restricted
+/// sessions stream identically by construction.
+template <typename Session>
+std::vector<StreamResult> run_batch_impl(const BuiltDatapath& dp,
+                                         Session& session,
+                                         std::span<const std::int64_t> x,
+                                         unsigned lanes) {
+  if (x.empty()) {
+    throw std::invalid_argument("run_stream_batch: empty signal");
+  }
+  if (lanes == 0 || lanes > Session::kTotalLanes) {
+    throw std::invalid_argument("run_stream_batch: bad lane count");
+  }
+  const int latency = dp.info.latency;
+  if (x.size() == 1) {
+    // Pass-through stream: no datapath activity, so no fault can land.
+    return std::vector<StreamResult>(lanes,
+                                     single_sample_result(x[0], latency));
+  }
+  const std::ptrdiff_t ns = static_cast<std::ptrdiff_t>(low_count(x.size()));
+  const std::ptrdiff_t nd = static_cast<std::ptrdiff_t>(high_count(x.size()));
+  std::vector<StreamResult> out(lanes);
+  for (StreamResult& r : out) {
+    r.low.assign(static_cast<std::size_t>(ns), 0);
+    r.high.assign(static_cast<std::size_t>(nd), 0);
+  }
+  auto x_ext = [&x](std::ptrdiff_t pos) {
+    return x[dsp::mirror_index(pos, x.size())];
+  };
+  // Same feed schedule as run_impl; every lane sees the same samples, and
+  // the per-lane overlays inside the session produce the divergence.
+  // Output capture goes through the sessions' bulk read (one slot
+  // resolution per bus bit, fanned out to all lanes) -- with hundreds of
+  // lanes the per-lane read_bus calls otherwise rival the settle itself.
+  std::vector<std::int64_t> lane_values(lanes);
+  const std::ptrdiff_t total_cycles = ns + 2 * kGuardPairs + latency;
+  for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
+    const std::ptrdiff_t t = c - kGuardPairs;
+    const std::ptrdiff_t feed = t < ns + kGuardPairs ? t : ns + kGuardPairs - 1;
+    session.set_bus(dp.in_even, x_ext(2 * feed));
+    session.set_bus(dp.in_odd, x_ext(2 * feed + 1));
+    session.step();
+    const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
+    if (i >= 0 && i < ns) {
+      session.read_bus_all(dp.out_low, lane_values.data(), lanes);
+      for (unsigned l = 0; l < lanes; ++l) {
+        out[l].low[static_cast<std::size_t>(i)] = lane_values[l];
+      }
+      if (i < nd) {
+        session.read_bus_all(dp.out_high, lane_values.data(), lanes);
+        for (unsigned l = 0; l < lanes; ++l) {
+          out[l].high[static_cast<std::size_t>(i)] = lane_values[l];
+        }
+      }
+    }
+  }
+  for (StreamResult& r : out) r.cycles = static_cast<std::uint64_t>(total_cycles);
+  return out;
+}
+
 }  // namespace
 
 StreamResult run_stream(const BuiltDatapath& dp, rtl::Simulator& sim,
@@ -111,51 +173,14 @@ template <unsigned W>
 std::vector<StreamResult> run_stream_batch(
     const BuiltDatapath& dp, rtl::compiled::WideBatchSession<W>& session,
     std::span<const std::int64_t> x, unsigned lanes) {
-  if (x.empty()) {
-    throw std::invalid_argument("run_stream_batch: empty signal");
-  }
-  if (lanes == 0 || lanes > rtl::compiled::WideBatchSession<W>::kTotalLanes) {
-    throw std::invalid_argument("run_stream_batch: bad lane count");
-  }
-  const int latency = dp.info.latency;
-  if (x.size() == 1) {
-    // Pass-through stream: no datapath activity, so no fault can land.
-    return std::vector<StreamResult>(lanes,
-                                     single_sample_result(x[0], latency));
-  }
-  const std::ptrdiff_t ns = static_cast<std::ptrdiff_t>(low_count(x.size()));
-  const std::ptrdiff_t nd = static_cast<std::ptrdiff_t>(high_count(x.size()));
-  std::vector<StreamResult> out(lanes);
-  for (StreamResult& r : out) {
-    r.low.assign(static_cast<std::size_t>(ns), 0);
-    r.high.assign(static_cast<std::size_t>(nd), 0);
-  }
-  auto x_ext = [&x](std::ptrdiff_t pos) {
-    return x[dsp::mirror_index(pos, x.size())];
-  };
-  // Same feed schedule as run_impl; every lane sees the same samples, and
-  // the per-lane overlays inside the session produce the divergence.
-  const std::ptrdiff_t total_cycles = ns + 2 * kGuardPairs + latency;
-  for (std::ptrdiff_t c = 0; c < total_cycles; ++c) {
-    const std::ptrdiff_t t = c - kGuardPairs;
-    const std::ptrdiff_t feed = t < ns + kGuardPairs ? t : ns + kGuardPairs - 1;
-    session.set_bus(dp.in_even, x_ext(2 * feed));
-    session.set_bus(dp.in_odd, x_ext(2 * feed + 1));
-    session.step();
-    const std::ptrdiff_t i = c - latency - kGuardPairs + 1;
-    if (i >= 0 && i < ns) {
-      for (unsigned l = 0; l < lanes; ++l) {
-        out[l].low[static_cast<std::size_t>(i)] =
-            session.read_bus(dp.out_low, l);
-        if (i < nd) {
-          out[l].high[static_cast<std::size_t>(i)] =
-              session.read_bus(dp.out_high, l);
-        }
-      }
-    }
-  }
-  for (StreamResult& r : out) r.cycles = static_cast<std::uint64_t>(total_cycles);
-  return out;
+  return run_batch_impl(dp, session, x, lanes);
+}
+
+template <unsigned W>
+std::vector<StreamResult> run_stream_batch(
+    const BuiltDatapath& dp, rtl::compiled::ConeBatchSession<W>& session,
+    std::span<const std::int64_t> x, unsigned lanes) {
+  return run_batch_impl(dp, session, x, lanes);
 }
 
 template std::vector<StreamResult> run_stream_batch<1>(
@@ -166,6 +191,15 @@ template std::vector<StreamResult> run_stream_batch<2>(
     std::span<const std::int64_t>, unsigned);
 template std::vector<StreamResult> run_stream_batch<4>(
     const BuiltDatapath&, rtl::compiled::WideBatchSession<4>&,
+    std::span<const std::int64_t>, unsigned);
+template std::vector<StreamResult> run_stream_batch<1>(
+    const BuiltDatapath&, rtl::compiled::ConeBatchSession<1>&,
+    std::span<const std::int64_t>, unsigned);
+template std::vector<StreamResult> run_stream_batch<2>(
+    const BuiltDatapath&, rtl::compiled::ConeBatchSession<2>&,
+    std::span<const std::int64_t>, unsigned);
+template std::vector<StreamResult> run_stream_batch<4>(
+    const BuiltDatapath&, rtl::compiled::ConeBatchSession<4>&,
     std::span<const std::int64_t>, unsigned);
 
 LaneStreamResult run_stream_lanes(const BuiltDatapath& dp,

@@ -15,6 +15,7 @@
 #include "rtl/activity_sim.hpp"
 #include "rtl/compiled/batch_fault.hpp"
 #include "rtl/compiled/compiled_simulator.hpp"
+#include "rtl/compiled/cone_session.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/simulator.hpp"
 
@@ -77,6 +78,26 @@ extern template std::vector<StreamResult> run_stream_batch<2>(
     std::span<const std::int64_t>, unsigned);
 extern template std::vector<StreamResult> run_stream_batch<4>(
     const BuiltDatapath&, rtl::compiled::WideBatchSession<4>&,
+    std::span<const std::int64_t>, unsigned);
+
+/// Cone-restricted variant: same feed schedule and per-lane results as the
+/// full-tape overload, but each cycle settles only the armed faults' cone
+/// interval and replays everything else from the session's golden trace
+/// (see rtl/compiled/cone_session.hpp).  Bit-identical to the full session
+/// for every lane.
+template <unsigned W>
+[[nodiscard]] std::vector<StreamResult> run_stream_batch(
+    const BuiltDatapath& dp, rtl::compiled::ConeBatchSession<W>& session,
+    std::span<const std::int64_t> x, unsigned lanes);
+
+extern template std::vector<StreamResult> run_stream_batch<1>(
+    const BuiltDatapath&, rtl::compiled::ConeBatchSession<1>&,
+    std::span<const std::int64_t>, unsigned);
+extern template std::vector<StreamResult> run_stream_batch<2>(
+    const BuiltDatapath&, rtl::compiled::ConeBatchSession<2>&,
+    std::span<const std::int64_t>, unsigned);
+extern template std::vector<StreamResult> run_stream_batch<4>(
+    const BuiltDatapath&, rtl::compiled::ConeBatchSession<4>&,
     std::span<const std::int64_t>, unsigned);
 
 /// Batched activity path: partitions a signal of any non-zero length into

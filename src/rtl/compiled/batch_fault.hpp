@@ -15,6 +15,7 @@
 // tape.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "rtl/compiled/compiled_simulator.hpp"
+#include "rtl/compiled/cone_index.hpp"
 #include "rtl/compiled/wide_simulator.hpp"
 #include "rtl/fault.hpp"
 
@@ -70,6 +72,11 @@ class WideBatchSession {
   }
   [[nodiscard]] const Block& watch_block() const { return watch_mask_; }
 
+  /// Records each post-settle state into `trace` (one append per step).
+  /// Used on the fault-free reference run to capture the golden trace that
+  /// cone-restricted sessions later replay against; pass nullptr to stop.
+  void set_trace(GoldenTrace* trace) { trace_ = trace; }
+
   // Batched streaming surface --------------------------------------------
   /// Drives every lane with the same value (campaign trials share stimulus).
   void set_bus(const Bus& bus, std::int64_t value) {
@@ -98,6 +105,7 @@ class WideBatchSession {
       }
     }
     sim_.eval();
+    if (trace_ != nullptr) trace_->append(sim_);
     for (const NetId n : watched_) watch_mask_ |= sim_.block(n);
     sim_.clock_edge();
     for (const Armed& a : faults_) {
@@ -114,6 +122,56 @@ class WideBatchSession {
     return sim_.read_bus(bus, lane);
   }
 
+  /// Reads the first `lanes` lanes of a bus in one pass: per bus bit the
+  /// slot is resolved once and its W state words fanned out to the lane
+  /// values, instead of `lanes` read_bus calls re-resolving every bit.
+  /// This is the batched runners' hot read path (stream_runner.cpp).
+  void read_bus_all(const Bus& bus, std::int64_t* out, unsigned lanes) const {
+    if (bus.bits.empty()) {
+      throw std::invalid_argument("BatchFaultSession::read_bus_all: empty bus");
+    }
+    if (lanes == 0 || lanes > kTotalLanes) {
+      throw std::invalid_argument("BatchFaultSession::read_bus_all: bad lanes");
+    }
+    std::fill(out, out + lanes, std::int64_t{0});
+    const Tape& tape = sim_.tape();
+    for (std::size_t i = 0; i < bus.bits.size(); ++i) {
+      const NetId net = bus.bits[i];
+      if (net >= tape.net_count()) {
+        throw std::invalid_argument(
+            "BatchFaultSession::read_bus_all: net out of range");
+      }
+      const Slot s = tape.slot_of(net);
+      if (s == kNullSlot) {
+        throw std::invalid_argument(
+            "BatchFaultSession::read_bus_all: net was eliminated by the "
+            "tape optimizer");
+      }
+      for (unsigned k = 0; k * kWordLanes < lanes; ++k) {
+        const std::uint64_t w = sim_.slot_word(s, k);
+        const unsigned base = k * kWordLanes;
+        const unsigned count = std::min(kWordLanes, lanes - base);
+        for (unsigned j = 0; j < count; ++j) {
+          out[base + j] |= static_cast<std::int64_t>((w >> j) & 1) << i;
+        }
+      }
+    }
+    sign_extend_lanes(bus, out, lanes);
+  }
+
+  /// Two's complement sign extension of read_bus_all values, shared with the
+  /// cone session's bulk read.
+  static void sign_extend_lanes(const Bus& bus, std::int64_t* out,
+                                unsigned lanes) {
+    const int w = bus.width();
+    if (w >= 64) return;
+    const std::int64_t sign = std::int64_t{1} << (w - 1);
+    const std::int64_t wrap = std::int64_t{1} << w;
+    for (unsigned l = 0; l < lanes; ++l) {
+      if (out[l] & sign) out[l] -= wrap;
+    }
+  }
+
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
   [[nodiscard]] Sim& sim() { return sim_; }
 
@@ -126,6 +184,7 @@ class WideBatchSession {
   std::vector<Armed> faults_;
   std::vector<NetId> watched_;
   Block watch_mask_{};
+  GoldenTrace* trace_ = nullptr;
   std::uint64_t cycle_ = 0;
 };
 

@@ -175,7 +175,14 @@ class WideSimulator {
   }
 
   // Clocking --------------------------------------------------------------
-  void eval() {
+  void eval() { eval_range(0, tape_->instrs().size()); }
+
+  /// Settles only instructions [lo, hi) of the tape -- the cone-restricted
+  /// entry point (see rtl/compiled/cone_session.hpp).  Identical to eval()
+  /// when the range spans the whole tape: released constant-image slots are
+  /// reloaded and active pins applied regardless of the range, since both
+  /// are per-slot overlays rather than instructions.
+  void eval_range(std::size_t lo, std::size_t hi) {
     if (!restore_pending_.empty()) {
       // Released constant-source slots: reload the whole slot from the
       // image; apply_forces() below re-pins any lanes still forced.
@@ -188,13 +195,12 @@ class WideSimulator {
     }
     std::uint64_t* const s = state_.data();
     const Instr* const tape = tape_->instrs().data();
-    const std::size_t n = tape_->instrs().size();
     if (forced_slots_.empty()) {
-      for (std::size_t i = 0; i < n; ++i) exec<false>(s, tape[i]);
+      for (std::size_t i = lo; i < hi; ++i) exec<false>(s, tape[i]);
       return;
     }
     apply_forces();
-    for (std::size_t i = 0; i < n; ++i) exec<true>(s, tape[i]);
+    for (std::size_t i = lo; i < hi; ++i) exec<true>(s, tape[i]);
   }
 
   void clock_edge() {
@@ -262,6 +268,24 @@ class WideSimulator {
     }
     return v;
   }
+
+  // Slot-level access (cone-restricted sessions) ---------------------------
+  /// Raw lane word `k` of slot `s`, no net mapping or range checks beyond
+  /// the vector's own.  Cone sessions and golden-trace recording read state
+  /// by slot because they walk the tape, not the netlist.
+  [[nodiscard]] std::uint64_t slot_word(Slot s, unsigned k) const {
+    return state_[static_cast<std::size_t>(s) * W + k];
+  }
+  /// Overwrites every lane word of slot `s` with `word` -- how a cone
+  /// session refreshes an out-of-cone slot from the golden trace (golden
+  /// runs are lane-uniform, so one word serves all W).
+  void broadcast_slot(Slot s, std::uint64_t word) {
+    for (unsigned k = 0; k < W; ++k) {
+      state_[static_cast<std::size_t>(s) * W + k] = word;
+    }
+  }
+  /// True while any lane of any slot is pinned by force().
+  [[nodiscard]] bool any_forced() const { return !forced_slots_.empty(); }
 
   // Fault overlay ---------------------------------------------------------
   /// Pins lanes of `net`: wherever `lanes` has a bit set, the net is held at

@@ -1,0 +1,303 @@
+#include "explore/campaign_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/exact_acc.hpp"
+#include "explore/resilience.hpp"
+
+namespace dwt::explore {
+namespace {
+
+ResilienceOptions shard_campaign() {
+  ResilienceOptions opt;
+  opt.design = hw::DesignId::kDesign2;
+  opt.kinds = {rtl::FaultKind::kSeuFlip, rtl::FaultKind::kGlitch,
+               rtl::FaultKind::kStuckAt0, rtl::FaultKind::kStuckAt1};
+  opt.trials = 37;  // deliberately not divisible by the shard counts
+  opt.seed = 321;
+  opt.samples = 16;
+  return opt;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// ExactAcc
+// ---------------------------------------------------------------------------
+
+TEST(ExactAcc, SumsAreExactAndOrderIndependent) {
+  const std::vector<double> xs = {1e16, 3.25, -1e16, 1e-30, 7.5,
+                                  -2.875, 1e300, -1e300};
+  common::ExactAcc fwd;
+  common::ExactAcc rev;
+  for (const double x : xs) fwd.add(x);
+  for (auto it = xs.rbegin(); it != xs.rend(); ++it) rev.add(*it);
+  EXPECT_EQ(fwd, rev);
+  // 1e16 and -1e16 cancel exactly; the rest sum to 7.875 + 1e-30, which
+  // rounds to 7.875.
+  EXPECT_DOUBLE_EQ(fwd.round(), 7.875);
+}
+
+TEST(ExactAcc, MergeEqualsSingleAccumulator) {
+  common::ExactAcc whole;
+  common::ExactAcc a;
+  common::ExactAcc b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 1e10;
+    whole.add(x);
+    (i < 50 ? a : b).add(x);
+  }
+  a.add(b);
+  EXPECT_EQ(whole, a);
+  EXPECT_EQ(whole.round(), a.round());
+}
+
+TEST(ExactAcc, HexRoundTrips) {
+  common::ExactAcc acc;
+  acc.add(-123.456);
+  acc.add(1e-300);
+  const std::string hex = acc.to_hex();
+  EXPECT_EQ(hex.size(), 576u);
+  EXPECT_EQ(common::ExactAcc::from_hex(hex), acc);
+  EXPECT_THROW(common::ExactAcc::from_hex("zz"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding
+// ---------------------------------------------------------------------------
+
+TEST(CampaignShard, MergedShardsReproduceUnshardedBytes) {
+  ResilienceOptions opt = shard_campaign();
+  const std::string whole = to_json(run_campaign(opt));
+  for (const unsigned shards : {1u, 2u, 7u}) {
+    std::vector<std::string> reports;
+    std::size_t trials_seen = 0;
+    for (unsigned i = 0; i < shards; ++i) {
+      opt.shard_count = shards;
+      opt.shard_index = i;
+      const CampaignResult r = run_campaign(opt);
+      trials_seen += r.trials_run;
+      EXPECT_EQ(r.trial_end - r.trial_begin, r.trials_run);
+      reports.push_back(to_json(r));
+    }
+    EXPECT_EQ(trials_seen, opt.trials);
+    EXPECT_EQ(merge_reports(reports), whole)
+        << "shard count " << shards;
+  }
+}
+
+TEST(CampaignShard, MergeIsOrderInvariant) {
+  ResilienceOptions opt = shard_campaign();
+  opt.shard_count = 3;
+  std::vector<std::string> reports;
+  for (unsigned i = 0; i < 3; ++i) {
+    opt.shard_index = i;
+    reports.push_back(to_json(run_campaign(opt)));
+  }
+  const std::string merged = merge_reports(reports);
+  std::vector<std::string> shuffled = {reports[2], reports[0], reports[1]};
+  EXPECT_EQ(merge_reports(shuffled), merged);
+  std::vector<std::string> reversed = {reports[2], reports[1], reports[0]};
+  EXPECT_EQ(merge_reports(reversed), merged);
+}
+
+TEST(CampaignShard, ShardReportsCarryScheduleWideConeStats) {
+  ResilienceOptions opt = shard_campaign();
+  const CampaignResult whole = run_campaign(opt);
+  opt.shard_count = 2;
+  opt.shard_index = 1;
+  const CampaignResult shard = run_campaign(opt);
+  // Static cone statistics are drawn from the full schedule, so every shard
+  // agrees with the unsharded run.
+  EXPECT_EQ(shard.cone.instructions, whole.cone.instructions);
+  EXPECT_EQ(shard.cone.instructions_full, whole.cone.instructions_full);
+  EXPECT_EQ(shard.cone.instructions_cone, whole.cone.instructions_cone);
+  EXPECT_EQ(shard.cone.schedule_mean_cone_fraction,
+            whole.cone.schedule_mean_cone_fraction);
+  EXPECT_GT(whole.cone.instructions_full, whole.cone.instructions_cone);
+}
+
+TEST(CampaignShard, RejectsBadShardArguments) {
+  ResilienceOptions opt = shard_campaign();
+  opt.shard_count = 0;
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);
+  opt.shard_count = 2;
+  opt.shard_index = 2;
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);
+  opt.shard_count = 1000;
+  opt.shard_index = 0;
+  EXPECT_THROW(run_campaign(opt), std::invalid_argument);  // > trials
+}
+
+TEST(CampaignShard, MergeRejectsInconsistentInputs) {
+  ResilienceOptions opt = shard_campaign();
+  opt.shard_count = 2;
+  opt.shard_index = 0;
+  const std::string s0 = to_json(run_campaign(opt));
+  opt.shard_index = 1;
+  const std::string s1 = to_json(run_campaign(opt));
+
+  EXPECT_THROW(merge_reports({}), std::runtime_error);
+  // Missing shard 1 of 2.
+  EXPECT_THROW(merge_reports({s0}), std::runtime_error);
+  // Duplicate shard.
+  EXPECT_THROW(merge_reports({s0, s0}), std::runtime_error);
+  // Mixing different campaigns: different seed changes static lines.
+  ResilienceOptions other = shard_campaign();
+  other.seed = 999;
+  other.shard_count = 2;
+  other.shard_index = 1;
+  EXPECT_THROW(merge_reports({s0, to_json(run_campaign(other))}),
+               std::runtime_error);
+  // Garbage input.
+  EXPECT_THROW(merge_reports({"not json"}), std::runtime_error);
+  // A single unsharded report passes through untouched.
+  const std::string whole = to_json(run_campaign(shard_campaign()));
+  EXPECT_EQ(merge_reports({whole}), whole);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+// ---------------------------------------------------------------------------
+
+TEST(CampaignCheckpointTest, SerializationRoundTrips) {
+  CampaignCheckpoint cp;
+  cp.fingerprint = campaign_fingerprint(shard_campaign());
+  cp.cursor = 17;
+  cp.masked = 5;
+  cp.detected = 2;
+  cp.sdc = 10;
+  cp.corrupted = 12;
+  cp.min_psnr_bits =
+      std::bit_cast<std::uint64_t>(21.75);
+  cp.psnr_acc.add(21.75);
+  cp.psnr_acc.add(38.5);
+  FaultTrial t;
+  t.fault.kind = rtl::FaultKind::kGlitch;
+  t.fault.net = 42;
+  t.fault.cycle = 9;
+  t.fault.glitch_value = true;
+  t.net_name = "alpha.mul pp[3]";  // space survives the round trip
+  t.outcome = FaultOutcome::kSilentCorruption;
+  t.psnr_db = 21.75;
+  t.max_abs_error = -3;
+  cp.kept.push_back(t);
+  const CampaignCheckpoint back = parse_checkpoint(serialize_checkpoint(cp));
+  EXPECT_EQ(back.fingerprint, cp.fingerprint);
+  EXPECT_EQ(back.cursor, cp.cursor);
+  EXPECT_EQ(back.corrupted, cp.corrupted);
+  EXPECT_EQ(back.psnr_acc, cp.psnr_acc);
+  ASSERT_EQ(back.kept.size(), 1u);
+  EXPECT_EQ(back.kept[0].net_name, t.net_name);
+  EXPECT_EQ(back.kept[0].fault.kind, t.fault.kind);
+  EXPECT_EQ(back.kept[0].max_abs_error, t.max_abs_error);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(back.kept[0].psnr_db),
+            std::bit_cast<std::uint64_t>(t.psnr_db));
+}
+
+TEST(CampaignCheckpointTest, RejectsCorruptFiles) {
+  const std::string good = serialize_checkpoint(CampaignCheckpoint{});
+  EXPECT_NO_THROW(parse_checkpoint(good));
+  // Truncations at every line boundary are rejected.
+  std::size_t pos = good.find('\n');
+  while (pos != std::string::npos) {
+    EXPECT_THROW(parse_checkpoint(good.substr(0, pos + 1)),
+                 std::runtime_error);
+    pos = good.find('\n', pos + 1);
+    if (pos == good.size() - 1) break;
+  }
+  EXPECT_THROW(parse_checkpoint(""), std::runtime_error);
+  EXPECT_THROW(parse_checkpoint("dwtcampaign-checkpoint v2\n"),
+               std::runtime_error);
+  std::string bad = good;
+  bad.replace(bad.find("cursor "), 7, "cursro ");
+  EXPECT_THROW(parse_checkpoint(bad), std::runtime_error);
+}
+
+TEST(CampaignCheckpointTest, CrashAndResumeIsByteIdentical) {
+  const std::string path = temp_path("dwt_ck_resume_test.txt");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+
+  ResilienceOptions opt = shard_campaign();
+  const std::string want = to_json(run_campaign(opt));
+
+  opt.checkpoint_file = path;
+  opt.checkpoint_every = 10;
+  struct Crash {};
+  opt.checkpoint_hook = [](std::size_t done) {
+    if (done >= 10) throw Crash{};  // die after the first chunk's checkpoint
+  };
+  EXPECT_THROW(run_campaign(opt), Crash);
+
+  // Resume: the checkpoint holds the first chunk; the rest runs now.
+  opt.checkpoint_hook = nullptr;
+  const CampaignResult resumed = run_campaign(opt);
+  EXPECT_EQ(to_json(resumed), want);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpointTest, RefusesForeignCheckpoint) {
+  const std::string path = temp_path("dwt_ck_foreign_test.txt");
+  std::remove(path.c_str());
+
+  ResilienceOptions opt = shard_campaign();
+  opt.checkpoint_file = path;
+  opt.checkpoint_every = 10;
+  struct Stop {};
+  opt.checkpoint_hook = [](std::size_t) { throw Stop{}; };
+  EXPECT_THROW(run_campaign(opt), Stop);
+
+  // Different seed => different fingerprint => refuse to resume.
+  ResilienceOptions other = shard_campaign();
+  other.seed = 777;
+  other.checkpoint_file = path;
+  EXPECT_THROW(run_campaign(other), std::runtime_error);
+
+  // A torn file (manual corruption) is rejected, not silently resumed.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "dwtcampaign-checkpoint v1\nfingerprint x\ncursor 5\n";
+  }
+  opt.checkpoint_hook = nullptr;
+  EXPECT_THROW(run_campaign(opt), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignCheckpointTest, ResumeMaySwitchEngines) {
+  const std::string path = temp_path("dwt_ck_engine_test.txt");
+  std::remove(path.c_str());
+
+  ResilienceOptions opt = shard_campaign();
+  const std::string want = to_json(run_campaign(opt));
+
+  opt.checkpoint_file = path;
+  opt.checkpoint_every = 10;
+  struct Crash {};
+  opt.checkpoint_hook = [](std::size_t done) {
+    if (done >= 10) throw Crash{};
+  };
+  EXPECT_THROW(run_campaign(opt), Crash);
+
+  // The fingerprint excludes performance knobs, so the interpreted engine
+  // can finish what the compiled engine started -- bytes unchanged.
+  opt.engine = CampaignEngine::kInterpreted;
+  opt.checkpoint_hook = nullptr;
+  EXPECT_EQ(to_json(run_campaign(opt)), want);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dwt::explore

@@ -1,0 +1,281 @@
+#include "rtl/compiled/cone_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/artifact_cache.hpp"
+#include "dsp/image_gen.hpp"
+#include "hw/designs.hpp"
+#include "hw/stream_runner.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/compiled/batch_fault.hpp"
+#include "rtl/compiled/cone_index.hpp"
+#include "rtl/compiled/tape.hpp"
+#include "rtl/fault.hpp"
+#include "rtl/harden.hpp"
+
+namespace dwt::rtl::compiled {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ConeIndex on hand-built netlists
+// ---------------------------------------------------------------------------
+
+TEST(ConeIndex, CombinationalChainSpans) {
+  // a -> n1 -> n2 -> n3, side input b into n2.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId n1 = nl.add_cell(CellKind::kNot, a);
+  const NetId n2 = nl.add_cell(CellKind::kAnd2, n1, b);
+  const NetId n3 = nl.add_cell(CellKind::kNot, n2);
+  const auto tape = compile(nl);
+  const auto cone = ConeIndex::build(*tape);
+  ASSERT_EQ(cone->instr_count(), 3u);
+
+  // a's cone covers all three instructions; n3 has no readers -- empty cone.
+  const ConeSpan sa = cone->span_of_net(*tape, a);
+  EXPECT_EQ(sa.lo, 0u);
+  EXPECT_EQ(sa.hi, 3u);
+  EXPECT_TRUE(cone->span_of_net(*tape, n3).empty());
+  // b feeds n2, whose fan-out reaches n3: contiguous cover of both.
+  const ConeSpan sb = cone->span_of_net(*tape, b);
+  EXPECT_EQ(sb.length(), 2u);
+  // Every span is an interval inside the tape.
+  for (const NetId n : {a, b, n1, n2, n3}) {
+    const ConeSpan s = cone->span_of_net(*tape, n);
+    EXPECT_LE(s.lo, s.hi);
+    EXPECT_LE(s.hi, cone->instr_count());
+  }
+}
+
+TEST(ConeIndex, DInheritsQConeAcrossRegister) {
+  // x -> DFF -> inverter: a corrupted D strikes the inverter one cycle
+  // later, so D's cone must cover Q's readers.
+  Netlist nl;
+  const NetId x = nl.add_input("x");
+  const NetId d = nl.add_cell(CellKind::kNot, x);
+  const NetId q = nl.add_cell(CellKind::kDff, d);
+  const NetId y = nl.add_cell(CellKind::kNot, q);
+  (void)y;
+  const auto tape = compile(nl);
+  const auto cone = ConeIndex::build(*tape);
+  const ConeSpan sq = cone->span_of_net(*tape, q);
+  const ConeSpan sd = cone->span_of_net(*tape, d);
+  EXPECT_FALSE(sq.empty());
+  EXPECT_LE(sq.lo, sd.hi);
+  // D's span covers everything Q's does.
+  EXPECT_LE(sd.lo, sq.lo);
+  EXPECT_GE(sd.hi, sq.hi);
+  // d_of_q maps the register output back to its input slot.
+  EXPECT_EQ(cone->d_of_q(tape->slot_of(q)), tape->slot_of(d));
+  EXPECT_EQ(cone->d_of_q(tape->slot_of(d)), kNullSlot);
+}
+
+TEST(GoldenTrace, RecordsPostSettleBitsPerCycle) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n = nl.add_cell(CellKind::kNot, a);
+  const auto tape = compile(nl);
+  GoldenTrace trace(tape->slot_count());
+  WideSimulator<1> sim(tape);
+  for (int c = 0; c < 4; ++c) {
+    sim.set_input_block(
+        a, (c & 1) != 0 ? WideSimulator<1>::Block::ones()
+                        : WideSimulator<1>::Block::zeros());
+    sim.eval();
+    trace.append(sim);
+    sim.clock_edge();
+  }
+  ASSERT_EQ(trace.cycles(), 4u);
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(trace.get(c, tape->slot_of(a)), (c & 1) != 0);
+    EXPECT_EQ(trace.get(c, tape->slot_of(n)), (c & 1) == 0);
+    EXPECT_EQ(trace.broadcast(c, tape->slot_of(n)),
+              (c & 1) == 0 ? ~std::uint64_t{0} : 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cone session vs full session on the real designs
+// ---------------------------------------------------------------------------
+
+std::vector<std::int64_t> stimulus(std::size_t samples) {
+  const dsp::Image img = dsp::make_still_tone_image(samples, 1, 42);
+  std::vector<std::int64_t> x;
+  for (std::size_t i = 0; i < samples; ++i) {
+    x.push_back(static_cast<std::int64_t>(std::llround(img.at(i, 0))) - 128);
+  }
+  return x;
+}
+
+/// Draws a campaign-like random schedule over all fault kinds, arms it on
+/// both sessions, and requires bit-identical per-lane streams and watch
+/// masks.
+void expect_cone_matches_full(hw::DesignId id, HardeningStyle harden) {
+  core::ArtifactCache& cache = core::ArtifactCache::instance();
+  const hw::DesignSpec spec = hw::design_spec(id);
+  const auto design = cache.design(spec.config, harden);
+  const hw::BuiltDatapath& dp = design->dp;
+  const auto tape = cache.tape(spec.config, harden, OptLevel::kSafe);
+  const auto cone = cache.cone_index(spec.config, harden, OptLevel::kSafe);
+  const std::vector<std::int64_t> x = stimulus(16);
+  const std::uint64_t total_cycles = hw::stream_cycle_count(dp, x.size());
+
+  auto trace = std::make_shared<GoldenTrace>(tape->slot_count());
+  {
+    BatchFaultSession clean(tape);
+    clean.set_trace(trace.get());
+    (void)hw::run_stream_batch(dp, clean, x, 1);
+  }
+  ASSERT_EQ(trace->cycles(), total_cycles);
+
+  const NetId flag = harden == HardeningStyle::kParity
+                         ? dp.netlist.output(kErrorFlagPort).bits.front()
+                         : kNullNet;
+  const std::vector<NetId> seu = seu_targets(dp.netlist);
+  const std::vector<NetId> stuck = stuck_targets(dp.netlist);
+  const std::vector<NetId> glitch = glitch_targets(dp.netlist);
+  const FaultKind kinds[] = {FaultKind::kSeuFlip, FaultKind::kGlitch,
+                             FaultKind::kStuckAt0, FaultKind::kStuckAt1};
+
+  common::Rng rng(1234);
+  constexpr unsigned kLanes = 64;
+  BatchFaultSession full(tape);
+  ConeBatchSession<1> restricted(tape, cone, trace);
+  std::vector<Fault> faults(kLanes);
+  for (unsigned l = 0; l < kLanes; ++l) {
+    Fault& f = faults[l];
+    f.kind = kinds[static_cast<std::size_t>(rng.uniform(0, 3))];
+    const std::vector<NetId>& pool = f.kind == FaultKind::kSeuFlip ? seu
+                                     : f.kind == FaultKind::kGlitch ? glitch
+                                                                    : stuck;
+    f.net = pool[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+    f.cycle = static_cast<std::uint64_t>(
+        rng.uniform(0, static_cast<std::int64_t>(total_cycles) - 2));
+    f.glitch_value = rng.uniform(0, 1) != 0;
+    full.arm(l, f);
+    restricted.arm(l, f);
+  }
+  if (flag != kNullNet) {
+    full.watch(flag);
+    restricted.watch(flag);
+  }
+  const auto want = hw::run_stream_batch(dp, full, x, kLanes);
+  const auto got = hw::run_stream_batch(dp, restricted, x, kLanes);
+  ASSERT_EQ(want.size(), got.size());
+  for (unsigned l = 0; l < kLanes; ++l) {
+    EXPECT_EQ(want[l].low, got[l].low) << "lane " << l;
+    EXPECT_EQ(want[l].high, got[l].high) << "lane " << l;
+  }
+  EXPECT_EQ(full.watch_mask(), restricted.watch_block().w[0]);
+  // The restriction must actually restrict (and never exceed full cost).
+  EXPECT_LE(restricted.executed_instructions(),
+            restricted.full_instructions());
+}
+
+TEST(ConeSession, MatchesFullSessionDesign1) {
+  expect_cone_matches_full(hw::DesignId::kDesign1, HardeningStyle::kNone);
+}
+
+TEST(ConeSession, MatchesFullSessionDesign3Tmr) {
+  expect_cone_matches_full(hw::DesignId::kDesign3, HardeningStyle::kTmr);
+}
+
+TEST(ConeSession, MatchesFullSessionDesign2Parity) {
+  expect_cone_matches_full(hw::DesignId::kDesign2, HardeningStyle::kParity);
+}
+
+TEST(ConeSession, SkipsCyclesBeforeEarliestFault) {
+  core::ArtifactCache& cache = core::ArtifactCache::instance();
+  const hw::DesignSpec spec = hw::design_spec(hw::DesignId::kDesign1);
+  const auto dp = cache.design(spec.config);
+  const auto tape =
+      cache.tape(spec.config, HardeningStyle::kNone, OptLevel::kSafe);
+  const auto cone =
+      cache.cone_index(spec.config, HardeningStyle::kNone, OptLevel::kSafe);
+  const std::vector<std::int64_t> x = stimulus(16);
+  auto trace = std::make_shared<GoldenTrace>(tape->slot_count());
+  {
+    BatchFaultSession clean(tape);
+    clean.set_trace(trace.get());
+    (void)hw::run_stream_batch(dp->dp, clean, x, 1);
+  }
+  const std::uint64_t late = trace->cycles() - 2;
+  // Pick the glitch target with the tightest non-empty cone so the
+  // restriction has something to skip inside the active cycles too.
+  NetId best = kNullNet;
+  std::uint32_t best_len = 0;
+  for (const NetId n : glitch_targets(dp->dp.netlist)) {
+    const ConeSpan s = cone->span_of_net(*tape, n);
+    if (s.empty()) continue;
+    if (best == kNullNet || s.length() < best_len) {
+      best = n;
+      best_len = s.length();
+    }
+  }
+  ASSERT_NE(best, kNullNet);
+  ASSERT_LT(best_len, tape->instrs().size());
+  Fault f;
+  f.kind = FaultKind::kGlitch;
+  f.net = best;
+  f.cycle = late;
+  ConeBatchSession<1> sess(tape, cone, trace);
+  sess.arm(0, f);
+  (void)hw::run_stream_batch(dp->dp, sess, x, 1);
+  EXPECT_EQ(sess.skipped_cycles(), late);
+  // Two active cycles over the tight interval only.
+  EXPECT_EQ(sess.executed_instructions(), 2u * best_len);
+  EXPECT_LT(sess.executed_instructions(), sess.full_instructions());
+}
+
+TEST(ConeSession, RejectsLateArmAndForeignArtifacts) {
+  core::ArtifactCache& cache = core::ArtifactCache::instance();
+  const hw::DesignSpec spec = hw::design_spec(hw::DesignId::kDesign1);
+  const auto dp = cache.design(spec.config);
+  const auto tape =
+      cache.tape(spec.config, HardeningStyle::kNone, OptLevel::kSafe);
+  const auto cone =
+      cache.cone_index(spec.config, HardeningStyle::kNone, OptLevel::kSafe);
+  const std::vector<std::int64_t> x = stimulus(16);
+  auto trace = std::make_shared<GoldenTrace>(tape->slot_count());
+  {
+    BatchFaultSession clean(tape);
+    clean.set_trace(trace.get());
+    (void)hw::run_stream_batch(dp->dp, clean, x, 1);
+  }
+
+  ConeBatchSession<1> sess(tape, cone, trace);
+  Fault f;
+  f.kind = FaultKind::kStuckAt0;
+  f.net = 0;
+  sess.arm(0, f);
+  sess.step();
+  EXPECT_THROW(sess.arm(1, f), std::logic_error);
+
+  // A session stepped past its recorded trace fails loudly, not silently.
+  ConeBatchSession<1> runaway(tape, cone,
+                              std::make_shared<GoldenTrace>(tape->slot_count()));
+  runaway.arm(0, f);
+  EXPECT_THROW(runaway.step(), std::logic_error);
+
+  // Artifacts from a different tape are rejected up front.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  (void)nl.add_cell(CellKind::kNot, a);
+  const auto other = compile(nl);
+  EXPECT_THROW(ConeBatchSession<1>(other, cone, trace),
+               std::invalid_argument);
+  EXPECT_THROW(ConeBatchSession<1>(tape, ConeIndex::build(*other),
+                                   std::make_shared<GoldenTrace>(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwt::rtl::compiled

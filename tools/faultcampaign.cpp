@@ -5,8 +5,11 @@
 //                 [--seed S] [--harden none|tmr|parity] [--samples N]
 //                 [--engine interpreted|compiled] [--threads N]
 //                 [--backend rtl-interpreted|rtl-compiled]
-//                 [--lanes 64|128|256] [--opt-level 0|1]
+//                 [--lanes 64|128|256] [--opt-level 0|1] [--no-cone]
+//                 [--shards N --shard-index I] [--checkpoint FILE]
+//                 [--checkpoint-every N]
 //                 [--no-trial-list] [--out report.json]
+//   faultcampaign merge OUT.json SHARD.json...
 //
 // Emits a JSON report (stdout by default).  Identical arguments produce
 // byte-identical output, so reports diff cleanly across revisions -- and
@@ -18,17 +21,29 @@
 // rtl backends are accepted.  `--lanes` packs that many fault trials into
 // one compiled tape pass; `--opt-level` picks the tape optimization level
 // (0 = raw, 1 = fault-overlay-safe passes; the full level drops the
-// overlay guarantees campaigns need and is rejected here).  Neither knob
+// overlay guarantees campaigns need and is rejected here); `--no-cone`
+// turns off the cone-restricted incremental engine.  None of these knobs
 // changes the report bytes.
+//
+// Scale-out: `--shards N --shard-index I` executes only shard I's
+// contiguous slice of the trial schedule (same seed on every shard);
+// `faultcampaign merge` folds the per-shard reports back into the exact
+// bytes the unsharded run prints, in any argument order.  `--checkpoint`
+// makes a run crash-tolerant: progress is persisted atomically after every
+// chunk (`--checkpoint-every`, default 8192 trials) and a killed run
+// restarted with the same arguments resumes from the checkpoint with
+// byte-identical output.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "explore/campaign_io.hpp"
 #include "explore/resilience.hpp"
 
 namespace {
@@ -54,9 +69,68 @@ int usage() {
       "                [--trials N] [--seed S] [--harden none|tmr|parity]\n"
       "                [--samples N] [--engine interpreted|compiled]\n"
       "                [--backend rtl-interpreted|rtl-compiled]\n"
-      "                [--lanes 64|128|256] [--opt-level 0|1]\n"
-      "                [--threads N] [--no-trial-list] [--out report.json]\n");
+      "                [--lanes 64|128|256] [--opt-level 0|1] [--no-cone]\n"
+      "                [--shards N --shard-index I] [--checkpoint FILE]\n"
+      "                [--checkpoint-every N]\n"
+      "                [--threads N] [--no-trial-list] [--out report.json]\n"
+      "  faultcampaign merge OUT.json SHARD.json...\n");
   return 2;
+}
+
+/// Writes `text` to `path`, failing loudly: a partial report on a full disk
+/// must not exit 0 and poison a downstream merge.
+bool write_file_checked(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write failed for %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// `faultcampaign merge OUT.json SHARD.json...`: folds per-shard reports
+/// into the byte-exact unsharded report.
+int run_merge(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "merge needs an output path and at least one "
+                         "shard report\n");
+    return usage();
+  }
+  const std::string out_path = argv[2];
+  std::vector<std::string> reports;
+  reports.reserve(static_cast<std::size_t>(argc - 3));
+  for (int i = 3; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (in.bad()) {
+      std::fprintf(stderr, "read failed for %s\n", argv[i]);
+      return 1;
+    }
+    reports.push_back(std::move(text));
+  }
+  try {
+    const std::string merged = dwt::explore::merge_reports(reports);
+    if (out_path == "-") {
+      std::fputs(merged.c_str(), stdout);
+    } else if (!write_file_checked(out_path, merged)) {
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
 }
 
 bool parse_kinds(const std::string& arg,
@@ -87,6 +161,9 @@ bool parse_kinds(const std::string& arg,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "merge") == 0) {
+    return run_merge(argc, argv);
+  }
   dwt::explore::ResilienceOptions opt;
   opt.seed = 42;
   std::string out_path;
@@ -197,6 +274,36 @@ int main(int argc, char** argv) {
         return usage();
       }
       opt.threads = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--no-cone") == 0) {
+      opt.cone = false;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = need_value("--shards");
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1ull << 20, &n) || n < 1) {
+        std::fprintf(stderr, "bad --shards value\n");
+        return usage();
+      }
+      opt.shard_count = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--shard-index") == 0) {
+      const char* v = need_value("--shard-index");
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1ull << 20, &n)) {
+        std::fprintf(stderr, "bad --shard-index value\n");
+        return usage();
+      }
+      opt.shard_index = static_cast<unsigned>(n);
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      const char* v = need_value("--checkpoint");
+      if (v == nullptr) return usage();
+      opt.checkpoint_file = v;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      const char* v = need_value("--checkpoint-every");
+      unsigned long long n = 0;
+      if (v == nullptr || !parse_u64(v, 1ull << 32, &n) || n < 1) {
+        std::fprintf(stderr, "bad --checkpoint-every value\n");
+        return usage();
+      }
+      opt.checkpoint_every = static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "--no-trial-list") == 0) {
       opt.keep_trials = false;
     } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -216,12 +323,7 @@ int main(int argc, char** argv) {
     if (out_path.empty()) {
       std::fputs(json.c_str(), stdout);
     } else {
-      std::ofstream out(out_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
-        return 1;
-      }
-      out << json;
+      if (!write_file_checked(out_path, json)) return 1;
       std::fprintf(stderr, "%s: %zu trials written\n", out_path.c_str(),
                    result.trials_run);
     }
