@@ -74,6 +74,10 @@ Image Image::clamped_u8() const {
 Image read_pgm(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  return read_pgm(in, path);
+}
+
+Image read_pgm(std::istream& in, const std::string& path) {
   std::string magic;
   in >> magic;
   if (magic != "P5" && magic != "P2") {
@@ -146,6 +150,10 @@ Image read_pgm(const std::string& path) {
 void write_pgm(const Image& img, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  write_pgm(img, out, path);
+}
+
+void write_pgm(const Image& img, std::ostream& out, const std::string& path) {
   out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
   std::vector<unsigned char> buf(img.data().size());
   for (std::size_t i = 0; i < buf.size(); ++i) {

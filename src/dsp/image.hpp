@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -47,7 +48,17 @@ class Image {
 /// Reads a binary (P5) or ASCII (P2) 8-bit PGM file.
 [[nodiscard]] Image read_pgm(const std::string& path);
 
+/// Parses a binary (P5) or ASCII (P2) 8-bit PGM document from any stream --
+/// the one hardened parsing path (truncated header/pixel detection, comment
+/// handling, dimension and maxval caps) shared by the file reader and the
+/// dwt97d request decoder.  `name` labels the source in error messages.
+[[nodiscard]] Image read_pgm(std::istream& in, const std::string& name);
+
 /// Writes a binary (P5) 8-bit PGM file; pixels clamped/rounded to 0..255.
 void write_pgm(const Image& img, const std::string& path);
+
+/// Renders the same P5 bytes write_pgm(path) would produce onto any stream
+/// (the dwt97d response encoder shares the file writer's exact bytes).
+void write_pgm(const Image& img, std::ostream& out, const std::string& name);
 
 }  // namespace dwt::dsp

@@ -445,10 +445,11 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
   // Compiled chunk: up to 64*W trials per tape pass, batches sharded across
   // a worker pool.  With the cone restriction on, the chunk's trials are
   // first ordered by (persistence, injection cycle, cone interval): stuck
-  // faults hold their force forever and block a batch's reconvergence
-  // retirement, so they are segregated from the transients, and
-  // cycle-sorting both maximizes each batch's pre-fault skip and keeps its
-  // post-drain retirement window tight.  Every batch still writes only its
+  // faults hold their force forever and retire only once the golden trace
+  // absorbs their forced value into a constant tail (a later and rarer
+  // event than a transient's pipeline drain), so they are segregated from
+  // the transients, and cycle-sorting both maximizes each batch's pre-fault
+  // skip and keeps its post-drain retirement window tight.  Every batch still writes only its
   // own trials, so results are independent of the ordering, scheduling and
   // thread count.
   const auto run_compiled_chunk = [&]<unsigned W>(std::size_t c0,

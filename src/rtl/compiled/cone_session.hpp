@@ -16,14 +16,19 @@
 //     trace before the interval settles, and non-live DFF D slots before
 //     the (full) clock edge, so the edge clocks golden values into
 //     untouched registers;
-//   * once every armed fault has struck and no force overlay remains
-//     active, each post-edge state is compared (live DFF outputs only --
-//     they fully determine the next cycle under the batch's lane-uniform
-//     stimulus) against the golden trace; the first match retires the
-//     batch, and the remaining cycles are served from the trace like the
-//     pre-fault prefix.  Transient faults (SEUs, glitches) drain out of
-//     the pipeline in a handful of cycles, so on long streams most of a
-//     transient batch's tail is never simulated at all.
+//   * once every armed fault has struck and any remaining force overlay is
+//     provably a no-op, each post-edge state is compared (live DFF outputs
+//     only -- they fully determine the next cycle under the batch's
+//     lane-uniform stimulus) against the golden trace; the first match
+//     retires the batch, and the remaining cycles are served from the trace
+//     like the pre-fault prefix.  Transient faults (SEUs, glitches) release
+//     their forces and drain out of the pipeline in a handful of cycles, so
+//     on long streams most of a transient batch's tail is never simulated
+//     at all.  Stuck-at forces persist, but a batch can still retire once
+//     the golden trace itself holds every stuck slot at its forced value
+//     for the rest of the run (the "stuck tail", precomputed at prepare()):
+//     from there the force pins what the circuit would compute anyway, so
+//     golden live registers again imply a golden future.
 //
 // "Live" slots -- interval outputs, fault slots, and DFF outputs reachable
 // from them through clock edges -- are the only slots whose simulator state
@@ -201,12 +206,16 @@ class ConeBatchSession {
         sim_.release(a.fault.net, Block::lane_bit(a.lane));
       }
     }
-    // Reconvergence: with all strikes delivered and no pin still active,
-    // golden live DFF outputs after the edge mean golden everything from
-    // here on (the combinational state is a function of registers and the
-    // lane-uniform inputs), so the remaining cycles can be served from the
-    // trace.  Stuck-at batches keep their forces and never retire.
-    if (c >= last_fault_cycle_ && !sim_.any_forced()) {
+    // Reconvergence: with all strikes delivered and every remaining pin a
+    // no-op, golden live DFF outputs after the edge mean golden everything
+    // from here on (the combinational state is a function of registers and
+    // the lane-uniform inputs), so the remaining cycles can be served from
+    // the trace.  Glitches release at their strike cycle, so past
+    // last_fault_cycle_ the only persistent forces are stuck-ats; those are
+    // no-ops from stuck_tail_cycle_ on, where the golden trace itself holds
+    // each stuck slot at its forced value for the remainder of the run.
+    if (c >= last_fault_cycle_ &&
+        (!sim_.any_forced() || c + 1 >= stuck_tail_cycle_)) {
       bool golden = true;
       for (const Slot q : live_q_slots_) {
         const std::uint64_t want = trace_->broadcast(c, cone_->d_of_q(q));
@@ -349,8 +358,8 @@ class ConeBatchSession {
     return skipped_cycles_;
   }
   /// True once the whole batch has reconverged to the golden state (all
-  /// strikes delivered, no force active, live registers golden); every
-  /// later cycle is trace-served.
+  /// strikes delivered, every remaining force a provable no-op, live
+  /// registers golden); every later cycle is trace-served.
   [[nodiscard]] bool retired() const {
     return converged_cycle_ != std::numeric_limits<std::uint64_t>::max();
   }
@@ -411,6 +420,26 @@ class ConeBatchSession {
     refresh_fault_slots_.erase(
         std::unique(refresh_fault_slots_.begin(), refresh_fault_slots_.end()),
         refresh_fault_slots_.end());
+    // Stuck tail: the earliest cycle from which every stuck force agrees
+    // with the golden trace for the rest of the run.  From there a stuck
+    // pin only re-asserts what the fault-free circuit computes, so the
+    // batch may retire despite the active forces.  A stuck net without a
+    // tape slot cannot be checked against the trace, so it conservatively
+    // pins the tail to the end of the run (such a batch never retires
+    // early, exactly as before).
+    for (const Armed& a : faults_) {
+      if (a.fault.kind != FaultKind::kStuckAt0 &&
+          a.fault.kind != FaultKind::kStuckAt1) {
+        continue;
+      }
+      const Slot s = tape.slot_of(a.fault.net);
+      std::uint64_t tail = trace_->cycles();
+      if (s != kNullSlot) {
+        const bool want = a.fault.kind == FaultKind::kStuckAt1;
+        while (tail > 0 && trace_->get(tail - 1, s) == want) --tail;
+      }
+      stuck_tail_cycle_ = std::max(stuck_tail_cycle_, tail);
+    }
     // Close over clock edges: a live D makes its Q live next cycle.
     bool changed = true;
     while (changed) {
@@ -456,6 +485,9 @@ class ConeBatchSession {
   ConeSpan interval_{};  // union of armed fault cones
   std::uint64_t first_cycle_ = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t last_fault_cycle_ = 0;  // latest armed strike
+  /// First cycle from which every stuck force tracks the golden trace to
+  /// the end of the run (0 when the batch has no stuck-at faults).
+  std::uint64_t stuck_tail_cycle_ = 0;
   /// First cycle of the golden tail after reconvergence; max() = not (yet)
   /// retired.
   std::uint64_t converged_cycle_ = std::numeric_limits<std::uint64_t>::max();

@@ -235,6 +235,166 @@ TEST(ConeSession, SkipsCyclesBeforeEarliestFault) {
   EXPECT_LT(sess.executed_instructions(), sess.full_instructions());
 }
 
+// a -> NOT -> DFF -> NOT, driven a=1 for 4 cycles then a=0: the inverter
+// output n1 is golden-0 early and golden-1 for the rest of the run, a
+// constant tail a stuck-at-1 force disappears into.
+TEST(ConeSession, StuckAtRetiresOnceGoldenTailMatchesForce) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_cell(CellKind::kNot, a);
+  const NetId q = nl.add_cell(CellKind::kDff, n1);
+  const NetId y = nl.add_cell(CellKind::kNot, q);
+  const auto tape = compile(nl);
+  const auto cone = ConeIndex::build(*tape);
+  constexpr std::uint64_t kCycles = 12;
+  const auto drive = [a](auto& sess, std::uint64_t c) {
+    Bus bus;
+    bus.bits = {a};
+    // A 1-bit bus is signed: -1 drives the bit high.
+    sess.set_bus(bus, c < 4 ? -1 : 0);
+  };
+  auto trace = std::make_shared<GoldenTrace>(tape->slot_count());
+  {
+    WideSimulator<1> sim(tape);
+    for (std::uint64_t c = 0; c < kCycles; ++c) {
+      sim.set_input_block(a, c < 4 ? WideSimulator<1>::Block::ones()
+                                   : WideSimulator<1>::Block::zeros());
+      sim.eval();
+      trace->append(sim);
+      sim.clock_edge();
+    }
+  }
+
+  Fault f;
+  f.kind = FaultKind::kStuckAt1;
+  f.net = n1;
+  f.cycle = 1;
+  BatchFaultSession full(tape);
+  ConeBatchSession<1> sess(tape, cone, trace);
+  full.arm(0, f);
+  sess.arm(0, f);
+  Bus ybus;
+  ybus.bits = {y};
+  for (std::uint64_t c = 0; c < kCycles; ++c) {
+    drive(full, c);
+    drive(sess, c);
+    full.step();
+    sess.step();
+    EXPECT_EQ(full.read_bus(ybus, 0), sess.read_bus(ybus, 0)) << "cycle " << c;
+  }
+  // The forced 1 equals golden n1 from cycle 4 on, and the register goes
+  // golden after the edge of cycle 4, so cycles 5..11 are trace-served --
+  // plus the pre-fault cycle 0, eight skipped cycles in all.
+  EXPECT_TRUE(sess.retired());
+  EXPECT_EQ(sess.skipped_cycles(), (kCycles - 5) + 1);
+}
+
+// Same circuit, stuck-at-0 against a golden-1 tail: the force never stops
+// mattering, so the batch must not retire -- and must still match the full
+// session bit for bit.
+TEST(ConeSession, StuckAtAgainstGoldenTailNeverRetires) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_cell(CellKind::kNot, a);
+  const NetId q = nl.add_cell(CellKind::kDff, n1);
+  const NetId y = nl.add_cell(CellKind::kNot, q);
+  const auto tape = compile(nl);
+  const auto cone = ConeIndex::build(*tape);
+  constexpr std::uint64_t kCycles = 12;
+  auto trace = std::make_shared<GoldenTrace>(tape->slot_count());
+  {
+    WideSimulator<1> sim(tape);
+    for (std::uint64_t c = 0; c < kCycles; ++c) {
+      sim.set_input_block(a, c < 4 ? WideSimulator<1>::Block::ones()
+                                   : WideSimulator<1>::Block::zeros());
+      sim.eval();
+      trace->append(sim);
+      sim.clock_edge();
+    }
+  }
+
+  Fault f;
+  f.kind = FaultKind::kStuckAt0;
+  f.net = n1;
+  f.cycle = 1;
+  BatchFaultSession full(tape);
+  ConeBatchSession<1> sess(tape, cone, trace);
+  full.arm(0, f);
+  sess.arm(0, f);
+  Bus abus, ybus;
+  abus.bits = {a};
+  ybus.bits = {y};
+  for (std::uint64_t c = 0; c < kCycles; ++c) {
+    full.set_bus(abus, c < 4 ? -1 : 0);  // 1-bit bus is signed
+    sess.set_bus(abus, c < 4 ? -1 : 0);
+    full.step();
+    sess.step();
+    EXPECT_EQ(full.read_bus(ybus, 0), sess.read_bus(ybus, 0)) << "cycle " << c;
+  }
+  EXPECT_FALSE(sess.retired());
+  EXPECT_EQ(sess.skipped_cycles(), 1u);  // the pre-fault cycle 0 only
+}
+
+// On a real design: find a stuck target whose golden trace ends in a long
+// constant tail, force it to that tail value from the start, and require
+// the batch to retire while staying bit-identical to the full session.
+TEST(ConeSession, StuckAtRetiresOnRealDesignConstantTail) {
+  core::ArtifactCache& cache = core::ArtifactCache::instance();
+  const hw::DesignSpec spec = hw::design_spec(hw::DesignId::kDesign1);
+  const auto dp = cache.design(spec.config);
+  const auto tape =
+      cache.tape(spec.config, HardeningStyle::kNone, OptLevel::kSafe);
+  const auto cone =
+      cache.cone_index(spec.config, HardeningStyle::kNone, OptLevel::kSafe);
+  const std::vector<std::int64_t> x = stimulus(16);
+  auto trace = std::make_shared<GoldenTrace>(tape->slot_count());
+  {
+    BatchFaultSession clean(tape);
+    clean.set_trace(trace.get());
+    (void)hw::run_stream_batch(dp->dp, clean, x, 1);
+  }
+  const std::uint64_t cycles = trace->cycles();
+  const std::uint64_t margin =
+      static_cast<std::uint64_t>(dp->dp.info.latency) + 4;
+
+  // Pick the candidate whose constant tail starts latest while still
+  // leaving the pipeline room to drain the divergence before the run ends
+  // (tail > 0 means the force genuinely corrupts earlier cycles).
+  NetId best = kNullNet;
+  bool best_value = false;
+  std::uint64_t best_tail = 0;
+  for (const NetId n : stuck_targets(dp->dp.netlist)) {
+    const Slot s = tape->slot_of(n);
+    if (s == kNullSlot || cone->span_of_net(*tape, n).empty()) continue;
+    const bool v = trace->get(cycles - 1, s);
+    std::uint64_t tail = cycles;
+    while (tail > 0 && trace->get(tail - 1, s) == v) --tail;
+    if (tail > 0 && tail + margin <= cycles && tail > best_tail) {
+      best = n;
+      best_value = v;
+      best_tail = tail;
+    }
+  }
+  ASSERT_NE(best, kNullNet) << "no stuck target with a constant golden tail";
+
+  Fault f;
+  f.kind = best_value ? FaultKind::kStuckAt1 : FaultKind::kStuckAt0;
+  f.net = best;
+  f.cycle = 0;
+  BatchFaultSession full(tape);
+  ConeBatchSession<1> sess(tape, cone, trace);
+  full.arm(0, f);
+  sess.arm(0, f);
+  const auto want = hw::run_stream_batch(dp->dp, full, x, 1);
+  const auto got = hw::run_stream_batch(dp->dp, sess, x, 1);
+  ASSERT_EQ(want.size(), got.size());
+  EXPECT_EQ(want[0].low, got[0].low);
+  EXPECT_EQ(want[0].high, got[0].high);
+  EXPECT_TRUE(sess.retired());
+  EXPECT_GT(sess.skipped_cycles(), 0u);
+  EXPECT_LT(sess.executed_instructions(), sess.full_instructions());
+}
+
 TEST(ConeSession, RejectsLateArmAndForeignArtifacts) {
   core::ArtifactCache& cache = core::ArtifactCache::instance();
   const hw::DesignSpec spec = hw::design_spec(hw::DesignId::kDesign1);

@@ -1,0 +1,418 @@
+// DwtServer end-to-end: framed requests over real sockets against a live
+// worker pool.  The byte-identity tests recompute the `dwt97cli tile`
+// pipeline in-process (tile output is byte-identical at every thread
+// count, so the single-threaded reference is the CLI's answer) and require
+// the server to return exactly those bytes at 1, 2 and 8 workers under a
+// concurrent mixed-design load; the admission-control tests use the
+// start_paused hook to make queue-full and drain rejection deterministic.
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "dsp/dwt2d.hpp"
+#include "dsp/image.hpp"
+#include "dsp/image_gen.hpp"
+#include "hw/tile_scheduler.hpp"
+#include "server/protocol.hpp"
+
+namespace dwt::server {
+namespace {
+
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+bool send_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  std::uint8_t len[4];
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    len[i] = static_cast<std::uint8_t>((n >> (8 * i)) & 0xFF);
+  }
+  if (::send(fd, len, 4, MSG_NOSIGNAL) != 4) return false;
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t put =
+        ::send(fd, payload.data() + off, payload.size() - off, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool recv_frame(int fd, std::vector<std::uint8_t>* out) {
+  std::uint8_t len[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t r = ::recv(fd, len + got, 4 - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(len[i]) << (8 * i);
+  if (n == 0 || n > kMaxFrameBytes) return false;
+  out->resize(n);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::recv(fd, out->data() + off, n - off, 0);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+Response exchange(int fd, const Request& req) {
+  EXPECT_TRUE(send_frame(fd, encode_request(req)));
+  std::vector<std::uint8_t> frame;
+  EXPECT_TRUE(recv_frame(fd, &frame));
+  std::string error;
+  const auto resp = decode_response(frame.data(), frame.size(), &error);
+  EXPECT_TRUE(resp.has_value()) << error;
+  return resp.value_or(Response{});
+}
+
+std::vector<std::uint8_t> pgm_bytes(const dsp::Image& img) {
+  std::ostringstream out;
+  dsp::write_pgm(img, out, "test image");
+  const std::string s = out.str();
+  return {s.begin(), s.end()};
+}
+
+/// The exact `dwt97cli tile` pipeline, computed in-process.
+std::vector<std::uint8_t> cli_tile_bytes(const dsp::Image& input,
+                                         const std::string& backend,
+                                         hw::DesignId design, int octaves) {
+  dsp::Image img = input;
+  hw::TileOptions opt;
+  opt.method = dsp::Method::kLiftingFixed;
+  opt.octaves = octaves;
+  opt.threads = 1;
+  opt.backend = backend.empty() ? nullptr : core::find_backend(backend);
+  opt.design = design;
+  if (!backend.empty()) EXPECT_NE(opt.backend, nullptr) << backend;
+  dsp::level_shift_forward(img);
+  dsp::round_coefficients(img);
+  (void)hw::tile_forward(img, opt);
+  hw::TileOptions inv = opt;
+  if (inv.backend != nullptr && !inv.backend->caps().inverse_2d) {
+    inv.backend = nullptr;
+  }
+  (void)hw::tile_inverse(img, inv);
+  dsp::level_shift_inverse(img);
+  return pgm_bytes(img);
+}
+
+Request tile_request(const dsp::Image& img, const std::string& backend,
+                     hw::DesignId design, int octaves) {
+  Request req;
+  req.op = Op::kTileRoundTrip;
+  req.format = PayloadFormat::kPgm;
+  req.design = design;
+  req.octaves = octaves;
+  req.backend = backend;
+  req.payload = pgm_bytes(img);
+  return req;
+}
+
+TEST(DwtServer, MixedDesignResponsesByteIdenticalAtEveryWorkerCount) {
+  const dsp::Image even = dsp::make_still_tone_image(96, 64, 3);
+  const dsp::Image odd = dsp::make_still_tone_image(33, 17, 9);
+  struct Case {
+    const dsp::Image* img;
+    std::string backend;
+    hw::DesignId design;
+    int octaves;
+  };
+  const std::vector<Case> cases = {
+      {&even, "", hw::DesignId::kDesign2, 2},
+      {&odd, "", hw::DesignId::kDesign2, 1},
+      {&even, "software-fixed", hw::DesignId::kDesign1, 2},
+      {&even, "rtl-compiled", hw::DesignId::kDesign2, 2},
+      {&odd, "rtl-compiled", hw::DesignId::kDesign3, 2},
+      {&even, "rtl-compiled", hw::DesignId::kDesign3, 3},
+  };
+  std::vector<std::vector<std::uint8_t>> expected;
+  expected.reserve(cases.size());
+  for (const Case& c : cases) {
+    expected.push_back(cli_tile_bytes(*c.img, c.backend, c.design, c.octaves));
+  }
+
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ServerOptions opt;
+    opt.workers = workers;
+    opt.queue_depth = 64;
+    DwtServer server(opt);
+    server.start();
+    // Every case in flight at once, on its own connection.
+    std::vector<std::thread> clients;
+    std::vector<std::vector<std::uint8_t>> got(cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      clients.emplace_back([&, i] {
+        const int fd = connect_tcp(server.port());
+        const Response resp =
+            exchange(fd, tile_request(*cases[i].img, cases[i].backend,
+                                      cases[i].design, cases[i].octaves));
+        EXPECT_EQ(resp.status, Status::kOk) << response_message(resp);
+        got[i] = resp.payload;
+        ::close(fd);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "case " << i << " at " << workers
+                                     << " workers";
+    }
+    const MetricsSnapshot m = server.metrics();
+    EXPECT_EQ(m.requests_ok, cases.size());
+    EXPECT_EQ(m.requests_error, 0u);
+    server.stop();
+  }
+}
+
+TEST(DwtServer, MalformedFramesGetStructuredErrorsWithoutDroppingConnection) {
+  ServerOptions opt;
+  opt.workers = 1;
+  DwtServer server(opt);
+  server.start();
+  const int fd = connect_tcp(server.port());
+
+  // Unparseable request (bad protocol version): structured kBadFrame
+  // answer, connection stays usable.
+  const std::vector<std::uint8_t> bad = {99, 1, 1, 2, 2, 2, 0, 0, 0, 0, 0, 0,
+                                         0};
+  ASSERT_TRUE(send_frame(fd, bad));
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(recv_frame(fd, &frame));
+  std::string error;
+  auto resp = decode_response(frame.data(), frame.size(), &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, Status::kBadFrame);
+  EXPECT_FALSE(response_message(*resp).empty());
+
+  // Well-formed frame, invalid content (truncated PGM): kBadRequest via the
+  // hardened read_pgm validation, connection still usable.
+  Request truncated;
+  truncated.op = Op::kTileRoundTrip;
+  truncated.format = PayloadFormat::kPgm;
+  const std::string header = "P5\n64 64\n255\n";
+  truncated.payload.assign(header.begin(), header.end());
+  Response r = exchange(fd, truncated);
+  EXPECT_EQ(r.status, Status::kBadRequest);
+  EXPECT_NE(response_message(r).find("truncated"), std::string::npos);
+
+  // Unknown backend name: kBadRequest, connection still usable.
+  const dsp::Image img = dsp::make_still_tone_image(16, 16, 1);
+  Request unknown = tile_request(img, "no-such-engine",
+                                 hw::DesignId::kDesign2, 1);
+  r = exchange(fd, unknown);
+  EXPECT_EQ(r.status, Status::kBadRequest);
+  EXPECT_NE(response_message(r).find("unknown backend"), std::string::npos);
+
+  // The same connection then serves a valid request.
+  r = exchange(fd, tile_request(img, "", hw::DesignId::kDesign2, 1));
+  EXPECT_EQ(r.status, Status::kOk);
+
+  // A hostile length prefix (beyond kMaxFrameBytes) is answered before the
+  // connection closes.
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t len[4];
+  for (int i = 0; i < 4; ++i) {
+    len[i] = static_cast<std::uint8_t>((huge >> (8 * i)) & 0xFF);
+  }
+  ASSERT_EQ(::send(fd, len, 4, MSG_NOSIGNAL), 4);
+  ASSERT_TRUE(recv_frame(fd, &frame));
+  resp = decode_response(frame.data(), frame.size(), &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, Status::kBadFrame);
+  ::close(fd);
+
+  const MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.protocol_errors, 2u);
+  EXPECT_EQ(m.requests_error, 2u);
+  EXPECT_EQ(m.requests_ok, 1u);
+  server.stop();
+}
+
+TEST(DwtServer, QueueFullRejectionIsDeterministic) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.queue_depth = 1;
+  opt.start_paused = true;  // freeze the pool so the queue cannot drain
+  DwtServer server(opt);
+  server.start();
+  const dsp::Image img = dsp::make_still_tone_image(16, 16, 2);
+  const Request req = tile_request(img, "", hw::DesignId::kDesign2, 1);
+
+  const int first = connect_tcp(server.port());
+  ASSERT_TRUE(send_frame(first, encode_request(req)));
+  while (server.queue_size() < 1) {
+    std::this_thread::yield();
+  }
+
+  // The queue (depth 1) is now full and the pool is frozen: the second
+  // request is rejected with kQueueFull, deterministically.
+  const int second = connect_tcp(server.port());
+  const Response rejected = exchange(second, req);
+  EXPECT_EQ(rejected.status, Status::kQueueFull);
+  ::close(second);
+
+  server.set_paused(false);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(recv_frame(first, &frame));
+  std::string error;
+  const auto resp = decode_response(frame.data(), frame.size(), &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, Status::kOk);
+  ::close(first);
+
+  const MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.rejected_queue_full, 1u);
+  EXPECT_EQ(m.requests_ok, 1u);
+  server.stop();
+}
+
+TEST(DwtServer, GracefulDrainFinishesQueuedWorkAndRejectsNew) {
+  ServerOptions opt;
+  opt.workers = 2;
+  opt.queue_depth = 8;
+  opt.start_paused = true;
+  DwtServer server(opt);
+  server.start();
+  const dsp::Image img = dsp::make_still_tone_image(16, 16, 5);
+  const Request req = tile_request(img, "", hw::DesignId::kDesign2, 1);
+
+  const int queued = connect_tcp(server.port());
+  ASSERT_TRUE(send_frame(queued, encode_request(req)));
+  while (server.queue_size() < 1) {
+    std::this_thread::yield();
+  }
+
+  server.begin_drain();
+  EXPECT_TRUE(server.shutdown_requested());
+
+  // Post-drain arrivals are answered with kShuttingDown, not dropped.
+  const int late = connect_tcp(server.port());
+  const Response rejected = exchange(late, req);
+  EXPECT_EQ(rejected.status, Status::kShuttingDown);
+  ::close(late);
+
+  // The queued request still completes once the pool thaws.
+  server.set_paused(false);
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(recv_frame(queued, &frame));
+  std::string error;
+  const auto resp = decode_response(frame.data(), frame.size(), &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->status, Status::kOk);
+  ::close(queued);
+
+  server.stop();
+  const MetricsSnapshot m = server.metrics();
+  EXPECT_EQ(m.rejected_shutting_down, 1u);
+  EXPECT_EQ(m.requests_ok, 1u);
+}
+
+TEST(DwtServer, MetricsAndShutdownOpsServeOverUnixSocket) {
+  ServerOptions opt;
+  opt.workers = 1;
+  opt.unix_socket_path = testing::TempDir() + "dwt97d_test.sock";
+  DwtServer server(opt);
+  server.start();
+  const int fd = connect_unix(opt.unix_socket_path);
+
+  const dsp::Image img = dsp::make_still_tone_image(16, 16, 8);
+  Response r = exchange(fd, tile_request(img, "", hw::DesignId::kDesign2, 1));
+  EXPECT_EQ(r.status, Status::kOk);
+
+  Request metrics;
+  metrics.op = Op::kMetrics;
+  r = exchange(fd, metrics);
+  ASSERT_EQ(r.status, Status::kOk);
+  const std::string json = response_message(r);
+  EXPECT_NE(json.find("\"bench\": \"dwt97d_metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"requests_ok\", \"value\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("latency_p50_us"), std::string::npos);
+  EXPECT_NE(json.find("cache_hit_rate"), std::string::npos);
+
+  Request shutdown;
+  shutdown.op = Op::kShutdown;
+  r = exchange(fd, shutdown);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_TRUE(server.shutdown_requested());
+  ::close(fd);
+  server.stop();
+  // The socket file is removed on stop.
+  EXPECT_NE(::access(opt.unix_socket_path.c_str(), F_OK), 0);
+}
+
+TEST(DwtServer, ExecuteRequestMatchesOpContracts) {
+  const dsp::Image img = dsp::make_still_tone_image(24, 18, 4);
+  // Forward returns one i32 LE per pixel.
+  Request fwd = tile_request(img, "", hw::DesignId::kDesign2, 1);
+  fwd.op = Op::kForward;
+  const Response f = execute_request(fwd);
+  ASSERT_EQ(f.status, Status::kOk);
+  EXPECT_EQ(f.width, 24u);
+  EXPECT_EQ(f.height, 18u);
+  EXPECT_EQ(f.payload.size(), 24u * 18u * 4u);
+
+  // Compress returns a codec bitstream that decodes to the input shape.
+  Request comp = tile_request(img, "", hw::DesignId::kDesign2, 2);
+  comp.op = Op::kCompress;
+  const Response c = execute_request(comp);
+  ASSERT_EQ(c.status, Status::kOk);
+  EXPECT_FALSE(c.payload.empty());
+
+  // Raw8 payloads round-trip like PGM ones.
+  Request raw = tile_request(img, "", hw::DesignId::kDesign2, 1);
+  raw.format = PayloadFormat::kRaw8;
+  raw.width = static_cast<std::uint16_t>(img.width());
+  raw.height = static_cast<std::uint16_t>(img.height());
+  raw.payload.resize(img.data().size());
+  for (std::size_t i = 0; i < raw.payload.size(); ++i) {
+    raw.payload[i] = static_cast<std::uint8_t>(
+        std::clamp(std::round(img.data()[i]), 0.0, 255.0));
+  }
+  const Response r = execute_request(raw);
+  ASSERT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.payload, cli_tile_bytes(img, "", hw::DesignId::kDesign2, 1));
+
+  // Control ops are not transform requests.
+  Request metrics;
+  metrics.op = Op::kMetrics;
+  EXPECT_EQ(execute_request(metrics).status, Status::kBadRequest);
+}
+
+}  // namespace
+}  // namespace dwt::server

@@ -112,7 +112,10 @@ bool load(const char* path, Document* doc) {
 /// Wall-clock-flavored metrics get the relative tolerance; everything else
 /// (instruction counts, reduction ratios) is deterministic.
 bool is_perf(const std::string& key, const Record& r) {
-  if (r.unit == "vectors/s" || r.unit == "trials/s") return true;
+  if (r.unit == "vectors/s" || r.unit == "trials/s" || r.unit == "req/s" ||
+      r.unit == "us") {
+    return true;
+  }
   return key.find("throughput") != std::string::npos ||
          key.find("speedup") != std::string::npos;
 }
