@@ -288,10 +288,12 @@ int main(int argc, char** argv) {
   const core::CacheStats cache = core::ArtifactCache::instance().stats();
   server.stop();
 
-  const std::uint64_t hits =
-      cache.design_hits + cache.tape_hits + cache.mapped_hits + cache.cone_hits;
+  const std::uint64_t hits = cache.design_hits + cache.tape_hits +
+                             cache.mapped_hits + cache.cone_hits +
+                             cache.native_hits;
   const std::uint64_t builds = cache.design_builds + cache.tape_builds +
-                               cache.mapped_builds + cache.cone_builds;
+                               cache.mapped_builds + cache.cone_builds +
+                               cache.native_builds;
   const double hit_rate =
       hits + builds > 0
           ? static_cast<double>(hits) / static_cast<double>(hits + builds)
@@ -321,6 +323,8 @@ int main(int argc, char** argv) {
            static_cast<double>(cache.design_builds), "count");
   json.add("server", "cache_tape_builds",
            static_cast<double>(cache.tape_builds), "count");
+  json.add("server", "cache_native_builds",
+           static_cast<double>(cache.native_builds), "count");
   if (!json.flush()) return 1;
 
   // Acceptance gates (exit code; CI runs the smoke configuration on the

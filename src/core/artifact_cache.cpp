@@ -130,6 +130,25 @@ std::shared_ptr<const rtl::compiled::ConeIndex> ArtifactCache::cone_index(
                       });
 }
 
+std::shared_ptr<const rtl::compiled::NativeBlock> ArtifactCache::native_block(
+    const hw::DatapathConfig& cfg, rtl::HardeningStyle harden,
+    rtl::compiled::OptLevel level, unsigned words) {
+  std::string key = config_key(cfg, harden);
+  if (level != rtl::compiled::OptLevel::kNone) {
+    key += ";opt=";
+    key += std::to_string(static_cast<int>(level));
+  }
+  key += ";native=";
+  key += std::to_string(words);
+  return get_or_build(
+      mutex_, natives_.map, natives_.builds, natives_.hits, key,
+      [&]() -> std::shared_ptr<const rtl::compiled::NativeBlock> {
+        const std::shared_ptr<const rtl::compiled::Tape> t =
+            tape(cfg, harden, level);
+        return rtl::compiled::NativeBlock::build(*t, words);
+      });
+}
+
 std::shared_ptr<const MappedDesign> ArtifactCache::mapped(
     const hw::DatapathConfig& cfg, rtl::HardeningStyle harden) {
   const std::string key = config_key(cfg, harden);
@@ -163,6 +182,8 @@ CacheStats ArtifactCache::stats() const {
   s.mapped_hits = mapped_.hits;
   s.cone_builds = cones_.builds;
   s.cone_hits = cones_.hits;
+  s.native_builds = natives_.builds;
+  s.native_hits = natives_.hits;
   return s;
 }
 
@@ -172,10 +193,12 @@ void ArtifactCache::clear() {
   tapes_.map.clear();
   mapped_.map.clear();
   cones_.map.clear();
+  natives_.map.clear();
   designs_.builds = designs_.hits = 0;
   tapes_.builds = tapes_.hits = 0;
   mapped_.builds = mapped_.hits = 0;
   cones_.builds = cones_.hits = 0;
+  natives_.builds = natives_.hits = 0;
 }
 
 ArtifactCache& ArtifactCache::instance() {

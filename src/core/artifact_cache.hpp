@@ -28,6 +28,7 @@
 #include "fpga/tech_mapper.hpp"
 #include "hw/designs.hpp"
 #include "rtl/compiled/cone_index.hpp"
+#include "rtl/compiled/native_block.hpp"
 #include "rtl/compiled/tape.hpp"
 #include "rtl/harden.hpp"
 
@@ -59,6 +60,8 @@ struct CacheStats {
   std::uint64_t mapped_hits = 0;
   std::uint64_t cone_builds = 0;
   std::uint64_t cone_hits = 0;
+  std::uint64_t native_builds = 0;
+  std::uint64_t native_hits = 0;
 };
 
 /// Content key of a (datapath config, hardening style) pair.  Every
@@ -97,6 +100,16 @@ class ArtifactCache {
       rtl::HardeningStyle harden = rtl::HardeningStyle::kNone,
       rtl::compiled::OptLevel level = rtl::compiled::OptLevel::kNone);
 
+  /// JIT'd machine code for the tape the same (cfg, harden, level) triple
+  /// yields, at `words` lane words per slot -- keyed beside the tape
+  /// (";native=W" suffix) so one emitted block feeds every simulator of a
+  /// configuration at that width.  Returns null (and still caches the
+  /// null, the build attempt is counted once) when the host cannot run
+  /// native code for this width; callers fall back to the portable tiers.
+  [[nodiscard]] std::shared_ptr<const rtl::compiled::NativeBlock> native_block(
+      const hw::DatapathConfig& cfg, rtl::HardeningStyle harden,
+      rtl::compiled::OptLevel level, unsigned words);
+
   /// simplify() + APEX mapping of the (possibly hardened) datapath.
   [[nodiscard]] std::shared_ptr<const MappedDesign> mapped(
       const hw::DatapathConfig& cfg,
@@ -125,6 +138,7 @@ class ArtifactCache {
   Store<rtl::compiled::Tape> tapes_;
   Store<MappedDesign> mapped_;
   Store<rtl::compiled::ConeIndex> cones_;
+  Store<rtl::compiled::NativeBlock> natives_;
 };
 
 }  // namespace dwt::core

@@ -26,6 +26,7 @@
 #include "hw/designs.hpp"
 #include "hw/dwt2d_system.hpp"
 #include "hw/stream_runner.hpp"
+#include "rtl/compiled/exec_tier.hpp"
 #include "rtl/compiled/tape.hpp"
 
 namespace dwt::core {
@@ -42,6 +43,12 @@ struct BackendRequest {
   /// pipeline -- which trades fault-overlay exactness for fewer
   /// instructions -- is the default; ports survive every pass.
   rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kFull;
+  /// Execution tier for the rtl-compiled backend (other engines ignore it).
+  /// kAuto resolves to the fastest tier the host supports -- the JIT'd
+  /// native tier where available, the threaded interpreter otherwise -- and
+  /// the DWT_EXEC_TIER environment variable overrides any request.  Tier
+  /// choice never changes results; every tier computes identical words.
+  rtl::compiled::ExecTier exec_tier = rtl::compiled::ExecTier::kAuto;
 };
 
 /// Capability flags: what a backend's results mean and which entry points

@@ -16,6 +16,7 @@
 #include "common/exact_acc.hpp"
 #include "explore/pareto.hpp"
 #include "hw/designs.hpp"
+#include "rtl/compiled/exec_tier.hpp"
 #include "rtl/compiled/tape.hpp"
 #include "rtl/fault.hpp"
 #include "rtl/harden.hpp"
@@ -68,6 +69,14 @@ struct ResilienceOptions {
   /// kSafe: fault overlays pin individual nets, which needs the
   /// fault-overlay-safe slot mapping (see rtl/compiled/opt/passes.hpp).
   rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kSafe;
+  /// Execution tier for the compiled engine's tape walks (kAuto = fastest
+  /// the host supports; DWT_EXEC_TIER overrides).  Force-pinned settles and
+  /// cone-restricted ranges always run a portable tier regardless, so this
+  /// is purely a throughput knob: results -- and the JSON report -- are
+  /// byte-identical at every setting, and it is deliberately absent from
+  /// the checkpoint fingerprint like the other performance knobs.  Ignored
+  /// by the interpreted engine.
+  rtl::compiled::ExecTier exec_tier = rtl::compiled::ExecTier::kAuto;
   /// Cone-restricted incremental re-simulation for the compiled engine:
   /// each batch settles only the union fan-out cone of its faults against
   /// the recorded fault-free trace (rtl/compiled/cone_session.hpp).

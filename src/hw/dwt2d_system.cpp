@@ -36,6 +36,17 @@ Dwt2dSystem::Dwt2dSystem(std::shared_ptr<const BuiltDatapath> core,
       batch_(std::make_unique<rtl::compiled::BatchFaultSession>(
           std::move(tape))) {}
 
+void Dwt2dSystem::set_exec_tier(
+    rtl::compiled::ExecTier tier,
+    std::shared_ptr<const rtl::compiled::NativeBlock> native) {
+  if (!batch_) return;
+  if (native) {
+    batch_->sim().set_native(std::move(native));
+  } else {
+    batch_->sim().set_exec_tier(tier);
+  }
+}
+
 void Dwt2dSystem::transform_line(std::vector<std::int64_t>& line,
                                  Dwt2dRunStats& stats) {
   // Either engine may carry stale pipeline state from the previous line;

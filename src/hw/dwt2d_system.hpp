@@ -12,6 +12,8 @@
 #include "dsp/image.hpp"
 #include "hw/designs.hpp"
 #include "hw/stream_runner.hpp"
+#include "rtl/compiled/exec_tier.hpp"
+#include "rtl/compiled/native_block.hpp"
 
 namespace dwt::hw {
 
@@ -51,6 +53,16 @@ class Dwt2dSystem {
   /// accounting.  The transformed plane matches the software fixed-point
   /// lifting transform bit for bit.
   Dwt2dRunStats transform(dsp::Image& plane, int octaves);
+
+  /// Selects the compiled engine's execution tier (a no-op on the scalar
+  /// interpreter constructors, which have no tiers).  Pass the cache-shared
+  /// native block to run the JIT tier without a private emit; with a null
+  /// `native` the simulator resolves `tier` itself (DWT_EXEC_TIER override,
+  /// kAuto resolution, host-support fallback).  Tier choice never changes
+  /// the transform's coefficients or cycle counts.
+  void set_exec_tier(
+      rtl::compiled::ExecTier tier,
+      std::shared_ptr<const rtl::compiled::NativeBlock> native = nullptr);
 
   [[nodiscard]] const BuiltDatapath& core() const { return *core_; }
 

@@ -62,6 +62,7 @@ core::BackendRequest backend_request(const TileOptions& options) {
   req.max_octaves = options.octaves;
   req.frac_bits = options.frac_bits;
   req.opt_level = options.opt_level;
+  req.exec_tier = options.exec_tier;
   return req;
 }
 

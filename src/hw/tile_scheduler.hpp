@@ -20,6 +20,7 @@
 #include "dsp/dwt1d.hpp"
 #include "dsp/image.hpp"
 #include "hw/designs.hpp"
+#include "rtl/compiled/exec_tier.hpp"
 #include "rtl/compiled/tape.hpp"
 
 namespace dwt::core {
@@ -49,6 +50,9 @@ struct TileOptions {
   /// ignore it).  Tiling is fault-free streaming, so the full pipeline is
   /// both safe and the default.
   rtl::compiled::OptLevel opt_level = rtl::compiled::OptLevel::kFull;
+  /// Execution tier for the rtl-compiled backend (other engines ignore it);
+  /// every worker session runs the resolved tier.  See BackendRequest.
+  rtl::compiled::ExecTier exec_tier = rtl::compiled::ExecTier::kAuto;
 };
 
 struct TileStats {

@@ -100,10 +100,12 @@ std::string ServerMetrics::render_json(std::size_t queue_depth,
   doc.add("server", "latency_p50_us", s.latency_p50_us, "us");
   doc.add("server", "latency_p99_us", s.latency_p99_us, "us");
   doc.add("server", "latency_mean_us", s.latency_mean_us, "us");
-  const std::uint64_t hits =
-      cache.design_hits + cache.tape_hits + cache.mapped_hits + cache.cone_hits;
+  const std::uint64_t hits = cache.design_hits + cache.tape_hits +
+                             cache.mapped_hits + cache.cone_hits +
+                             cache.native_hits;
   const std::uint64_t builds = cache.design_builds + cache.tape_builds +
-                               cache.mapped_builds + cache.cone_builds;
+                               cache.mapped_builds + cache.cone_builds +
+                               cache.native_builds;
   doc.add("server", "cache_hit_rate",
           hits + builds > 0
               ? static_cast<double>(hits) / static_cast<double>(hits + builds)
@@ -113,6 +115,7 @@ std::string ServerMetrics::render_json(std::size_t queue_depth,
   count("cache_tape_builds", static_cast<double>(cache.tape_builds));
   count("cache_mapped_builds", static_cast<double>(cache.mapped_builds));
   count("cache_cone_builds", static_cast<double>(cache.cone_builds));
+  count("cache_native_builds", static_cast<double>(cache.native_builds));
   count("cache_hits_total", static_cast<double>(hits));
   // Per-backend request counts, in map (lexicographic) order -- stable for
   // a given counter state.

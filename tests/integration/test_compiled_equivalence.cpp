@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "hw/designs.hpp"
 #include "rtl/compiled/equivalence.hpp"
+#include "rtl/compiled/exec_tier.hpp"
 #include "rtl/compiled/wide_simulator.hpp"
 #include "rtl/harden.hpp"
 #include "rtl/simulator.hpp"
@@ -175,6 +179,97 @@ TEST(CompiledEquivalence, OptMeetsInstructionReductionTarget) {
         << "design " << static_cast<int>(id) << " @O1: "
         << raw->instrs().size() << " -> " << safe->instrs().size();
   }
+}
+
+/// Three execution tiers over one shared tape: the switch interpreter (the
+/// semantic reference), the threaded-dispatch interpreter, and the native
+/// x86-64 block.  Same stimulus into all three, every materialized net
+/// word-compared every cycle.  On hosts where the native tier is
+/// unsupported the third simulator demotes to threaded and the comparison
+/// degrades to a (still meaningful) two-way check.
+template <unsigned W>
+void expect_tiers_match(const rtl::Netlist& nl,
+                        const std::shared_ptr<const rtl::compiled::Tape>& tape,
+                        std::uint64_t seed, const std::string& what) {
+  using Block = rtl::compiled::LaneBlock<W>;
+  using rtl::compiled::ExecTier;
+  rtl::compiled::WideSimulator<W> ref(tape);
+  rtl::compiled::WideSimulator<W> threaded(tape);
+  rtl::compiled::WideSimulator<W> native(tape);
+  ref.set_exec_tier(ExecTier::kSwitch);
+  threaded.set_exec_tier(ExecTier::kThreaded);
+  native.set_exec_tier(ExecTier::kNative);
+  if (std::getenv("DWT_EXEC_TIER") == nullptr) {
+    ASSERT_EQ(ref.exec_tier(), ExecTier::kSwitch);
+    ASSERT_EQ(threaded.exec_tier(), ExecTier::kThreaded);
+    if (rtl::compiled::native_supported(W)) {
+      ASSERT_EQ(native.exec_tier(), ExecTier::kNative) << what;
+    }
+  }
+
+  common::Rng rng(seed);
+  for (std::uint64_t cycle = 0; cycle < 6; ++cycle) {
+    for (const rtl::NetId pi : nl.primary_inputs()) {
+      Block b;
+      for (unsigned k = 0; k < W; ++k) b.w[k] = rng.next_u64();
+      ref.set_input_block(pi, b);
+      threaded.set_input_block(pi, b);
+      native.set_input_block(pi, b);
+    }
+    ref.step();
+    threaded.step();
+    native.step();
+    for (rtl::NetId n = 0; n < nl.net_count(); ++n) {
+      if (!tape->materialized(n)) continue;
+      const Block want = ref.block(n);
+      const Block got_threaded = threaded.block(n);
+      const Block got_native = native.block(n);
+      for (unsigned k = 0; k < W; ++k) {
+        ASSERT_EQ(want.w[k], got_threaded.w[k])
+            << what << " W=" << W << " threaded tier, net " << n << " word "
+            << k << " cycle " << cycle;
+        ASSERT_EQ(want.w[k], got_native.w[k])
+            << what << " W=" << W << " native tier, net " << n << " word "
+            << k << " cycle " << cycle;
+      }
+    }
+  }
+}
+
+TEST(CompiledEquivalence, ThreeWayTierMatrixMatches) {
+  // The full seam matrix from the ISSUE: five designs x hardening x opt
+  // level x lane width, interpreter vs threaded vs native.  Tapes are
+  // width-independent, so each (netlist, level) compiles once and feeds
+  // both widths.
+  const rtl::HardeningStyle styles[] = {rtl::HardeningStyle::kNone,
+                                        rtl::HardeningStyle::kTmr,
+                                        rtl::HardeningStyle::kParity};
+  const OptLevel levels[] = {OptLevel::kNone, OptLevel::kSafe, OptLevel::kFull};
+  std::uint64_t seed = 808;
+  for (const hw::DesignSpec& spec : hw::all_designs()) {
+    const hw::BuiltDatapath dp = hw::build_design(spec.id);
+    for (const rtl::HardeningStyle style : styles) {
+      const rtl::Netlist nl = style == rtl::HardeningStyle::kNone
+                                  ? dp.netlist
+                                  : rtl::apply_hardening(dp.netlist, style);
+      for (const OptLevel level : levels) {
+        const auto tape = rtl::compiled::compile(nl, level);
+        const std::string what = std::string(spec.name) + "+" +
+                                 rtl::to_string(style) + " @" +
+                                 to_string(level);
+        expect_tiers_match<1>(nl, tape, seed++, what);
+        expect_tiers_match<4>(nl, tape, seed++, what);
+      }
+    }
+  }
+  // The 128-lane instantiation rides a spot check (native demotes to
+  // threaded there unless AVX2 is present, same as production).
+  const hw::BuiltDatapath dp3 = hw::build_design(hw::DesignId::kDesign3);
+  const rtl::Netlist hardened =
+      rtl::apply_hardening(dp3.netlist, rtl::HardeningStyle::kParity);
+  expect_tiers_match<2>(hardened,
+                        rtl::compiled::compile(hardened, OptLevel::kSafe),
+                        seed, "design3+parity @O1");
 }
 
 TEST(CompiledEquivalence, DeterministicInSeed) {

@@ -128,7 +128,13 @@ int main(int argc, char** argv) {
   double rel_tol = 0.5;
   bool skip_perf = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--rel-tol") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--rel-tol") == 0) {
+      // Flag first, value check second: a trailing `--rel-tol` used to fall
+      // through to the positional branch and be opened as a file path.
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: missing value for --rel-tol\n");
+        return 2;
+      }
       char* end = nullptr;
       rel_tol = std::strtod(argv[++i], &end);
       if (end == argv[i] || *end != '\0' || rel_tol < 0.0) {

@@ -5,6 +5,7 @@
 //   dwt97cli tile          <in.pgm> <out.pgm> [--octaves N] [--tile N]
 //                          [--threads N] [--backend NAME] [--design D]
 //                          [--opt-level 0|1|2]
+//                          [--exec-tier interpreter|threaded|native|auto]
 //   dwt97cli gen           <out.pgm> <width> <height> [seed]
 //   dwt97cli synth         [design 1..5]
 //   dwt97cli verilog       <design 1..5> <out.v>
@@ -17,6 +18,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +46,8 @@ int usage() {
                "[--tile N] [--threads N]\n"
                "                      [--backend NAME] [--design D] "
                "[--opt-level 0|1|2]\n"
+               "                      [--exec-tier "
+               "interpreter|threaded|native|auto]\n"
                "  dwt97cli gen        <out.pgm> <width> <height> [seed]\n"
                "  dwt97cli synth      [design 1..5]\n"
                "  dwt97cli verilog    <design 1..5> <out.v>\n"
@@ -91,6 +95,24 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
   if (!out) throw std::runtime_error("cannot open " + path);
   out.write(reinterpret_cast<const char*>(b.data()),
             static_cast<std::streamsize>(b.size()));
+  // Check after the write AND the close: a full disk must exit nonzero, not
+  // hand a truncated bitstream to the next pipeline stage.
+  out.close();
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+/// True when `arg` is one of the value-taking `flags`: prints the missing-
+/// value diagnostic so a trailing flag does not fall through as an unknown
+/// argument.
+bool report_missing_value(const char* arg,
+                          std::initializer_list<const char*> flags) {
+  for (const char* f : flags) {
+    if (std::strcmp(arg, f) == 0) {
+      std::fprintf(stderr, "missing value for %s\n", f);
+      return true;
+    }
+  }
+  return false;
 }
 
 int cmd_compress(int argc, char** argv) {
@@ -112,6 +134,7 @@ int cmd_compress(int argc, char** argv) {
       }
       opt.octaves = static_cast<int>(octaves);
     } else {
+      (void)report_missing_value(argv[i], {"--step", "--octaves"});
       return usage();
     }
   }
@@ -188,7 +211,18 @@ int cmd_tile(int argc, char** argv) {
         return usage();
       }
       opt.opt_level = static_cast<dwt::rtl::compiled::OptLevel>(v);
+    } else if (std::strcmp(argv[i], "--exec-tier") == 0 && i + 1 < argc) {
+      // How the rtl-compiled backend walks its tape: the switch or threaded
+      // interpreter, the JIT'd native tier, or auto (fastest supported).
+      // Every tier writes bit-identical output; DWT_EXEC_TIER overrides.
+      if (!dwt::rtl::compiled::parse_exec_tier(argv[++i], &opt.exec_tier)) {
+        std::fprintf(stderr, "bad --exec-tier value: %s\n", argv[i]);
+        return usage();
+      }
     } else {
+      (void)report_missing_value(
+          argv[i], {"--octaves", "--tile", "--threads", "--backend",
+                    "--design", "--opt-level", "--exec-tier"});
       return usage();
     }
   }

@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <initializer_list>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -88,6 +89,25 @@ void write_file(const std::string& path, const std::vector<std::uint8_t>& b) {
   if (!out) throw std::runtime_error("cannot open " + path);
   out.write(reinterpret_cast<const char*>(b.data()),
             static_cast<std::streamsize>(b.size()));
+  // A full disk or I/O error surfaces here, not as a silent exit 0 handing
+  // a truncated result file downstream (faultcampaign's checked --out
+  // semantics).
+  out.close();
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+/// True when `arg` is one of the value-taking `flags`: prints the missing-
+/// value diagnostic so a trailing flag does not masquerade as an unknown
+/// argument.
+bool report_missing_value(const char* arg,
+                          std::initializer_list<const char*> flags) {
+  for (const char* f : flags) {
+    if (std::strcmp(arg, f) == 0) {
+      std::fprintf(stderr, "missing value for %s\n", f);
+      return true;
+    }
+  }
+  return false;
 }
 
 bool read_exact(int fd, void* buf, std::size_t n) {
@@ -227,6 +247,10 @@ int cmd_serve(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
       port_file = argv[++i];
     } else {
+      if (!report_missing_value(argv[i], {"--socket", "--port", "--workers",
+                                          "--queue", "--port-file"})) {
+        std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      }
       return usage();
     }
   }
@@ -293,7 +317,11 @@ bool parse_transform_flags(int argc, char** argv, int first,
       }
       req->opt_level = static_cast<dwt::rtl::compiled::OptLevel>(v);
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      if (!report_missing_value(argv[i],
+                                {"--connect", "--octaves", "--tile",
+                                 "--backend", "--design", "--opt-level"})) {
+        std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      }
       return false;
     }
   }
@@ -330,6 +358,7 @@ int cmd_metrics(int argc, char** argv) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       spec = argv[++i];
     } else {
+      (void)report_missing_value(argv[i], {"--connect"});
       return usage();
     }
   }
@@ -353,6 +382,7 @@ int cmd_shutdown(int argc, char** argv) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       spec = argv[++i];
     } else {
+      (void)report_missing_value(argv[i], {"--connect"});
       return usage();
     }
   }

@@ -1,0 +1,24 @@
+# Regression test for the write_file() bugfix: a CLI told to write its
+# output to /dev/full (every write() returns ENOSPC) must exit non-zero
+# instead of silently reporting success with a truncated/empty artifact.
+# Driven by ctest; skipped where /dev/full does not exist (non-Linux).
+if(NOT EXISTS /dev/full)
+  message(STATUS "no /dev/full on this platform; skipping")
+  return()
+endif()
+
+file(MAKE_DIRECTORY ${WORK})
+
+execute_process(COMMAND ${CLI} gen ${WORK}/in.pgm 32 32 7 RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gen failed (${rc})")
+endif()
+
+execute_process(COMMAND ${CLI} compress ${WORK}/in.pgm /dev/full
+                RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "compress to /dev/full exited 0 -- ENOSPC swallowed")
+endif()
+if(NOT err MATCHES "write failed")
+  message(FATAL_ERROR "expected a 'write failed' diagnostic, got: ${err}")
+endif()
