@@ -1,0 +1,174 @@
+// Where the parallel-prefix adder architectures shift the area/f_max
+// frontier.  Two sweeps:
+//
+//  1. Standalone adders: every AdderArch x operand width, as a
+//     register-adder-register netlist through simplify -> APEX map -> STA,
+//     with the closed-form adder_critical_path_ns() model alongside.  The
+//     chain styles pay O(width) on the critical path, the prefix networks
+//     O(log width), so the frontier crosses as width grows; the bench gates
+//     that at 16 bits (the paper's internal precision) at least one prefix
+//     architecture beats ripple-gates f_max.
+//
+//  2. Datapaths: the five paper designs plus the (design x adder) variant
+//     points through the full Explorer flow (elaborate -> simplify -> map ->
+//     STA -> activity -> power), projected onto the (area, period, power)
+//     trade-off space with the Pareto front marked.
+//
+// Every record is model-derived and deterministic, so the committed
+// baseline (bench/BENCH_adder_frontier.json) pins the whole document
+// byte-for-byte across machines.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "explore/explorer.hpp"
+#include "explore/pareto.hpp"
+#include "fpga/device.hpp"
+#include "fpga/tech_mapper.hpp"
+#include "fpga/timing.hpp"
+#include "hw/designs.hpp"
+#include "rtl/adder_arch.hpp"
+#include "rtl/builder.hpp"
+#include "rtl/netlist.hpp"
+#include "rtl/simplify.hpp"
+
+namespace {
+
+struct AdderPoint {
+  dwt::rtl::AdderArch arch;
+  int width;
+  std::size_t les = 0;
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;
+  double model_path_ns = 0.0;
+};
+
+/// One standalone adder as a register-to-register netlist: FF -> adder ->
+/// FF, so the STA critical path isolates exactly clk-to-q + adder + setup.
+AdderPoint measure_adder(dwt::rtl::AdderArch arch, int width,
+                         const dwt::fpga::ApexDeviceParams& params) {
+  dwt::rtl::Netlist nl;
+  dwt::rtl::Builder b(nl);
+  const dwt::rtl::Bus a = nl.add_input_bus("a", width);
+  const dwt::rtl::Bus bb = nl.add_input_bus("b", width);
+  const dwt::rtl::Bus ra = b.reg(a, "ra");
+  const dwt::rtl::Bus rb = b.reg(bb, "rb");
+  const dwt::rtl::Bus sum = b.add(ra, rb, arch, width + 1, "s");
+  const dwt::rtl::Bus rs = b.reg(sum, "rs");
+  nl.bind_output("y", rs);
+  nl.validate();
+
+  const dwt::rtl::Netlist simplified = dwt::rtl::simplify(nl);
+  const dwt::fpga::MappedNetlist mapped = dwt::fpga::map_to_apex(simplified);
+  dwt::fpga::TimingAnalyzer sta(mapped, params);
+  const dwt::fpga::TimingReport timing = sta.analyze();
+
+  AdderPoint p;
+  p.arch = arch;
+  p.width = width;
+  p.les = mapped.le_count();
+  p.critical_path_ns = timing.critical_path_ns;
+  p.fmax_mhz = timing.fmax_mhz;
+  p.model_path_ns = dwt::fpga::adder_critical_path_ns(arch, width, params);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dwt::bench::JsonReporter json("bench_adder_frontier", argc, argv);
+  const dwt::fpga::ApexDeviceParams params =
+      dwt::fpga::ApexDeviceParams::apex20ke();
+
+  // --- Sweep 1: standalone adders across the width axis. -------------------
+  const std::vector<int> widths = {8, 16, 32};
+  std::printf("Standalone adder frontier (register-adder-register, STA).\n\n");
+  std::printf("%-13s %5s | %5s %8s %10s | %9s\n", "architecture", "width",
+              "LEs", "path(ns)", "fmax(MHz)", "model(ns)");
+  double ripple_fmax_w16 = 0.0;
+  double best_prefix_fmax_w16 = 0.0;
+  const char* best_prefix_name_w16 = "";
+  for (const int width : widths) {
+    for (const dwt::rtl::AdderArch arch : dwt::rtl::all_adder_archs()) {
+      const AdderPoint p = measure_adder(arch, width, params);
+      const std::string label =
+          std::string(dwt::rtl::adder_name(arch)) + " w" +
+          std::to_string(width);
+      std::printf("%-13s %5d | %5zu %8.2f %10.1f | %9.2f\n",
+                  dwt::rtl::adder_name(arch), width, p.les,
+                  p.critical_path_ns, p.fmax_mhz, p.model_path_ns);
+      json.add(label, "adder_les", static_cast<double>(p.les), "LEs");
+      json.add(label, "adder_critical_path_ns", p.critical_path_ns, "ns");
+      json.add(label, "adder_fmax", p.fmax_mhz, "MHz");
+      json.add(label, "adder_model_path_ns", p.model_path_ns, "ns");
+      if (width == 16) {
+        if (arch == dwt::rtl::AdderArch::kRippleGates) {
+          ripple_fmax_w16 = p.fmax_mhz;
+        } else if (dwt::rtl::is_parallel_prefix(arch) &&
+                   p.fmax_mhz > best_prefix_fmax_w16) {
+          best_prefix_fmax_w16 = p.fmax_mhz;
+          best_prefix_name_w16 = dwt::rtl::adder_name(arch);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The frontier gate: at the paper's 16-bit internal precision, the prefix
+  // family must beat the ripple-gates realization on the timing model.
+  const double prefix_over_ripple = best_prefix_fmax_w16 / ripple_fmax_w16;
+  std::printf("best prefix @16 bits: %s, %.2fx ripple-gates f_max\n\n",
+              best_prefix_name_w16, prefix_over_ripple);
+  json.add("frontier", "prefix_fmax_over_ripple_w16", prefix_over_ripple,
+           "ratio");
+
+  // --- Sweep 2: (design x adder) datapath trade-off space. -----------------
+  const dwt::explore::Explorer explorer;
+  std::vector<dwt::explore::DesignEvaluation> evals = explorer.evaluate_all();
+  {
+    std::vector<dwt::explore::DesignEvaluation> variants =
+        explorer.evaluate_adder_variants();
+    for (auto& e : variants) evals.push_back(std::move(e));
+  }
+
+  std::vector<dwt::explore::TradeoffPoint> points;
+  points.reserve(evals.size());
+  for (const auto& e : evals) {
+    dwt::explore::TradeoffPoint tp;
+    tp.name = e.report.name;
+    tp.area_les = static_cast<double>(e.report.logic_elements);
+    tp.period_ns = 1000.0 / e.report.fmax_mhz;
+    tp.power_mw = e.report.power_mw;
+    points.push_back(tp);
+  }
+  const std::vector<std::size_t> front = dwt::explore::pareto_front(points);
+  const auto on_front = [&front](std::size_t i) {
+    return std::find(front.begin(), front.end(), i) != front.end();
+  };
+
+  std::printf("(design x adder) trade-off sweep, Pareto front marked.\n\n");
+  std::printf("%-26s | %8s %10s %12s | %6s\n", "design point", "LEs",
+              "fmax(MHz)", "P@15MHz(mW)", "front");
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    const auto& r = evals[i].report;
+    std::printf("%-26s | %8zu %10.1f %12.1f | %6s\n", r.name.c_str(),
+                r.logic_elements, r.fmax_mhz, r.power_mw,
+                on_front(i) ? "*" : "");
+    json.add(r.name, "area", static_cast<double>(r.logic_elements), "LEs");
+    json.add(r.name, "fmax", r.fmax_mhz, "MHz");
+    json.add(r.name, "power_at_15mhz", r.power_mw, "mW");
+    json.add(r.name, "pareto", on_front(i) ? 1.0 : 0.0, "count");
+  }
+
+  if (!(prefix_over_ripple > 1.0)) {
+    std::fprintf(stderr,
+                 "FAIL: no prefix adder beats ripple-gates f_max at 16 bits "
+                 "(best %.3fx)\n",
+                 prefix_over_ripple);
+    return 1;
+  }
+  return json.exit_code();
+}

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string_view>
 
@@ -37,6 +38,12 @@ struct BackendRequest {
   /// Gate-level cores are sized for this 2-D recursion depth (LL
   /// coefficients outgrow the paper's 8-bit inputs past one octave).
   int max_octaves = 1;
+  /// Adder-architecture override for gate-level cores: swaps the design's
+  /// paper realization for any member of the rtl::AdderArch family (the
+  /// (design x adder) sweep axis).  nullopt keeps the paper's choice.
+  /// Results never change -- every architecture computes identical words --
+  /// only area/timing/power and the elaborated netlist do.
+  std::optional<rtl::AdderArch> adder;
   int frac_bits = dsp::kDefaultFracBits;  ///< software fixed-point precision
   /// Tape optimization level for the rtl-compiled backend (ignored by every
   /// other engine).  Streaming through a backend is fault-free, so the full

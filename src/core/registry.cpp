@@ -170,7 +170,7 @@ class RtlInterpretedBackend final : public ExecutionBackend {
   hw::StreamResult stream(const BackendRequest& req,
                           std::span<const std::int64_t> x) const override {
     const std::shared_ptr<const CachedDesign> d = ArtifactCache::instance().design(
-        hw::design_config(req.design, req.max_octaves));
+        hw::design_config(req.design, req.max_octaves, req.adder));
     rtl::Simulator sim(d->dp.netlist);
     return hw::run_stream(d->dp, sim, x);
   }
@@ -179,7 +179,7 @@ class RtlInterpretedBackend final : public ExecutionBackend {
       const BackendRequest& req) const override {
     return std::make_unique<GateSession>(
         share_datapath(ArtifactCache::instance().design(
-            hw::design_config(req.design, req.max_octaves))));
+            hw::design_config(req.design, req.max_octaves, req.adder))));
   }
 };
 
@@ -203,7 +203,7 @@ class RtlCompiledBackend final : public ExecutionBackend {
                           std::span<const std::int64_t> x) const override {
     ArtifactCache& cache = ArtifactCache::instance();
     const hw::DatapathConfig cfg =
-        hw::design_config(req.design, req.max_octaves);
+        hw::design_config(req.design, req.max_octaves, req.adder);
     const std::shared_ptr<const CachedDesign> d = cache.design(cfg);
     rtl::compiled::BatchFaultSession session(
         cache.tape(cfg, rtl::HardeningStyle::kNone, req.opt_level));
@@ -220,7 +220,7 @@ class RtlCompiledBackend final : public ExecutionBackend {
       const BackendRequest& req) const override {
     ArtifactCache& cache = ArtifactCache::instance();
     const hw::DatapathConfig cfg =
-        hw::design_config(req.design, req.max_octaves);
+        hw::design_config(req.design, req.max_octaves, req.adder);
     return std::make_unique<GateSession>(
         share_datapath(cache.design(cfg)),
         cache.tape(cfg, rtl::HardeningStyle::kNone, req.opt_level),
@@ -248,7 +248,7 @@ class FpgaMappedBackend final : public ExecutionBackend {
                           std::span<const std::int64_t> x) const override {
     const std::shared_ptr<const MappedDesign> md =
         ArtifactCache::instance().mapped(
-            hw::design_config(req.design, req.max_octaves));
+            hw::design_config(req.design, req.max_octaves, req.adder));
     fpga::MappedActivitySim sim(md->mapped);
     return hw::run_stream_mapped(md->dp, sim, x);
   }

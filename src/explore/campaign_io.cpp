@@ -104,6 +104,12 @@ std::string campaign_fingerprint(const ResilienceOptions& options) {
   fp.reserve(96);
   fp += "design=";
   fp += std::to_string(static_cast<int>(options.design));
+  if (options.adder.has_value()) {
+    // Appended only when set so pre-existing checkpoints (no override)
+    // keep their fingerprint bytes.
+    fp += ";adder=";
+    fp += std::to_string(static_cast<int>(*options.adder));
+  }
   fp += ";harden=";
   fp += std::to_string(static_cast<int>(options.harden));
   fp += ";kinds=";

@@ -101,6 +101,14 @@ std::vector<DesignEvaluation> Explorer::evaluate_all() const {
   return out;
 }
 
+std::vector<DesignEvaluation> Explorer::evaluate_adder_variants() const {
+  std::vector<DesignEvaluation> out;
+  for (const hw::DesignSpec& spec : hw::adder_variant_designs()) {
+    out.push_back(evaluate(spec));
+  }
+  return out;
+}
+
 fpga::PowerBreakdown DesignEvaluation::power_at(
     double f_mhz, const fpga::ApexDeviceParams& device) const {
   return fpga::estimate_power(mapped, activity, device, f_mhz);

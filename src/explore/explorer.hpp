@@ -55,6 +55,11 @@ class Explorer {
   /// Evaluates the paper's five designs in order.
   [[nodiscard]] std::vector<DesignEvaluation> evaluate_all() const;
 
+  /// Evaluates the adder-variant design points (hw::adder_variant_designs():
+  /// designs 2..5 crossed with the parallel-prefix architectures) -- the
+  /// (design x adder) rows of the extended Pareto sweep.
+  [[nodiscard]] std::vector<DesignEvaluation> evaluate_adder_variants() const;
+
   [[nodiscard]] const ExplorerOptions& options() const { return options_; }
 
   /// The sample stream used for activity measurement.

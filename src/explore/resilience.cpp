@@ -199,6 +199,12 @@ CampaignResult run_campaign(const ResilienceOptions& options) {
 
   CampaignResult result;
   result.spec = hw::design_spec(options.design);
+  if (options.adder.has_value()) {
+    // The adder-variant design point: swap the realization and report under
+    // the variant's name so Pareto rows never collide with the paper's.
+    result.spec.config.adder_style = *options.adder;
+    result.spec.name = hw::design_point_name(options.design, options.adder);
+  }
   result.harden = options.harden;
   result.seed = options.seed;
   result.samples = options.samples;

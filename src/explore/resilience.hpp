@@ -46,6 +46,13 @@ enum class CampaignEngine {
 
 struct ResilienceOptions {
   hw::DesignId design = hw::DesignId::kDesign1;
+  /// Adder-architecture override for the design's datapath (the
+  /// (design x adder) sweep axis).  The fault space follows the netlist --
+  /// prefix adders expose different nets than carry chains -- so campaigns
+  /// on different adders draw different schedules; the outcome
+  /// classification machinery is architecture-agnostic.  nullopt keeps the
+  /// paper realization (and the paper's report bytes).
+  std::optional<rtl::AdderArch> adder;
   std::vector<rtl::FaultKind> kinds = {rtl::FaultKind::kSeuFlip};
   std::size_t trials = 100;
   std::uint64_t seed = 2005;

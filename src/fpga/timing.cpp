@@ -170,4 +170,57 @@ std::string TimingReport::to_string(const rtl::Netlist& nl) const {
   return os.str();
 }
 
+namespace {
+
+/// Smallest L with 2^L >= n (prefix-network level count for n bits).
+int ceil_log2(int n) {
+  int levels = 0;
+  int span = 1;
+  while (span < n) {
+    span *= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+double adder_critical_path_ns(rtl::AdderArch arch, int width,
+                              const ApexDeviceParams& p) {
+  if (width < 1) throw std::invalid_argument("adder_critical_path_ns: width");
+  // One mapped logic level: a 4-LUT plus the local hop to the next LE of
+  // the same cluster (operators are single-cluster by construction).
+  const double level = p.t_lut + p.t_route_local;
+  switch (arch) {
+    case rtl::AdderArch::kCarryChain:
+      // Enter the chain, hop bit to bit on the dedicated carry line, exit
+      // into the MSB's sum LUT.
+      return p.t_carry_gen + (width - 1) * p.t_carry + p.t_chain_to_lut;
+    case rtl::AdderArch::kRippleGates:
+      // Each full adder's carry-out is one LUT cone; the MSB sum LUT ends
+      // the path.
+      return width * level + p.t_lut;
+    case rtl::AdderArch::kKoggeStone: {
+      // Leaf g/p level, one AND-OR combine level per prefix rank (the
+      // mapper packs each combine's AND-OR pair into one 4-LUT cone),
+      // final sum XOR.
+      return (2 + ceil_log2(width)) * level + p.t_lut;
+    }
+    case rtl::AdderArch::kBrentKung: {
+      // Up-sweep (log2 n ranks) plus down-sweep (log2 n - 1 ranks).
+      const int ranks = std::max(1, 2 * ceil_log2(width) - 1);
+      return (2 + ranks) * level + p.t_lut;
+    }
+    case rtl::AdderArch::kHybridKsBk: {
+      // Kogge-Stone over the low half, its group carry absorbed into a
+      // Brent-Kung tree over the high half (serial composition).
+      const int half = (width + 1) / 2;
+      const int ks_ranks = ceil_log2(half);
+      const int bk_ranks = std::max(1, 2 * ceil_log2(width - half) - 1);
+      return (2 + ks_ranks + 1 + bk_ranks) * level + p.t_lut;
+    }
+  }
+  throw std::invalid_argument("adder_critical_path_ns: unknown arch");
+}
+
 }  // namespace dwt::fpga

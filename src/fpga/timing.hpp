@@ -11,8 +11,20 @@
 
 #include "fpga/device.hpp"
 #include "fpga/tech_mapper.hpp"
+#include "rtl/adder_arch.hpp"
 
 namespace dwt::fpga {
+
+/// Analytic carry-path model of a `width`-bit adder in the given
+/// architecture (ns, data-in to worst sum-out).  The chain styles pay per
+/// bit -- the dedicated t_carry hop for behavioral adders, a LUT + local
+/// hop per full adder for ripple gates -- while the parallel-prefix
+/// architectures pay one LUT + local hop per *prefix level*, i.e.
+/// O(log2 width) instead of O(width).  The structural STA measures the same
+/// effect on the mapped netlists; this closed form is the design-time
+/// sanity check and the bench_adder_frontier model column.
+[[nodiscard]] double adder_critical_path_ns(rtl::AdderArch arch, int width,
+                                            const ApexDeviceParams& params);
 
 struct TimingReport {
   double critical_path_ns = 0.0;

@@ -51,6 +51,34 @@ DesignSpec design_spec(DesignId id) {
   throw std::invalid_argument("design_spec: unknown design");
 }
 
+std::vector<DesignSpec> adder_variant_designs() {
+  // Design 1 is excluded: its generic-array multipliers dominate both area
+  // and the critical path, so an adder swap moves nothing the sweep cares
+  // about while tripling the largest elaboration in the space.
+  std::vector<DesignSpec> specs;
+  for (const DesignId id : {DesignId::kDesign2, DesignId::kDesign3,
+                            DesignId::kDesign4, DesignId::kDesign5}) {
+    for (const rtl::AdderArch arch : rtl::prefix_adder_archs()) {
+      DesignSpec spec = design_spec(id);
+      spec.config.adder_style = arch;
+      spec.name = design_point_name(id, arch);
+      spec.description += std::string(", ") + rtl::adder_name(arch) +
+                          " parallel-prefix adders";
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::string design_point_name(DesignId id,
+                              std::optional<rtl::AdderArch> adder) {
+  std::string name = design_name(id);
+  if (adder.has_value()) {
+    name += std::string(" (") + rtl::adder_name(*adder) + ")";
+  }
+  return name;
+}
+
 int design_index(DesignId id) { return static_cast<int>(id) + 1; }
 
 std::string design_name(DesignId id) {
@@ -83,7 +111,8 @@ std::optional<DesignId> parse_design(std::string_view text) {
   return static_cast<DesignId>(text.front() - '1');
 }
 
-DatapathConfig design_config(DesignId id, int max_octaves) {
+DatapathConfig design_config(DesignId id, int max_octaves,
+                             std::optional<rtl::AdderArch> adder) {
   if (max_octaves < 1) {
     throw std::invalid_argument("design_config: max_octaves < 1");
   }
@@ -92,6 +121,7 @@ DatapathConfig design_config(DesignId id, int max_octaves) {
     cfg.input_bits = 8 + 2 * (max_octaves - 1);
     cfg.paper_widths = false;  // interval-analysis sizing for wide inputs
   }
+  if (adder.has_value()) cfg.adder_style = *adder;
   return cfg;
 }
 

@@ -33,6 +33,17 @@ struct DesignSpec {
 
 [[nodiscard]] DesignSpec design_spec(DesignId id);
 
+/// The adder-variant extension of the design space: every adder-sensitive
+/// paper design (2..5 -- Design 1's area is dominated by its generic
+/// multipliers) crossed with every parallel-prefix architecture.  Names
+/// follow design_point_name(), e.g. "Design 3 (kogge-stone)".
+[[nodiscard]] std::vector<DesignSpec> adder_variant_designs();
+
+/// Display name of a (design, adder-override) point: the paper name alone
+/// when no override is set, "Design N (arch)" otherwise.
+[[nodiscard]] std::string design_point_name(
+    DesignId id, std::optional<rtl::AdderArch> adder);
+
 // Design-name parsing/printing -- the one string <-> DesignId seam shared by
 // the CLIs, the benches and the registry (it used to be re-implemented ad
 // hoc at every call site).
@@ -52,8 +63,12 @@ struct DesignSpec {
 /// recursion: beyond one octave the LL coefficients outgrow the paper's
 /// signed 8-bit input range (they gain roughly 1.2 bits per octave), so the
 /// controller provisions a wider core sized by interval analysis instead of
-/// the paper's measured 8-bit-input ranges.
-[[nodiscard]] DatapathConfig design_config(DesignId id, int max_octaves = 1);
+/// the paper's measured 8-bit-input ranges.  `adder` swaps the design's
+/// adder architecture (the (design x adder) sweep axis); nullopt keeps the
+/// paper's realization.
+[[nodiscard]] DatapathConfig design_config(
+    DesignId id, int max_octaves = 1,
+    std::optional<rtl::AdderArch> adder = std::nullopt);
 
 /// Elaborates the design's netlist.
 [[nodiscard]] BuiltDatapath build_design(DesignId id);

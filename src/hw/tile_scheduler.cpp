@@ -59,6 +59,7 @@ void validate(const dsp::Image& plane, const TileOptions& options) {
 core::BackendRequest backend_request(const TileOptions& options) {
   core::BackendRequest req;
   req.design = options.design;
+  req.adder = options.adder;
   req.max_octaves = options.octaves;
   req.frac_bits = options.frac_bits;
   req.opt_level = options.opt_level;

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "dsp/dwt1d.hpp"
@@ -46,6 +47,9 @@ struct TileOptions {
   /// transform only, so they reject any other `method`.
   const core::ExecutionBackend* backend = nullptr;
   DesignId design = DesignId::kDesign2;  ///< core for gate-level backends
+  /// Adder-architecture override for gate-level cores; nullopt keeps the
+  /// design's paper realization.  Never changes the transform output.
+  std::optional<rtl::AdderArch> adder;
   /// Tape optimization level for the rtl-compiled backend (other engines
   /// ignore it).  Tiling is fault-free streaming, so the full pipeline is
   /// both safe and the default.

@@ -1,0 +1,61 @@
+#include "rtl/adder_arch.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dwt::rtl {
+
+const std::array<AdderArch, kAdderArchCount>& all_adder_archs() {
+  static const std::array<AdderArch, kAdderArchCount> kAll = {
+      AdderArch::kCarryChain, AdderArch::kRippleGates, AdderArch::kKoggeStone,
+      AdderArch::kBrentKung, AdderArch::kHybridKsBk};
+  return kAll;
+}
+
+const std::array<AdderArch, 3>& prefix_adder_archs() {
+  static const std::array<AdderArch, 3> kPrefix = {
+      AdderArch::kKoggeStone, AdderArch::kBrentKung, AdderArch::kHybridKsBk};
+  return kPrefix;
+}
+
+bool is_parallel_prefix(AdderArch arch) {
+  return arch == AdderArch::kKoggeStone || arch == AdderArch::kBrentKung ||
+         arch == AdderArch::kHybridKsBk;
+}
+
+const char* adder_name(AdderArch arch) {
+  switch (arch) {
+    case AdderArch::kCarryChain: return "carry-chain";
+    case AdderArch::kRippleGates: return "ripple-gates";
+    case AdderArch::kKoggeStone: return "kogge-stone";
+    case AdderArch::kBrentKung: return "brent-kung";
+    case AdderArch::kHybridKsBk: return "hybrid-ksbk";
+  }
+  return "?";
+}
+
+std::optional<AdderArch> parse_adder(const std::string& text) {
+  // Normalize: lowercase, collapse '-'/'_'/' ' away so "Kogge Stone",
+  // "kogge_stone" and "kogge-stone" all parse.
+  std::string key;
+  key.reserve(text.size());
+  for (const char c : text) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (key == "carrychain" || key == "chain" || key == "cc") {
+    return AdderArch::kCarryChain;
+  }
+  if (key == "ripplegates" || key == "ripple" || key == "rg") {
+    return AdderArch::kRippleGates;
+  }
+  if (key == "koggestone" || key == "ks") return AdderArch::kKoggeStone;
+  if (key == "brentkung" || key == "bk") return AdderArch::kBrentKung;
+  if (key == "hybridksbk" || key == "ksbk" || key == "hybrid") {
+    return AdderArch::kHybridKsBk;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dwt::rtl

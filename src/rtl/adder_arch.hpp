@@ -1,0 +1,48 @@
+// The adder-architecture family: how a word-level signed addition is
+// realized as cells.  The paper explores two realizations (behavioral
+// carry-chain vs structural ripple gates, sections 3.2 vs 3.4); the family
+// extends that closed pair with parallel-prefix networks whose logic depth
+// is logarithmic in the word width, shifting the f_max frontier the paper's
+// carry-propagation-bound designs could not reach.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace dwt::rtl {
+
+/// Adder realizations accepted by build_adder() (and therefore by
+/// Builder::add/sub and every datapath elaborated on top of them).
+enum class AdderArch {
+  kCarryChain,   ///< behavioral: one LE per bit on the dedicated carry chain
+  kRippleGates,  ///< structural: full adders from plain gates (2 LEs per bit)
+  kKoggeStone,   ///< parallel prefix: minimum depth, one node per (bit, level)
+  kBrentKung,    ///< parallel prefix: sparse tree, ~2*log2(n) levels
+  kHybridKsBk,   ///< sparse hybrid: Kogge-Stone low half, Brent-Kung high half
+};
+
+inline constexpr int kAdderArchCount = 5;
+
+/// Every architecture, in enum order.
+[[nodiscard]] const std::array<AdderArch, kAdderArchCount>& all_adder_archs();
+
+/// The parallel-prefix additions on top of the paper's two styles.
+[[nodiscard]] const std::array<AdderArch, 3>& prefix_adder_archs();
+
+/// True for the carry-lookahead family (Kogge-Stone / Brent-Kung / hybrid):
+/// carries come from a logarithmic-depth prefix network of plain gates, not
+/// from a per-bit carry chain or ripple path.
+[[nodiscard]] bool is_parallel_prefix(AdderArch arch);
+
+/// Canonical spelling used in CLIs, reports and cache keys: "carry-chain",
+/// "ripple-gates", "kogge-stone", "brent-kung", "hybrid-ksbk".
+[[nodiscard]] const char* adder_name(AdderArch arch);
+
+/// Parses a user spelling (mirroring parse_design): canonical names plus
+/// short aliases ("cc", "chain", "ripple", "rg", "ks", "bk", "ksbk",
+/// "hybrid"), case-insensitive, with '-', '_' and ' ' interchangeable.
+/// Returns std::nullopt for anything unrecognized.
+[[nodiscard]] std::optional<AdderArch> parse_adder(const std::string& text);
+
+}  // namespace dwt::rtl

@@ -1,0 +1,32 @@
+// The single generator seam behind which every adder architecture lives.
+// Builder::add/sub forward here; new architectures are added by extending
+// the switch in build_adder.cpp, and every datapath, hardening transform,
+// tape compiler, technology mapper and campaign engine downstream consumes
+// the resulting netlists unchanged.
+#pragma once
+
+#include <string>
+
+#include "rtl/adder_arch.hpp"
+#include "rtl/netlist.hpp"
+
+namespace dwt::rtl {
+
+class Builder;
+
+/// Signed a + b, result sized to `out_width` (exact modulo 2^out_width).
+/// The carry-chain architecture emits kAddSum/kAddCarry chain cells (one LE
+/// per bit on the APEX carry chain); every other architecture is a plain
+/// gate netlist sharing one placement cluster.
+[[nodiscard]] Bus build_adder(Builder& builder, const Bus& a, const Bus& b,
+                              AdderArch arch, int out_width,
+                              const std::string& name = {});
+
+/// Signed a - b: b is inverted bitwise and the carry-in forced to 1,
+/// completing the two's complement, then the same architecture family
+/// produces the sum.
+[[nodiscard]] Bus build_subtractor(Builder& builder, const Bus& a,
+                                   const Bus& b, AdderArch arch, int out_width,
+                                   const std::string& name = {});
+
+}  // namespace dwt::rtl

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rtl/build_adder.hpp"
+
 namespace dwt::rtl {
 
 Bus Builder::constant(std::int64_t value, int width) {
@@ -48,104 +50,14 @@ Bus Builder::asr(const Bus& b, int k) const {
   return out;
 }
 
-NetId Builder::add_bit_gates(NetId a, NetId b, NetId cin, NetId& cout,
-                             std::int32_t cluster, const std::string& name) {
-  // Structural full adder (paper section 3.4): sum and carry from plain
-  // gates; the APEX mapper later covers the two cones with two 4-LUTs.
-  const NetId axb = nl_.add_cell(CellKind::kXor2, a, b, kNullNet, name + ".axb");
-  const NetId sum = nl_.add_cell(CellKind::kXor2, axb, cin, kNullNet, name + ".s");
-  const NetId g = nl_.add_cell(CellKind::kAnd2, a, b, kNullNet, name + ".g");
-  const NetId p = nl_.add_cell(CellKind::kAnd2, axb, cin, kNullNet, name + ".p");
-  cout = nl_.add_cell(CellKind::kOr2, g, p, kNullNet, name + ".c");
-  for (const NetId n : {axb, sum, g, p, cout}) nl_.set_cluster(n, cluster);
-  return sum;
-}
-
 Bus Builder::add(const Bus& a, const Bus& b, AdderStyle style, int out_width,
                  const std::string& name) {
-  if (out_width <= 0) throw std::invalid_argument("Builder::add: bad width");
-  const Bus ax = resize(a, out_width);
-  const Bus bx = resize(b, out_width);
-  Bus out;
-  out.bits.reserve(static_cast<std::size_t>(out_width));
-  NetId carry = nl_.const0();
-  const std::int32_t cluster = nl_.new_cluster_id();
-  if (style == AdderStyle::kCarryChain) {
-    const std::int32_t chain = nl_.new_chain_id();
-    for (int i = 0; i < out_width; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(i);
-      const std::string bit_name = name + "[" + std::to_string(i) + "]";
-      out.bits.push_back(nl_.add_chain_cell(CellKind::kAddSum, ax.bits[idx],
-                                            bx.bits[idx], carry, chain, i,
-                                            bit_name));
-      nl_.set_cluster(out.bits.back(), cluster);
-      if (i + 1 < out_width) {
-        carry = nl_.add_chain_cell(CellKind::kAddCarry, ax.bits[idx],
-                                   bx.bits[idx], carry, chain, i,
-                                   bit_name + ".co");
-        nl_.set_cluster(carry, cluster);
-      }
-    }
-  } else {
-    for (int i = 0; i < out_width; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(i);
-      NetId cout = kNullNet;
-      out.bits.push_back(add_bit_gates(ax.bits[idx], bx.bits[idx], carry, cout,
-                                       cluster,
-                                       name + "[" + std::to_string(i) + "]"));
-      carry = cout;
-    }
-  }
-  return out;
+  return build_adder(*this, a, b, style, out_width, name);
 }
 
 Bus Builder::sub(const Bus& a, const Bus& b, AdderStyle style, int out_width,
                  const std::string& name) {
-  if (out_width <= 0) throw std::invalid_argument("Builder::sub: bad width");
-  const Bus ax = resize(a, out_width);
-  const Bus bx = resize(b, out_width);
-  Bus nb;
-  nb.bits.reserve(static_cast<std::size_t>(out_width));
-  for (int i = 0; i < out_width; ++i) {
-    nb.bits.push_back(nl_.add_cell(CellKind::kNot,
-                                   bx.bits[static_cast<std::size_t>(i)],
-                                   kNullNet, kNullNet,
-                                   name + ".nb" + std::to_string(i)));
-  }
-  Bus out;
-  out.bits.reserve(static_cast<std::size_t>(out_width));
-  NetId carry = nl_.const1();  // +1 completes the two's complement of b
-  const std::int32_t cluster = nl_.new_cluster_id();
-  for (int i = 0; i < out_width; ++i) {
-    nl_.set_cluster(nb.bits[static_cast<std::size_t>(i)], cluster);
-  }
-  if (style == AdderStyle::kCarryChain) {
-    const std::int32_t chain = nl_.new_chain_id();
-    for (int i = 0; i < out_width; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(i);
-      const std::string bit_name = name + "[" + std::to_string(i) + "]";
-      out.bits.push_back(nl_.add_chain_cell(CellKind::kAddSum, ax.bits[idx],
-                                            nb.bits[idx], carry, chain, i,
-                                            bit_name));
-      nl_.set_cluster(out.bits.back(), cluster);
-      if (i + 1 < out_width) {
-        carry = nl_.add_chain_cell(CellKind::kAddCarry, ax.bits[idx],
-                                   nb.bits[idx], carry, chain, i,
-                                   bit_name + ".co");
-        nl_.set_cluster(carry, cluster);
-      }
-    }
-  } else {
-    for (int i = 0; i < out_width; ++i) {
-      const std::size_t idx = static_cast<std::size_t>(i);
-      NetId cout = kNullNet;
-      out.bits.push_back(add_bit_gates(ax.bits[idx], nb.bits[idx], carry, cout,
-                                       cluster,
-                                       name + "[" + std::to_string(i) + "]"));
-      carry = cout;
-    }
-  }
-  return out;
+  return build_subtractor(*this, a, b, style, out_width, name);
 }
 
 Bus Builder::reg(const Bus& b, const std::string& name) {

@@ -1,20 +1,21 @@
 // Word-level construction helpers over the gate-level netlist: signed buses,
-// shifts, sign extension, adders in the paper's two implementation styles
-// (behavioral carry-chain vs structural full-adder gates), and registers.
+// shifts, sign extension, adders in any architecture of the AdderArch family
+// (behavioral carry-chain, structural ripple gates, parallel-prefix
+// networks), and registers.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "rtl/adder_arch.hpp"
 #include "rtl/netlist.hpp"
 
 namespace dwt::rtl {
 
-/// How an adder is realized (paper sections 3.2 vs 3.4):
-enum class AdderStyle {
-  kCarryChain,   ///< behavioral: one LE per bit using the dedicated chain
-  kRippleGates,  ///< structural: full adders from plain gates (2 LEs per bit)
-};
+/// Historical name for the adder-realization choice; the family outgrew the
+/// paper's two styles, so the enum now lives in rtl/adder_arch.hpp and every
+/// style-parameterized helper accepts the full architecture family.
+using AdderStyle = AdderArch;
 
 class Builder {
  public:
@@ -35,11 +36,12 @@ class Builder {
   [[nodiscard]] Bus asr(const Bus& b, int k) const;
 
   /// Signed a + b, result sized to `out_width` (callers size the result via
-  /// interval analysis; computation is exact modulo 2^out_width).
+  /// interval analysis; computation is exact modulo 2^out_width).  Forwards
+  /// to the build_adder() generator seam (rtl/build_adder.hpp).
   [[nodiscard]] Bus add(const Bus& a, const Bus& b, AdderStyle style,
                         int out_width, const std::string& name = {});
 
-  /// Signed a - b (b inverted, carry-in 1).
+  /// Signed a - b (b inverted, carry-in 1); same generator seam.
   [[nodiscard]] Bus sub(const Bus& a, const Bus& b, AdderStyle style,
                         int out_width, const std::string& name = {});
 
@@ -55,10 +57,6 @@ class Builder {
                         const std::string& name = {});
 
  private:
-  [[nodiscard]] NetId add_bit_gates(NetId a, NetId b, NetId cin, NetId& cout,
-                                    std::int32_t cluster,
-                                    const std::string& name);
-
   Netlist& nl_;
 };
 

@@ -104,6 +104,38 @@ TEST(ArtifactCache, OptimizedTapesAreKeyedPerLevel) {
   EXPECT_EQ(cache.stats().tape_hits, 1u);
 }
 
+// Two configurations that differ ONLY in adder architecture must never
+// alias: distinct cache keys, distinct cached artifacts, and genuinely
+// different netlists (a prefix adder is chain-free where the carry-chain
+// realization is chain cells end to end).  A collision here would hand a
+// kogge-stone campaign a carry-chain fault space.
+TEST(ArtifactCache, AdderArchitecturesGetDistinctKeysAndNetlists) {
+  const hw::DatapathConfig chain = config_for(hw::DesignId::kDesign2);
+  hw::DatapathConfig prefix = chain;
+  prefix.adder_style = rtl::AdderArch::kKoggeStone;
+  EXPECT_NE(config_key(chain, rtl::HardeningStyle::kNone),
+            config_key(prefix, rtl::HardeningStyle::kNone));
+
+  ArtifactCache cache;
+  const auto a = cache.design(chain);
+  const auto b = cache.design(prefix);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().design_builds, 2u);
+  EXPECT_GT(a->dp.netlist.count_kind(rtl::CellKind::kAddSum), 0u);
+  EXPECT_EQ(b->dp.netlist.count_kind(rtl::CellKind::kAddSum), 0u);
+  EXPECT_NE(a->dp.netlist.cell_count(), b->dp.netlist.cell_count());
+  // Every architecture in the family keys separately from every other:
+  // after sweeping all of them, exactly kAdderArchCount artifacts exist
+  // (the carry-chain and kogge-stone requests hit the two entries above).
+  for (const rtl::AdderArch arch : rtl::all_adder_archs()) {
+    hw::DatapathConfig cfg = chain;
+    cfg.adder_style = arch;
+    (void)cache.design(cfg);
+  }
+  EXPECT_EQ(cache.stats().design_builds,
+            static_cast<std::size_t>(rtl::kAdderArchCount));
+}
+
 TEST(ArtifactCache, HardenedArtifactCarriesItsReport) {
   ArtifactCache cache;
   const hw::DatapathConfig cfg = config_for(hw::DesignId::kDesign1);

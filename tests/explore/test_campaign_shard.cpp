@@ -172,6 +172,23 @@ TEST(CampaignShard, MergeRejectsInconsistentInputs) {
 // Checkpoint / resume
 // ---------------------------------------------------------------------------
 
+TEST(CampaignCheckpointTest, FingerprintCoversAdderAxis) {
+  // The adder override changes the netlist, so it must be part of the
+  // checkpoint identity -- while campaigns without an override must keep
+  // their legacy fingerprint bytes (old checkpoints stay resumable).
+  const ResilienceOptions base = shard_campaign();
+  const std::string plain = campaign_fingerprint(base);
+  EXPECT_EQ(plain.find("adder="), std::string::npos);
+  ResilienceOptions ks = base;
+  ks.adder = rtl::AdderArch::kKoggeStone;
+  const std::string with_ks = campaign_fingerprint(ks);
+  EXPECT_NE(with_ks, plain);
+  EXPECT_NE(with_ks.find("adder="), std::string::npos);
+  ResilienceOptions bk = base;
+  bk.adder = rtl::AdderArch::kBrentKung;
+  EXPECT_NE(campaign_fingerprint(bk), with_ks);
+}
+
 TEST(CampaignCheckpointTest, SerializationRoundTrips) {
   CampaignCheckpoint cp;
   cp.fingerprint = campaign_fingerprint(shard_campaign());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace dwt::explore {
 namespace {
 
@@ -92,6 +94,28 @@ TEST_F(ExplorerSuite, ChainLesOnlyInBehavioralDesigns) {
   EXPECT_GT(evals()[1].report.chain_les, 0u);
   EXPECT_EQ(evals()[3].report.chain_les, 0u);
   EXPECT_EQ(evals()[4].report.chain_les, 0u);
+}
+
+TEST(Explorer, PrefixAdderVariantShiftsTheFrontier) {
+  // Spot-check of the (design x adder) sweep: the kogge-stone variant of
+  // the pipelined design trades area for clock rate -- more LEs than the
+  // paper realization, but a higher f_max (the prefix network shortens the
+  // adder stage the STA critical path runs through).
+  const Explorer ex;
+  const auto variants = hw::adder_variant_designs();
+  ASSERT_EQ(variants.size(), 12u);
+  const auto ks_it =
+      std::find_if(variants.begin(), variants.end(), [](const auto& s) {
+        return s.name == "Design 3 (kogge-stone)";
+      });
+  ASSERT_NE(ks_it, variants.end());
+  const DesignEvaluation base = ex.evaluate(hw::design_spec(hw::DesignId::kDesign3));
+  const DesignEvaluation ks = ex.evaluate(*ks_it);
+  EXPECT_EQ(ks.report.name, "Design 3 (kogge-stone)");
+  EXPECT_GT(ks.report.fmax_mhz, base.report.fmax_mhz);
+  EXPECT_GT(ks.report.logic_elements, base.report.logic_elements);
+  // Same stage skeleton: the adder swap is purely combinational.
+  EXPECT_EQ(ks.report.pipeline_stages, base.report.pipeline_stages);
 }
 
 TEST(Explorer, WorkloadStreamsAreDeterministic) {

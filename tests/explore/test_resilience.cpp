@@ -59,6 +59,40 @@ TEST(Resilience, ParityDetectsEverySampledSeu) {
   EXPECT_GT(r.hardened.ff_count, r.baseline.ff_count);
 }
 
+TEST(Resilience, AdderOverrideChangesFaultSpaceNotMachinery) {
+  // The (design x adder) axis: a prefix-adder campaign runs on a different
+  // netlist (different fault space, different design-point name) but the
+  // classification machinery stays deterministic and engine-agnostic.
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone);
+  opt.adder = rtl::AdderArch::kKoggeStone;
+  const CampaignResult a = run_campaign(opt);
+  const CampaignResult b = run_campaign(opt);
+  EXPECT_EQ(to_json(a), to_json(b));
+  EXPECT_EQ(a.spec.name, "Design 2 (kogge-stone)");
+  EXPECT_EQ(a.trials_run, opt.trials);
+  EXPECT_EQ(a.masked + a.detected + a.sdc, a.trials_run);
+  ResilienceOptions interp = opt;
+  interp.engine = CampaignEngine::kInterpreted;
+  EXPECT_EQ(to_json(run_campaign(interp)), to_json(a));
+  // The paper realization draws a different schedule (different nets).
+  const CampaignResult base = run_campaign(
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone));
+  EXPECT_NE(to_json(base), to_json(a));
+}
+
+TEST(Resilience, AdderVariantHardensLikeTheBaseDesign) {
+  // Parity hardening is architecture-agnostic: it must detect every sampled
+  // SEU on a brent-kung netlist exactly as it does on the paper's.
+  ResilienceOptions opt =
+      small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kParity);
+  opt.adder = rtl::AdderArch::kBrentKung;
+  const CampaignResult r = run_campaign(opt);
+  EXPECT_EQ(r.detected, r.trials_run);
+  EXPECT_EQ(r.sdc, 0u);
+  EXPECT_GT(r.harden_report.parity_groups, 0u);
+}
+
 TEST(Resilience, PointCarriesSdcAxisIntoTradeoffSpace) {
   const CampaignResult r = run_campaign(
       small_campaign(hw::DesignId::kDesign2, rtl::HardeningStyle::kNone));

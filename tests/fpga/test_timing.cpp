@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "rtl/builder.hpp"
 #include "rtl/simplify.hpp"
 
@@ -119,6 +121,50 @@ TEST(Timing, PurelyCombinationalPathUsesOutputEndpoint) {
                                           /*registered_out=*/false);
   const TimingReport r = TimingAnalyzer(m, p).analyze();
   EXPECT_GT(r.critical_path_ns, 0.0);
+}
+
+TEST(Timing, AdderModelPrefixBeatsRippleAt16Bits) {
+  // The frontier claim at the paper's 16-bit internal precision: every
+  // parallel-prefix architecture's closed-form critical path undercuts the
+  // ripple-gates realization (O(log w) LUT levels vs O(w)).
+  const auto& p = ApexDeviceParams::apex20ke();
+  const double ripple =
+      adder_critical_path_ns(rtl::AdderArch::kRippleGates, 16, p);
+  for (const rtl::AdderArch arch : rtl::prefix_adder_archs()) {
+    EXPECT_LT(adder_critical_path_ns(arch, 16, p), ripple)
+        << rtl::adder_name(arch);
+  }
+}
+
+TEST(Timing, AdderModelScalesLogarithmicallyVsLinearly) {
+  // Doubling the width from 16 to 32 bits should nearly double the ripple
+  // path but grow a Kogge-Stone path by only one prefix level.
+  const auto& p = ApexDeviceParams::apex20ke();
+  const double r16 = adder_critical_path_ns(rtl::AdderArch::kRippleGates, 16, p);
+  const double r32 = adder_critical_path_ns(rtl::AdderArch::kRippleGates, 32, p);
+  const double k16 = adder_critical_path_ns(rtl::AdderArch::kKoggeStone, 16, p);
+  const double k32 = adder_critical_path_ns(rtl::AdderArch::kKoggeStone, 32, p);
+  EXPECT_GT(r32 / r16, 1.8);
+  EXPECT_LT(k32 / k16, 1.4);
+}
+
+TEST(Timing, AdderModelRejectsBadWidth) {
+  const auto& p = ApexDeviceParams::apex20ke();
+  EXPECT_THROW((void)adder_critical_path_ns(rtl::AdderArch::kKoggeStone, 0, p),
+               std::invalid_argument);
+}
+
+TEST(Timing, StaConfirmsPrefixBeatsRippleGatesAt16Bits) {
+  // The structural STA over the mapped netlists must agree with the closed
+  // form: a 16-bit Kogge-Stone adder clears the ripple-gates one.
+  const auto& p = ApexDeviceParams::apex20ke();
+  Netlist nlr, nlk;
+  const MappedNetlist mr =
+      map_adder_chain(nlr, AdderStyle::kRippleGates, 16, 1, true);
+  const MappedNetlist mk =
+      map_adder_chain(nlk, AdderStyle::kKoggeStone, 16, 1, true);
+  TimingAnalyzer tr(mr, p), tk(mk, p);
+  EXPECT_LT(tk.analyze().critical_path_ns, tr.analyze().critical_path_ns);
 }
 
 TEST(Timing, ToStringIsInformative) {

@@ -108,6 +108,48 @@ TEST(Designs, ParseDesignRejectsGarbage) {
   }
 }
 
+TEST(Designs, AdderVariantDesignsCrossPrefixFamily) {
+  const auto variants = adder_variant_designs();
+  // Designs 2..5 (Design 1 is multiplier-dominated) x the 3 prefix archs.
+  ASSERT_EQ(variants.size(), 12u);
+  for (const DesignSpec& spec : variants) {
+    EXPECT_NE(spec.id, DesignId::kDesign1) << spec.name;
+    EXPECT_TRUE(rtl::is_parallel_prefix(spec.config.adder_style)) << spec.name;
+    EXPECT_EQ(spec.name, design_point_name(spec.id, spec.config.adder_style));
+    EXPECT_NE(spec.description.find(rtl::adder_name(spec.config.adder_style)),
+              std::string::npos)
+        << spec.name;
+  }
+}
+
+TEST(Designs, DesignPointNameFormatsOverride) {
+  EXPECT_EQ(design_point_name(DesignId::kDesign3, std::nullopt), "Design 3");
+  EXPECT_EQ(design_point_name(DesignId::kDesign3, rtl::AdderArch::kBrentKung),
+            "Design 3 (brent-kung)");
+  EXPECT_EQ(
+      design_point_name(DesignId::kDesign5, rtl::AdderArch::kHybridKsBk),
+      "Design 5 (hybrid-ksbk)");
+}
+
+TEST(Designs, DesignConfigAppliesAdderOverride) {
+  const DatapathConfig base = design_config(DesignId::kDesign4);
+  EXPECT_EQ(base.adder_style, rtl::AdderArch::kRippleGates);
+  const DatapathConfig ks = design_config(DesignId::kDesign4, /*max_octaves=*/1,
+                                          rtl::AdderArch::kKoggeStone);
+  EXPECT_EQ(ks.adder_style, rtl::AdderArch::kKoggeStone);
+  // The override touches only the adder axis.
+  EXPECT_EQ(ks.multiplier, base.multiplier);
+  EXPECT_EQ(ks.pipelined_operators, base.pipelined_operators);
+}
+
+TEST(Designs, PrefixVariantNetlistsAreChainFree) {
+  const BuiltDatapath dp = build_lifting_datapath(design_config(
+      DesignId::kDesign2, /*max_octaves=*/1, rtl::AdderArch::kHybridKsBk));
+  const rtl::NetlistStats st = rtl::compute_stats(dp.netlist);
+  EXPECT_EQ(st.carry_chains, 0u);
+  EXPECT_GT(st.gate_cells, 0u);
+}
+
 TEST(Designs, DesignConfigWidensWithOctaveDepth) {
   const DatapathConfig one = design_config(DesignId::kDesign2, 1);
   const DatapathConfig three = design_config(DesignId::kDesign2, 3);

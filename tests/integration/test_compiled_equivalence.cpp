@@ -272,6 +272,51 @@ TEST(CompiledEquivalence, ThreeWayTierMatrixMatches) {
                         seed, "design3+parity @O1");
 }
 
+TEST(CompiledEquivalence, AdderVariantsMatchInterpreted) {
+  // The (design x adder) extension of the matrix: every prefix-adder
+  // variant netlist must flow through the compiled engine unchanged --
+  // plain equivalence on the raw tape, and fault overlays on the
+  // overlay-safe tape (the campaigns run on exactly these netlists).
+  for (const hw::DesignSpec& spec : hw::adder_variant_designs()) {
+    const hw::BuiltDatapath dp = hw::build_lifting_datapath(spec.config);
+    const auto report = rtl::compiled::check_equivalence(
+        dp.netlist, /*cycles=*/16, /*seed=*/2005, /*lanes_to_check=*/1);
+    EXPECT_TRUE(report.ok) << spec.name << ": " << report.mismatch;
+    const auto faults = rtl::compiled::check_fault_equivalence(
+        dp.netlist, /*cycles=*/12, /*seed=*/7331, /*lanes_to_check=*/2,
+        OptLevel::kSafe);
+    EXPECT_TRUE(faults.ok) << spec.name << ": " << faults.mismatch;
+  }
+}
+
+TEST(CompiledEquivalence, AdderVariantTierAndHardeningSpotChecks) {
+  // Prefix-adder netlists through the remaining seams: the three execution
+  // tiers at every opt level, and the TMR/parity hardening transforms.
+  const hw::BuiltDatapath ks = hw::build_lifting_datapath(hw::design_config(
+      hw::DesignId::kDesign3, /*max_octaves=*/1, rtl::AdderArch::kKoggeStone));
+  std::uint64_t seed = 909;
+  for (const OptLevel level :
+       {OptLevel::kNone, OptLevel::kSafe, OptLevel::kFull}) {
+    expect_tiers_match<4>(ks.netlist,
+                          rtl::compiled::compile(ks.netlist, level), seed++,
+                          std::string("design3(ks) @") + to_string(level));
+  }
+  const rtl::Netlist tmr =
+      rtl::apply_hardening(ks.netlist, rtl::HardeningStyle::kTmr);
+  const auto tmr_report =
+      rtl::compiled::check_equivalence(tmr, 8, 42, 1, OptLevel::kSafe);
+  EXPECT_TRUE(tmr_report.ok) << "design3(ks)+tmr: " << tmr_report.mismatch;
+
+  const hw::BuiltDatapath bk = hw::build_lifting_datapath(hw::design_config(
+      hw::DesignId::kDesign5, /*max_octaves=*/1, rtl::AdderArch::kBrentKung));
+  const rtl::Netlist parity =
+      rtl::apply_hardening(bk.netlist, rtl::HardeningStyle::kParity);
+  const auto parity_report = rtl::compiled::check_fault_equivalence(
+      parity, 8, 99, 2, OptLevel::kSafe);
+  EXPECT_TRUE(parity_report.ok)
+      << "design5(bk)+parity: " << parity_report.mismatch;
+}
+
 TEST(CompiledEquivalence, DeterministicInSeed) {
   const hw::BuiltDatapath dp = hw::build_design(hw::DesignId::kDesign2);
   const auto a = rtl::compiled::check_equivalence(dp.netlist, 16, 7, 1);

@@ -1,5 +1,5 @@
 // Randomized cross-validation of the hardware substrate: generate random
-// netlists (gates, adders of both styles, multipliers, registers), then
+// netlists (gates, adders of every AdderArch, multipliers, registers), then
 // require that the zero-delay simulator, the unit-delay simulator, the
 // technology mapper + mapped-netlist simulator, and the simplify() rewrite
 // all agree cycle by cycle.  This is the strongest guard against mapper or
@@ -47,8 +47,11 @@ Netlist random_netlist(std::uint64_t seed, Bus& in_a, Bus& in_b, int* depth) {
         rng.uniform(0, static_cast<std::int64_t>(values.size()) - 1))];
     const Word& y = values[static_cast<std::size_t>(
         rng.uniform(0, static_cast<std::int64_t>(values.size()) - 1))];
-    const AdderStyle style = rng.uniform(0, 1) == 0 ? AdderStyle::kCarryChain
-                                                    : AdderStyle::kRippleGates;
+    // Draw over the whole architecture family, so every generator (chain,
+    // ripple, and the three prefix networks) feeds the mapper/simplify/
+    // simulator agreement matrix.
+    const AdderStyle style = static_cast<AdderStyle>(
+        rng.uniform(0, rtl::kAdderArchCount - 1));
     const std::string name = "op" + std::to_string(i);
     Word out;
     switch (rng.uniform(0, 4)) {

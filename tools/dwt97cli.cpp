@@ -4,11 +4,11 @@
 //   dwt97cli decompress    <in.dwt> <out.pgm>
 //   dwt97cli tile          <in.pgm> <out.pgm> [--octaves N] [--tile N]
 //                          [--threads N] [--backend NAME] [--design D]
-//                          [--opt-level 0|1|2]
+//                          [--adder ARCH] [--opt-level 0|1|2]
 //                          [--exec-tier interpreter|threaded|native|auto]
 //   dwt97cli gen           <out.pgm> <width> <height> [seed]
-//   dwt97cli synth         [design 1..5]
-//   dwt97cli verilog       <design 1..5> <out.v>
+//   dwt97cli synth         [design 1..5] [--adder ARCH]
+//   dwt97cli verilog       <design 1..5> <out.v> [--adder ARCH]
 //   dwt97cli psnr          <a.pgm> <b.pgm>
 //   dwt97cli list-backends      (also accepted: --list-backends)
 //   dwt97cli list-designs       (also accepted: --list-designs)
@@ -32,9 +32,19 @@
 #include "fpga/report.hpp"
 #include "hw/designs.hpp"
 #include "hw/tile_scheduler.hpp"
+#include "rtl/adder_arch.hpp"
 #include "rtl/verilog_writer.hpp"
 
 namespace {
+
+std::string adder_arch_names() {
+  std::string names;
+  for (const dwt::rtl::AdderArch arch : dwt::rtl::all_adder_archs()) {
+    if (!names.empty()) names += ", ";
+    names += dwt::rtl::adder_name(arch);
+  }
+  return names;
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -45,17 +55,18 @@ int usage() {
                "  dwt97cli tile       <in.pgm> <out.pgm> [--octaves N] "
                "[--tile N] [--threads N]\n"
                "                      [--backend NAME] [--design D] "
-               "[--opt-level 0|1|2]\n"
-               "                      [--exec-tier "
+               "[--adder ARCH]\n"
+               "                      [--opt-level 0|1|2] [--exec-tier "
                "interpreter|threaded|native|auto]\n"
                "  dwt97cli gen        <out.pgm> <width> <height> [seed]\n"
-               "  dwt97cli synth      [design 1..5]\n"
-               "  dwt97cli verilog    <design 1..5> <out.v>\n"
+               "  dwt97cli synth      [design 1..5] [--adder ARCH]\n"
+               "  dwt97cli verilog    <design 1..5> <out.v> [--adder ARCH]\n"
                "  dwt97cli psnr       <a.pgm> <b.pgm>\n"
                "  dwt97cli list-backends\n"
                "  dwt97cli list-designs\n"
-               "backends: %s\n",
-               dwt::core::backend_names().c_str());
+               "backends: %s\n"
+               "adders:   %s\n",
+               dwt::core::backend_names().c_str(), adder_arch_names().c_str());
   return 2;
 }
 
@@ -202,6 +213,19 @@ int cmd_tile(int argc, char** argv) {
         return usage();
       }
       opt.design = *design;
+    } else if (std::strcmp(argv[i], "--adder") == 0 && i + 1 < argc) {
+      // Adder-architecture override for the gate-level engines' datapath.
+      // Every architecture streams bit-identical coefficients (the adders
+      // are functionally equivalent), so like --opt-level this is an
+      // area/f_max knob and a CI cross-check hook, not a mode switch.
+      const std::optional<dwt::rtl::AdderArch> adder =
+          dwt::rtl::parse_adder(argv[++i]);
+      if (!adder) {
+        std::fprintf(stderr, "bad --adder value: %s (have: %s)\n", argv[i],
+                     adder_arch_names().c_str());
+        return usage();
+      }
+      opt.adder = adder;
     } else if (std::strcmp(argv[i], "--opt-level") == 0 && i + 1 < argc) {
       // Tape optimization level for the rtl-compiled backend; other engines
       // ignore it.  Every level streams bit-identical output, so this is a
@@ -222,7 +246,7 @@ int cmd_tile(int argc, char** argv) {
     } else {
       (void)report_missing_value(
           argv[i], {"--octaves", "--tile", "--threads", "--backend",
-                    "--design", "--opt-level", "--exec-tier"});
+                    "--design", "--adder", "--opt-level", "--exec-tier"});
       return usage();
     }
   }
@@ -267,12 +291,39 @@ int cmd_gen(int argc, char** argv) {
 }
 
 int cmd_synth(int argc, char** argv) {
-  dwt::explore::Explorer explorer;
-  if (argc >= 3) {
-    const std::optional<dwt::hw::DesignId> design =
-        dwt::hw::parse_design(argv[2]);
+  std::optional<dwt::hw::DesignId> design;
+  std::optional<dwt::rtl::AdderArch> adder;
+  int i = 2;
+  if (i < argc && std::strncmp(argv[i], "--", 2) != 0) {
+    design = dwt::hw::parse_design(argv[i]);
     if (!design) return usage();
-    const auto eval = explorer.evaluate(dwt::hw::design_spec(*design));
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--adder") == 0 && i + 1 < argc) {
+      adder = dwt::rtl::parse_adder(argv[++i]);
+      if (!adder) {
+        std::fprintf(stderr, "bad --adder value: %s (have: %s)\n", argv[i],
+                     adder_arch_names().c_str());
+        return usage();
+      }
+    } else {
+      (void)report_missing_value(argv[i], {"--adder"});
+      return usage();
+    }
+  }
+  if (adder.has_value() && !design.has_value()) {
+    std::fprintf(stderr, "--adder needs a design argument\n");
+    return usage();
+  }
+  dwt::explore::Explorer explorer;
+  if (design) {
+    dwt::hw::DesignSpec spec = dwt::hw::design_spec(*design);
+    if (adder.has_value()) {
+      spec.config.adder_style = *adder;
+      spec.name = dwt::hw::design_point_name(*design, adder);
+    }
+    const auto eval = explorer.evaluate(spec);
     std::printf("%s\n", eval.report.to_string().c_str());
     return 0;
   }
@@ -284,11 +335,29 @@ int cmd_synth(int argc, char** argv) {
 }
 
 int cmd_verilog(int argc, char** argv) {
-  if (argc != 4) return usage();
+  if (argc < 4) return usage();
   const std::optional<dwt::hw::DesignId> design =
       dwt::hw::parse_design(argv[2]);
   if (!design) return usage();
-  const auto dp = dwt::hw::build_design(*design);
+  std::optional<dwt::rtl::AdderArch> adder;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--adder") == 0 && i + 1 < argc) {
+      adder = dwt::rtl::parse_adder(argv[++i]);
+      if (!adder) {
+        std::fprintf(stderr, "bad --adder value: %s (have: %s)\n", argv[i],
+                     adder_arch_names().c_str());
+        return usage();
+      }
+    } else {
+      (void)report_missing_value(argv[i], {"--adder"});
+      return usage();
+    }
+  }
+  const auto dp =
+      adder.has_value()
+          ? dwt::hw::build_lifting_datapath(
+                dwt::hw::design_config(*design, /*max_octaves=*/1, adder))
+          : dwt::hw::build_design(*design);
   std::ofstream out(argv[3]);
   if (!out) {
     std::fprintf(stderr, "cannot open %s\n", argv[3]);
@@ -317,14 +386,25 @@ int cmd_list_backends() {
 }
 
 int cmd_list_designs() {
-  std::printf("%-10s %-8s %-10s %-12s %s\n", "design", "stages", "area(LE)",
-              "fmax(MHz)", "description");
+  std::printf("%-24s %-13s %-6s %-10s %-12s %s\n", "design", "adder", "depth",
+              "area(LE)", "fmax(MHz)", "description");
   const auto table = dwt::hw::paper_table3();
   const auto designs = dwt::hw::all_designs();
   for (std::size_t i = 0; i < designs.size(); ++i) {
-    std::printf("%-10s %-8d %-10d %-12.1f %s\n", designs[i].name.c_str(),
+    std::printf("%-24s %-13s %-6d %-10d %-12.1f %s\n", designs[i].name.c_str(),
+                dwt::rtl::adder_name(designs[i].config.adder_style),
                 table[i].pipeline_stages, table[i].area_les,
                 table[i].fmax_mhz, designs[i].description.c_str());
+  }
+  // The (design x adder) variant points extend the space beyond paper
+  // Table 3, so the published area/f_max columns do not apply; the pipeline
+  // depth matches the base design (the adder swap is purely combinational).
+  for (const dwt::hw::DesignSpec& spec : dwt::hw::adder_variant_designs()) {
+    const int idx = dwt::hw::design_index(spec.id);
+    std::printf("%-24s %-13s %-6d %-10s %-12s %s\n", spec.name.c_str(),
+                dwt::rtl::adder_name(spec.config.adder_style),
+                table[static_cast<std::size_t>(idx - 1)].pipeline_stages, "-",
+                "-", spec.description.c_str());
   }
   return 0;
 }

@@ -1,7 +1,8 @@
 // faultcampaign -- deterministic soft-error campaigns over the five DWT
 // architectures, with optional TMR / parity hardening.
 //
-//   faultcampaign --design 1..5 [--faults seu,glitch,sa0,sa1] [--trials N]
+//   faultcampaign --design 1..5 [--adder ARCH] [--faults seu,glitch,sa0,sa1]
+//                 [--trials N]
 //                 [--seed S] [--harden none|tmr|parity] [--samples N]
 //                 [--engine interpreted|compiled] [--threads N]
 //                 [--backend rtl-interpreted|rtl-compiled]
@@ -24,7 +25,11 @@
 // (0 = raw, 1 = fault-overlay-safe passes; the full level drops the
 // overlay guarantees campaigns need and is rejected here); `--no-cone`
 // turns off the cone-restricted incremental engine.  None of these knobs
-// changes the report bytes.
+// changes the report bytes.  `--adder` swaps the design's adder
+// architecture (carry-chain, ripple-gates, kogge-stone, brent-kung,
+// hybrid-ksbk): unlike the perf knobs this changes the netlist and hence
+// the fault space, so it IS part of the campaign identity (and of the
+// checkpoint fingerprint).
 //
 // Scale-out: `--shards N --shard-index I` executes only shard I's
 // contiguous slice of the trial schedule (same seed on every shard);
@@ -46,6 +51,7 @@
 
 #include "explore/campaign_io.hpp"
 #include "explore/resilience.hpp"
+#include "rtl/adder_arch.hpp"
 
 namespace {
 
@@ -66,7 +72,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  faultcampaign --design 1..5 [--faults seu,glitch,sa0,sa1]\n"
+      "  faultcampaign --design 1..5 [--adder ARCH]\n"
+      "                [--faults seu,glitch,sa0,sa1]\n"
       "                [--trials N] [--seed S] [--harden none|tmr|parity]\n"
       "                [--samples N] [--engine interpreted|compiled]\n"
       "                [--backend rtl-interpreted|rtl-compiled]\n"
@@ -187,6 +194,19 @@ int main(int argc, char** argv) {
       }
       opt.design = static_cast<dwt::hw::DesignId>(n - 1);
       design_set = true;
+    } else if (std::strcmp(argv[i], "--adder") == 0) {
+      // Changes the netlist (and hence the fault space), unlike the
+      // engine/lanes/tier knobs which never change the report bytes.
+      const char* v = need_value("--adder");
+      std::optional<dwt::rtl::AdderArch> adder;
+      if (v != nullptr) adder = dwt::rtl::parse_adder(v);
+      if (!adder) {
+        std::fprintf(stderr,
+                     "bad --adder value (carry-chain, ripple-gates, "
+                     "kogge-stone, brent-kung or hybrid-ksbk)\n");
+        return usage();
+      }
+      opt.adder = adder;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       const char* v = need_value("--faults");
       if (v == nullptr || !parse_kinds(v, opt.kinds)) return usage();
